@@ -1,0 +1,39 @@
+//! Graph algorithms expressed in the ACC programming model, plus the
+//! sequential reference implementations that validate them.
+//!
+//! The paper's §6 algorithms — BFS, SSSP, PageRank, k-Core and Belief
+//! Propagation — each fit in tens of lines of `AccProgram`
+//! implementation, reproducing the "around 100 lines of C++ code"
+//! programmability claim (§7). Connected components ([`wcc`], the
+//! voting-class example of §3.2) and SpMV (from Fig. 3) round out the
+//! set.
+//!
+//! # Quick example
+//!
+//! ```
+//! use simdx_algos::{bfs, reference};
+//! use simdx_core::EngineConfig;
+//! use simdx_graph::{EdgeList, Graph};
+//!
+//! let g = Graph::undirected_from_edges(
+//!     EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 3)]));
+//! let result = bfs::run(&g, 0, EngineConfig::unscaled()).unwrap();
+//! assert_eq!(result.meta, reference::bfs(g.out(), 0));
+//! ```
+
+pub mod bfs;
+pub mod bp;
+pub mod kcore;
+pub mod pagerank;
+pub mod reference;
+pub mod spmv;
+pub mod sssp;
+pub mod wcc;
+
+pub use bfs::Bfs;
+pub use bp::BeliefPropagation;
+pub use kcore::KCore;
+pub use pagerank::PageRank;
+pub use spmv::Spmv;
+pub use sssp::Sssp;
+pub use wcc::Wcc;

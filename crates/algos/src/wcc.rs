@@ -1,0 +1,115 @@
+//! Connected components by label propagation — the voting-class
+//! algorithm §3.2 lists alongside BFS ("weakly connected component ...
+//! algorithms fall into this category").
+//!
+//! Every vertex starts with its own ID as label; the minimum label
+//! floods each component. Voting semantics apply: any single improving
+//! update is useful and overwrites are tolerated, so the engine's
+//! early-termination pull path is sound (a better label simply arrives
+//! in a later iteration).
+
+use simdx_core::acc::{AccProgram, CombineKind};
+use simdx_core::{Engine, EngineConfig, EngineError, RunResult};
+use simdx_graph::{Graph, VertexId, Weight};
+
+/// Connected components via min-label propagation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Wcc;
+
+impl AccProgram for Wcc {
+    type Meta = u32;
+    type Update = u32;
+
+    fn name(&self) -> &'static str {
+        "wcc"
+    }
+
+    fn combine_kind(&self) -> CombineKind {
+        CombineKind::Vote
+    }
+
+    fn init(&self, graph: &Graph) -> (Vec<u32>, Vec<VertexId>) {
+        let n = graph.num_vertices();
+        ((0..n).collect(), (0..n).collect())
+    }
+
+    fn compute(
+        &self,
+        _src: VertexId,
+        _dst: VertexId,
+        _w: Weight,
+        m_src: &u32,
+        m_dst: &u32,
+    ) -> Option<u32> {
+        (*m_src < *m_dst).then_some(*m_src)
+    }
+
+    fn combine(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    fn apply(&self, _v: VertexId, current: &u32, update: u32) -> Option<u32> {
+        (update < *current).then_some(update)
+    }
+}
+
+/// Runs connected components; returns per-vertex labels plus the report.
+///
+/// On an undirected graph the labels are the weakly connected
+/// components; on a directed graph they are the fixpoint of min-label
+/// flooding along edge direction.
+pub fn run(graph: &Graph, config: EngineConfig) -> Result<RunResult<u32>, EngineError> {
+    Engine::new(Wcc, graph, config).run()
+}
+
+/// Number of distinct labels in a WCC result.
+pub fn component_count(labels: &[u32]) -> usize {
+    let mut sorted: Vec<u32> = labels.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use simdx_graph::{datasets, EdgeList};
+
+    #[test]
+    fn two_components() {
+        let el = EdgeList::from_pairs(vec![(0, 1), (1, 4), (2, 3)]);
+        let g = Graph::undirected_from_edges(el);
+        let r = run(&g, EngineConfig::unscaled()).expect("wcc");
+        assert_eq!(r.meta, vec![0, 0, 2, 2, 0]);
+        assert_eq!(component_count(&r.meta), 2);
+    }
+
+    #[test]
+    fn matches_reference_on_dataset_twin() {
+        let g = datasets::dataset("RC").unwrap().build_scaled(8, 4);
+        let r = run(&g, EngineConfig::default()).expect("wcc");
+        assert_eq!(r.meta, reference::wcc(g.out()));
+    }
+
+    #[test]
+    fn singleton_vertices_keep_own_label() {
+        let g = Graph::undirected_from_edges({
+            let mut el = EdgeList::new(4);
+            el.push(0, 1);
+            el
+        });
+        let r = run(&g, EngineConfig::unscaled()).expect("wcc");
+        assert_eq!(r.meta[2], 2);
+        assert_eq!(r.meta[3], 3);
+        assert_eq!(component_count(&r.meta), 3);
+    }
+
+    #[test]
+    fn connected_twin_collapses_to_one_component() {
+        let g = datasets::dataset("ER").unwrap().build_scaled(6, 3);
+        let r = run(&g, EngineConfig::default()).expect("wcc");
+        // The road generator guarantees a connected backbone.
+        assert_eq!(component_count(&r.meta), 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Regenerates **§7.3**: performance of SIMD-X, Gunrock and CuSha when
+//! moving from K20 to K40 to P100. The paper's claim: SIMD-X scales
+//! best (1.7× / 5.1× over its K20 time) because the deadlock-free fused
+//! kernels are re-configured to each device's occupancy, while Gunrock
+//! (1.1× / 1.7×) and CuSha (1.2× / 3.5×) improve less.
+
+use simdx_algos::bfs::Bfs;
+use simdx_baselines::cusha::{CushaConfig, CushaEngine};
+use simdx_baselines::gunrock::{GunrockConfig, GunrockEngine};
+use simdx_bench::{load, print_table, source};
+use simdx_core::{Engine, EngineConfig};
+use simdx_gpu::DeviceSpec;
+
+/// Graphs for the device sweep (one per structural class).
+const SWEEP: [&str; 4] = ["LJ", "ER", "KR", "PK"];
+
+fn main() {
+    let devices = [DeviceSpec::k20(), DeviceSpec::k40(), DeviceSpec::p100()];
+    let mut header: Vec<String> = vec!["System".into()];
+    header.extend(devices.iter().map(|d| d.name.to_string()));
+    header.push("K40/K20".into());
+    header.push("P100/K20".into());
+
+    let mut rows = Vec::new();
+    for system in ["SIMD-X", "Gunrock", "CuSha"] {
+        // Geometric mean BFS time across the sweep graphs per device.
+        let mut per_device = Vec::new();
+        for device in &devices {
+            let mut log_sum = 0.0f64;
+            for abbrev in SWEEP {
+                let (_, g) = load(abbrev);
+                let src = source(&g);
+                let ms = match system {
+                    "SIMD-X" => {
+                        let cfg = EngineConfig::default().with_device(device.clone());
+                        Engine::new(Bfs::new(src), &g, cfg)
+                            .run()
+                            .expect("simdx bfs")
+                            .report
+                            .elapsed_ms
+                    }
+                    "Gunrock" => {
+                        let cfg = GunrockConfig {
+                            device: device.clone(),
+                            ..GunrockConfig::default()
+                        };
+                        GunrockEngine::new(Bfs::new(src), &g, cfg)
+                            .run()
+                            .expect("gunrock bfs")
+                            .report
+                            .elapsed_ms
+                    }
+                    _ => {
+                        let cfg = CushaConfig {
+                            device: device.clone(),
+                            ..CushaConfig::default()
+                        };
+                        CushaEngine::new(Bfs::new(src), &g, cfg)
+                            .run()
+                            .expect("cusha bfs")
+                            .report
+                            .elapsed_ms
+                    }
+                };
+                log_sum += ms.ln();
+            }
+            per_device.push((log_sum / SWEEP.len() as f64).exp());
+        }
+        let mut row = vec![system.to_string()];
+        row.extend(per_device.iter().map(|ms| format!("{ms:.2}")));
+        row.push(format!("{:.2}x", per_device[0] / per_device[1]));
+        row.push(format!("{:.2}x", per_device[0] / per_device[2]));
+        rows.push(row);
+    }
+    print_table(
+        "Section 7.3: BFS geomean ms per device, and improvement over K20",
+        &header,
+        &rows,
+    );
+    println!("\nPaper: SIMD-X 1.7x/5.1x, Gunrock 1.1x/1.7x, CuSha 1.2x/3.5x over K20.");
+}

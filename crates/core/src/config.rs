@@ -1,0 +1,153 @@
+//! Engine configuration.
+
+use crate::frontier::ClassifyThresholds;
+use crate::fusion::FusionStrategy;
+use simdx_gpu::DeviceSpec;
+
+/// Which frontier-filter strategy the engine uses each iteration (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FilterPolicy {
+    /// Just-in-time control: online filter until a thread bin overflows,
+    /// ballot filter for that iteration, back to online when bins fit.
+    /// This is SIMD-X's default.
+    Jit,
+    /// Always use the ballot filter (the Fig. 12 "Ballot" baseline).
+    BallotOnly,
+    /// Always use the online filter; a bin overflow aborts the run (the
+    /// Fig. 12 "Online" baseline, which "cannot work for many graphs").
+    OnlineOnly,
+}
+
+/// Push/pull direction selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirectionPolicy {
+    /// Frontier-volume heuristic: pull when the frontier's out-degree
+    /// sum exceeds `|E| / alpha`, push otherwise (Beamer-style; the
+    /// engine consults [`crate::acc::AccProgram::direction`] first).
+    Adaptive {
+        /// Volume divisor; the paper-era conventional value is 20.
+        alpha: u64,
+    },
+    /// Always push.
+    FixedPush,
+    /// Always pull.
+    FixedPull,
+}
+
+impl Default for DirectionPolicy {
+    fn default() -> Self {
+        Self::Adaptive { alpha: 20 }
+    }
+}
+
+/// Full engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Simulated device.
+    pub device: DeviceSpec,
+    /// Kernel-fusion strategy (§5).
+    pub fusion: FusionStrategy,
+    /// Frontier filter policy (§4).
+    pub filter: FilterPolicy,
+    /// Online-filter per-thread bin capacity. §4 selects 64.
+    pub overflow_threshold: usize,
+    /// Worklist degree thresholds. §4 defaults to 32 / 128.
+    pub thresholds: ClassifyThresholds,
+    /// Threads per CTA for every kernel. §5 default is 128.
+    pub threads_per_cta: u32,
+    /// Device scale divisor matching the dataset twin scale (see
+    /// [`simdx_gpu::GpuExecutor::set_scale`]). Default 64, the twin
+    /// shrink factor of `simdx-graph::datasets`.
+    pub parallelism_scale: u32,
+    /// Direction policy.
+    pub direction: DirectionPolicy,
+    /// Hard iteration cap (defense against non-converging programs).
+    pub max_iterations: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            device: DeviceSpec::k40(),
+            fusion: FusionStrategy::PushPull,
+            filter: FilterPolicy::Jit,
+            overflow_threshold: 64,
+            thresholds: ClassifyThresholds::default(),
+            threads_per_cta: 128,
+            parallelism_scale: 64,
+            direction: DirectionPolicy::default(),
+            max_iterations: 100_000,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration for unscaled micro-tests: tiny graphs against an
+    /// unscaled device with deterministic defaults.
+    pub fn unscaled() -> Self {
+        Self {
+            parallelism_scale: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Builder: set the filter policy.
+    pub fn with_filter(mut self, filter: FilterPolicy) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Builder: set the fusion strategy.
+    pub fn with_fusion(mut self, fusion: FusionStrategy) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Builder: set the device.
+    pub fn with_device(mut self, device: DeviceSpec) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Builder: set the online-filter overflow threshold (Fig. 9(a)
+    /// sweeps this).
+    pub fn with_overflow_threshold(mut self, threshold: usize) -> Self {
+        self.overflow_threshold = threshold;
+        self
+    }
+
+    /// Builder: set the direction policy.
+    pub fn with_direction(mut self, direction: DirectionPolicy) -> Self {
+        self.direction = direction;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = EngineConfig::default();
+        assert_eq!(c.overflow_threshold, 64);
+        assert_eq!(c.threads_per_cta, 128);
+        assert_eq!(c.thresholds.small_max, 32);
+        assert_eq!(c.thresholds.med_max, 128);
+        assert_eq!(c.filter, FilterPolicy::Jit);
+        assert_eq!(c.fusion, FusionStrategy::PushPull);
+        assert_eq!(c.device.name, "Tesla K40");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = EngineConfig::unscaled()
+            .with_filter(FilterPolicy::BallotOnly)
+            .with_fusion(FusionStrategy::None)
+            .with_overflow_threshold(8);
+        assert_eq!(c.parallelism_scale, 1);
+        assert_eq!(c.filter, FilterPolicy::BallotOnly);
+        assert_eq!(c.fusion, FusionStrategy::None);
+        assert_eq!(c.overflow_threshold, 8);
+    }
+}

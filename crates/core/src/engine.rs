@@ -1,0 +1,682 @@
+//! The SIMD-X BSP engine (Fig. 4(b)).
+//!
+//! Each iteration:
+//!
+//! 1. decide the scan direction (program hint, then the frontier-volume
+//!    heuristic);
+//! 2. classify active tasks into small/med/large worklists (§4 step I);
+//! 3. run the Thread, Warp and CTA compute kernels over their lists
+//!    (§4 step II), performing real Compute/Combine/apply work while the
+//!    online filter records updated vertices into bounded thread bins;
+//! 4. pass the software global barrier (fused modes);
+//! 5. task management: concatenate bins (online) or ballot-scan the
+//!    metadata (ballot), under JIT control;
+//! 6. barrier again, publish `metadata_prev`, loop until the frontier
+//!    is empty or the program reports convergence.
+//!
+//! All metadata updates are performed exactly (the result is bit-equal
+//! to a sequential reference); the executor charges simulated cycles for
+//! every step so the report reflects the paper's cost structure.
+
+use crate::acc::{AccProgram, CombineKind, DirectionCtx};
+use crate::config::{DirectionPolicy, EngineConfig};
+use crate::filters::{ballot, online, FilterKind};
+use crate::frontier::{ThreadBins, Worklists};
+use crate::fusion::{FusionPlan, KernelRole};
+use crate::jit::{ActivationLog, EngineError, IterationRecord, JitController};
+use crate::metrics::{RunReport, RunResult};
+use simdx_graph::csr::{Csr, Direction};
+use simdx_graph::{Graph, VertexId};
+use simdx_gpu::{Cost, GpuExecutor, SchedUnit};
+
+/// The SIMD-X engine: a program, a graph and a configuration.
+pub struct Engine<'g, P: AccProgram> {
+    program: P,
+    graph: &'g Graph,
+    config: EngineConfig,
+}
+
+impl<'g, P: AccProgram> Engine<'g, P> {
+    /// Creates an engine.
+    pub fn new(program: P, graph: &'g Graph, config: EngineConfig) -> Self {
+        Self {
+            program,
+            graph,
+            config,
+        }
+    }
+
+    /// The program.
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs the program to convergence, returning final metadata and the
+    /// run report.
+    pub fn run(&mut self) -> Result<RunResult<P::Meta>, EngineError> {
+        let n = self.graph.num_vertices() as usize;
+        let num_edges = self.graph.num_edges();
+        let mut executor = GpuExecutor::new(self.config.device.clone());
+        executor.set_scale(self.config.parallelism_scale);
+        let mut plan = FusionPlan::new(self.config.fusion, self.config.threads_per_cta);
+        let jit = JitController::new(self.config.filter);
+
+        let (mut curr, mut frontier) = self.program.init(self.graph);
+        assert_eq!(curr.len(), n, "init must produce one metadata per vertex");
+        let mut prev = curr.clone();
+        let mut changed: Vec<VertexId> = Vec::new();
+        let mut log = ActivationLog::default();
+        let mut bins = ThreadBins::new(1, self.config.overflow_threshold);
+        let mut prev_dir = Direction::Push;
+        let mut iteration = 0u32;
+        // Per-iteration stamps for the aggregation-pull dirty marking.
+        let mut dirty_stamp: Vec<u32> = Vec::new();
+
+        loop {
+            if frontier.is_empty()
+                || self
+                    .program
+                    .converged(iteration, frontier.len() as u64, &curr)
+            {
+                break;
+            }
+            if iteration >= self.config.max_iterations {
+                return Err(EngineError::IterationLimit {
+                    max_iterations: self.config.max_iterations,
+                });
+            }
+            let cycles_before = executor.stats().total_cycles;
+
+            // 1. Direction.
+            let out_csr = self.graph.out();
+            let degree_sum: u64 = frontier.iter().map(|&v| out_csr.degree(v) as u64).sum();
+            let ctx = DirectionCtx {
+                iteration,
+                frontier_len: frontier.len() as u64,
+                frontier_degree_sum: degree_sum,
+                num_vertices: n as u64,
+                num_edges,
+                previous: prev_dir,
+            };
+            let dir = self
+                .program
+                .direction(&ctx)
+                .unwrap_or_else(|| self.heuristic_direction(&ctx));
+            let scan_csr = self.graph.csr(dir);
+
+            // 2. Worklists. Pull mode recomputes every candidate vertex;
+            // push mode expands the frontier itself.
+            let frontier_sorted = log
+                .records
+                .last()
+                .map_or(true, |r| r.filter == FilterKind::Ballot);
+            let worklists = match dir {
+                Direction::Push => {
+                    Worklists::classify(&frontier, scan_csr, self.config.thresholds)
+                }
+                Direction::Pull => {
+                    // Voting programs sweep every candidate (bottom-up
+                    // BFS scans all unvisited vertices and terminates
+                    // each scan early). Aggregation programs must visit
+                    // every in-edge of a recomputed vertex, so task
+                    // management restricts recomputation to vertices
+                    // with at least one active in-neighbor — a skipped
+                    // vertex would recompute its existing value.
+                    let mut cands = Vec::new();
+                    match self.program.combine_kind() {
+                        CombineKind::Vote => {
+                            for v in 0..n as VertexId {
+                                if self.program.pull_candidate(v, &curr[v as usize]) {
+                                    cands.push(v);
+                                }
+                            }
+                            // Candidate scan: a coalesced metadata sweep.
+                            let scan_tasks: Vec<Cost> = (0..(n as u64).div_ceil(32))
+                                .map(|_| Cost {
+                                    compute_ops: 64,
+                                    coalesced_reads: 32,
+                                    writes: 4,
+                                    width: 32,
+                                    ..Cost::default()
+                                })
+                                .collect();
+                            let k = plan.kernel(dir, KernelRole::TaskMgmt);
+                            executor.run_kernel(&k, SchedUnit::Warp, &scan_tasks, false);
+                        }
+                        CombineKind::Aggregation => {
+                            if dirty_stamp.len() != n {
+                                dirty_stamp = vec![u32::MAX; n];
+                            }
+                            let mut mark_tasks = Vec::with_capacity(frontier.len());
+                            for &v in &frontier {
+                                let nbrs = out_csr.neighbors(v);
+                                for &u in nbrs {
+                                    if dirty_stamp[u as usize] != iteration
+                                        && self
+                                            .program
+                                            .pull_candidate(u, &curr[u as usize])
+                                    {
+                                        dirty_stamp[u as usize] = iteration;
+                                        cands.push(u);
+                                    }
+                                }
+                                mark_tasks.push(Cost {
+                                    compute_ops: nbrs.len() as u64 + 1,
+                                    coalesced_reads: 1 + nbrs.len() as u64,
+                                    writes: nbrs.len() as u64,
+                                    width: 32,
+                                    ..Cost::default()
+                                });
+                            }
+                            cands.sort_unstable();
+                            let k = plan.kernel(dir, KernelRole::TaskMgmt);
+                            executor.run_kernel(&k, SchedUnit::Warp, &mark_tasks, false);
+                        }
+                    }
+                    Worklists::classify(&cands, scan_csr, self.config.thresholds)
+                }
+            };
+
+            // 3. Thread bins for the online filter, sized by the Thread
+            // kernel's (scaled) slot count.
+            let thread_kernel = plan.kernel(dir, KernelRole::Compute(SchedUnit::Thread));
+            let bin_count = executor.slots_for(&thread_kernel, SchedUnit::Thread) as usize;
+            if bins.num_threads() != bin_count
+                || bins.threshold() != self.config.overflow_threshold
+            {
+                bins = ThreadBins::new(bin_count, self.config.overflow_threshold);
+            } else {
+                bins.clear();
+            }
+            let record = jit.records_bins();
+
+            // 4. Compute kernels over the three worklists.
+            let mut task_counter = 0u64;
+            for (unit, list) in worklists.iter_units() {
+                let kernel = plan.kernel(dir, KernelRole::Compute(unit));
+                let launch = plan.needs_launch(dir);
+                let width = unit.threads(self.config.threads_per_cta) as u64;
+                let mut tasks = Vec::with_capacity(list.len());
+                for &v in list {
+                    let cost = match dir {
+                        Direction::Push => Self::push_task(
+                            &self.program,
+                            v,
+                            scan_csr,
+                            &prev,
+                            &mut curr,
+                            &mut bins,
+                            &mut changed,
+                            record,
+                            width,
+                            task_counter,
+                            frontier_sorted,
+                        ),
+                        Direction::Pull => Self::pull_task(
+                            &self.program,
+                            v,
+                            scan_csr,
+                            &prev,
+                            &mut curr,
+                            &mut bins,
+                            &mut changed,
+                            record,
+                            width,
+                            task_counter,
+                        ),
+                    };
+                    tasks.push(cost);
+                    task_counter += 1;
+                }
+                executor.run_kernel(&kernel, unit, &tasks, launch);
+            }
+            if plan.uses_global_barrier() {
+                executor.charge_barrier();
+            }
+
+            // 5. Task management under JIT control.
+            let decision = jit.decide(&bins, iteration)?;
+            let tm_kernel = plan.kernel(dir, KernelRole::TaskMgmt);
+            let tm_launch = plan.needs_launch(dir);
+            let next = match decision {
+                FilterKind::Online => {
+                    online::concatenate(&bins, &mut executor, &tm_kernel, tm_launch)
+                }
+                FilterKind::Ballot => {
+                    ballot::scan(&self.program, &curr, &prev, &mut executor, &tm_kernel, tm_launch)
+                }
+            };
+            if plan.uses_global_barrier() {
+                executor.charge_barrier();
+            }
+
+            // 6. Publish metadata_prev for the changed vertices.
+            for &v in &changed {
+                prev[v as usize] = curr[v as usize];
+            }
+            changed.clear();
+
+            log.records.push(IterationRecord {
+                iteration,
+                direction: dir,
+                frontier_len: worklists.len(),
+                degree_sum,
+                filter: decision,
+                overflowed: bins.overflowed(),
+                cycles: executor.stats().total_cycles - cycles_before,
+            });
+
+            frontier = next;
+            prev_dir = dir;
+            iteration += 1;
+        }
+
+        let elapsed_ms = executor.elapsed_ms();
+        Ok(RunResult {
+            meta: curr,
+            report: RunReport {
+                algorithm: self.program.name().to_string(),
+                device: executor.device().name,
+                iterations: iteration,
+                elapsed_ms,
+                stats: executor.stats().clone(),
+                log,
+            },
+        })
+    }
+
+    /// Frontier-volume direction heuristic (Beamer-style): pull when the
+    /// frontier's out-degree volume exceeds `|E| / alpha`.
+    ///
+    /// The divisor only applies to voting programs, whose pull
+    /// iterations terminate early at the first useful parent (§3.3's
+    /// collaborative early termination makes a pull sweep much cheaper
+    /// than |E|). Aggregation programs must visit every in-edge of every
+    /// candidate, so pull can only win once the push volume exceeds the
+    /// full sweep itself.
+    fn heuristic_direction(&self, ctx: &DirectionCtx) -> Direction {
+        match self.config.direction {
+            DirectionPolicy::FixedPush => Direction::Push,
+            DirectionPolicy::FixedPull => Direction::Pull,
+            DirectionPolicy::Adaptive { alpha } => {
+                let alpha = match self.program.combine_kind() {
+                    CombineKind::Vote => alpha,
+                    CombineKind::Aggregation => 1,
+                };
+                if ctx.frontier_degree_sum.saturating_mul(alpha) > ctx.num_edges {
+                    Direction::Pull
+                } else {
+                    Direction::Push
+                }
+            }
+        }
+    }
+
+    /// Processes one push-mode task (active vertex `v` scatters along
+    /// its out-edges), returning the slot-scaled cost.
+    ///
+    /// BSP semantics: source metadata is read from the iteration-start
+    /// snapshot (`prev`), destination metadata is read from and written
+    /// to `curr` — in-iteration updates accumulate at destinations but
+    /// never propagate transitively within an iteration, matching the
+    /// synchronization of Fig. 4(b).
+    #[allow(clippy::too_many_arguments)]
+    fn push_task(
+        program: &P,
+        v: VertexId,
+        csr: &Csr,
+        prev: &[P::Meta],
+        curr: &mut [P::Meta],
+        bins: &mut ThreadBins,
+        changed: &mut Vec<VertexId>,
+        record: bool,
+        width: u64,
+        task_counter: u64,
+        frontier_sorted: bool,
+    ) -> Cost {
+        let (lo, hi) = csr.range(v);
+        let d = (hi - lo) as u64;
+        let m_src = prev[v as usize];
+        let mut applied = 0u64;
+        let bin_base = (task_counter * width) as usize;
+        for i in lo..hi {
+            let u = csr.targets()[i];
+            let w = csr.weights().map_or(1, |ws| ws[i]);
+            if let Some(up) = program.compute(v, u, w, &m_src, &curr[u as usize]) {
+                // First-change detection: a vertex is enqueued exactly
+                // once per iteration even when several sources update it
+                // (duplicate frontier entries would double-apply
+                // non-idempotent aggregations like k-Core's decrements).
+                let first_change = curr[u as usize] == prev[u as usize];
+                if let Some(new) = program.apply(u, &curr[u as usize], up) {
+                    curr[u as usize] = new;
+                    applied += 1;
+                    if first_change {
+                        changed.push(u);
+                        if record && program.activates(u, &new) {
+                            bins.record(bin_base + (i - lo) % width as usize, u);
+                        }
+                    }
+                }
+            }
+        }
+        Cost {
+            compute_ops: 2 * d + 2 + Self::tree_ops(width),
+            coalesced_reads: d + if frontier_sorted { 1 } else { 0 },
+            random_reads: d + if frontier_sorted { 0 } else { 1 },
+            writes: applied,
+            width,
+            ..Cost::default()
+        }
+    }
+
+    /// Processes one pull-mode task (candidate vertex `v` gathers along
+    /// its in-edges, combining updates warp-locally before a single
+    /// non-atomic write — Fig. 4(b) lines 1-8).
+    #[allow(clippy::too_many_arguments)]
+    fn pull_task(
+        program: &P,
+        v: VertexId,
+        csr: &Csr,
+        prev: &[P::Meta],
+        curr: &mut [P::Meta],
+        bins: &mut ThreadBins,
+        changed: &mut Vec<VertexId>,
+        record: bool,
+        width: u64,
+        task_counter: u64,
+    ) -> Cost {
+        let (lo, hi) = csr.range(v);
+        let m_dst = curr[v as usize];
+        let vote = program.combine_kind() == CombineKind::Vote;
+        let mut acc: Option<P::Update> = None;
+        let mut scanned = 0u64;
+        for i in lo..hi {
+            scanned += 1;
+            let u = csr.targets()[i];
+            let w = csr.weights().map_or(1, |ws| ws[i]);
+            if let Some(up) = program.compute(u, v, w, &prev[u as usize], &m_dst) {
+                acc = Some(match acc {
+                    None => up,
+                    Some(a) => program.combine(a, up),
+                });
+                if vote {
+                    // Collaborative early termination: for voting
+                    // combines any single update decides the vertex.
+                    break;
+                }
+            }
+        }
+        let mut applied = 0u64;
+        if let Some(up) = acc {
+            let first_change = curr[v as usize] == prev[v as usize];
+            if let Some(new) = program.apply(v, &curr[v as usize], up) {
+                curr[v as usize] = new;
+                applied = 1;
+                if first_change {
+                    changed.push(v);
+                    if record && program.activates(v, &new) {
+                        bins.record((task_counter * width) as usize, v);
+                    }
+                }
+            }
+        }
+        Cost {
+            compute_ops: 2 * scanned + 2 + Self::tree_ops(width),
+            coalesced_reads: 1 + scanned,
+            random_reads: scanned,
+            writes: applied,
+            width,
+            ..Cost::default()
+        }
+    }
+
+    /// ALU cost of the cross-lane Combine tree: `log2(width)` shuffle
+    /// steps per lane (Fig. 4(b) line 5's cross-warp Combine).
+    fn tree_ops(width: u64) -> u64 {
+        if width <= 1 {
+            0
+        } else {
+            (64 - u64::leading_zeros(width) as u64) * width / 8
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acc::CombineKind;
+    use crate::config::FilterPolicy;
+    use crate::fusion::FusionStrategy;
+    use simdx_graph::{EdgeList, Weight};
+
+    /// BFS-like vote program over levels, used to exercise the engine
+    /// end to end without depending on `simdx-algos`.
+    struct Levels {
+        src: VertexId,
+    }
+
+    impl AccProgram for Levels {
+        type Meta = u32;
+        type Update = u32;
+
+        fn name(&self) -> &'static str {
+            "levels"
+        }
+
+        fn combine_kind(&self) -> CombineKind {
+            CombineKind::Vote
+        }
+
+        fn init(&self, g: &Graph) -> (Vec<u32>, Vec<VertexId>) {
+            let mut meta = vec![u32::MAX; g.num_vertices() as usize];
+            meta[self.src as usize] = 0;
+            (meta, vec![self.src])
+        }
+
+        fn compute(
+            &self,
+            _src: VertexId,
+            _dst: VertexId,
+            _w: Weight,
+            m_src: &u32,
+            m_dst: &u32,
+        ) -> Option<u32> {
+            if *m_src == u32::MAX || *m_dst != u32::MAX {
+                return None;
+            }
+            Some(m_src + 1)
+        }
+
+        fn combine(&self, a: u32, b: u32) -> u32 {
+            a.min(b)
+        }
+
+        fn apply(&self, _v: VertexId, current: &u32, update: u32) -> Option<u32> {
+            (update < *current).then_some(update)
+        }
+
+        fn pull_candidate(&self, _v: VertexId, meta: &u32) -> bool {
+            *meta == u32::MAX
+        }
+    }
+
+    fn path_graph(n: u32) -> Graph {
+        Graph::undirected_from_edges(EdgeList::from_pairs(
+            (0..n - 1).map(|i| (i, i + 1)).collect(),
+        ))
+    }
+
+    fn run_levels(g: &Graph, config: EngineConfig) -> RunResult<u32> {
+        Engine::new(Levels { src: 0 }, g, config)
+            .run()
+            .expect("engine run")
+    }
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let g = path_graph(10);
+        let r = run_levels(&g, EngineConfig::unscaled());
+        assert_eq!(r.meta, (0..10).collect::<Vec<u32>>());
+        // Nine discovery levels plus the final empty-frontier iteration.
+        assert_eq!(r.report.iterations, 10);
+        assert!(r.report.elapsed_ms > 0.0);
+    }
+
+    #[test]
+    fn all_filter_policies_agree_on_result() {
+        let g = path_graph(64);
+        let base = run_levels(&g, EngineConfig::unscaled()).meta;
+        for policy in [FilterPolicy::Jit, FilterPolicy::BallotOnly, FilterPolicy::OnlineOnly] {
+            let r = run_levels(&g, EngineConfig::unscaled().with_filter(policy));
+            assert_eq!(r.meta, base, "policy {policy:?} diverged");
+        }
+    }
+
+    #[test]
+    fn all_fusion_strategies_agree_on_result() {
+        let g = path_graph(64);
+        let base = run_levels(&g, EngineConfig::unscaled()).meta;
+        for fusion in [FusionStrategy::None, FusionStrategy::All, FusionStrategy::PushPull] {
+            let r = run_levels(&g, EngineConfig::unscaled().with_fusion(fusion));
+            assert_eq!(r.meta, base, "fusion {fusion:?} diverged");
+        }
+    }
+
+    #[test]
+    fn fusion_reduces_kernel_launches() {
+        let g = path_graph(200);
+        let none = run_levels(&g, EngineConfig::unscaled().with_fusion(FusionStrategy::None));
+        let pp = run_levels(&g, EngineConfig::unscaled().with_fusion(FusionStrategy::PushPull));
+        let all = run_levels(&g, EngineConfig::unscaled().with_fusion(FusionStrategy::All));
+        // Unfused: 4 launches per iteration. Fused: a handful total.
+        assert!(none.report.kernel_launches() >= 4 * none.report.iterations as u64);
+        assert!(pp.report.kernel_launches() <= 6);
+        assert_eq!(all.report.kernel_launches(), 1);
+        // Fused strategies pay barriers instead.
+        assert_eq!(none.report.barrier_passes(), 0);
+        assert!(pp.report.barrier_passes() >= 2 * pp.report.iterations as u64);
+    }
+
+    #[test]
+    fn non_fused_is_slower_on_iteration_heavy_graphs() {
+        // A long path = thousands of tiny iterations: launch overhead
+        // dominates, fusion wins (the §7.2 BFS-on-ER effect).
+        let g = path_graph(400);
+        let none = run_levels(&g, EngineConfig::unscaled().with_fusion(FusionStrategy::None));
+        let pp = run_levels(&g, EngineConfig::unscaled().with_fusion(FusionStrategy::PushPull));
+        assert!(
+            none.report.elapsed_ms > pp.report.elapsed_ms * 2.0,
+            "non-fused {} vs push-pull {}",
+            none.report.elapsed_ms,
+            pp.report.elapsed_ms
+        );
+    }
+
+    #[test]
+    fn online_only_overflows_on_wide_fanout() {
+        // A star graph: one CTA task activates every leaf at once, far
+        // over its lanes' bin thresholds (the Twitter hub effect of §4).
+        let leaves = 10_000u32;
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(
+            (1..=leaves).map(|i| (0, i)).collect(),
+        ));
+        let cfg = EngineConfig::unscaled()
+            .with_filter(FilterPolicy::OnlineOnly)
+            .with_direction(DirectionPolicy::FixedPush);
+        let err = Engine::new(Levels { src: 0 }, &g, cfg).run().unwrap_err();
+        assert!(matches!(err, EngineError::OnlineOverflow { iteration: 0 }));
+
+        // JIT handles the same graph by switching to ballot.
+        let cfg = EngineConfig::unscaled()
+            .with_filter(FilterPolicy::Jit)
+            .with_direction(DirectionPolicy::FixedPush);
+        let r = Engine::new(Levels { src: 0 }, &g, cfg).run().expect("jit run");
+        assert_eq!(r.report.log.records[0].filter, FilterKind::Ballot);
+        assert!(r.report.log.records[0].overflowed);
+        assert_eq!(r.meta[1], 1);
+    }
+
+    #[test]
+    fn ballot_only_charges_scan_every_iteration() {
+        // A long path at the twin device scale: tiny frontiers, many
+        // iterations — the V-proportional scan makes ballot-only slower
+        // (the Fig. 12 road-graph effect).
+        let g = path_graph(2048);
+        let mut cfg = EngineConfig::default();
+        cfg.max_iterations = 10_000;
+        let jit = run_levels(&g, cfg.clone());
+        let ballot = run_levels(&g, cfg.with_filter(FilterPolicy::BallotOnly));
+        assert!(
+            ballot.report.elapsed_ms > jit.report.elapsed_ms,
+            "ballot {} <= jit {}",
+            ballot.report.elapsed_ms,
+            jit.report.elapsed_ms
+        );
+        assert_eq!(ballot.report.ballot_iterations(), ballot.report.iterations);
+        assert_eq!(jit.report.ballot_iterations(), 0);
+    }
+
+    #[test]
+    fn direction_switches_to_pull_mid_bfs() {
+        // A dense-ish random graph so the mid frontier carries most of
+        // the edge volume.
+        let mut edges = Vec::new();
+        let n = 256u32;
+        for v in 0..n {
+            for k in 1..=8 {
+                edges.push((v, (v * 7 + k * 13) % n));
+            }
+        }
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(edges));
+        let r = run_levels(&g, EngineConfig::unscaled());
+        let dirs: Vec<Direction> = r.report.log.records.iter().map(|x| x.direction).collect();
+        assert_eq!(dirs.first(), Some(&Direction::Push), "starts pushing");
+        assert!(
+            dirs.contains(&Direction::Pull),
+            "high-volume frontier should trigger pull, got {dirs:?}"
+        );
+    }
+
+    #[test]
+    fn iteration_limit_enforced() {
+        let g = path_graph(50);
+        let mut cfg = EngineConfig::unscaled();
+        cfg.max_iterations = 3;
+        let err = Engine::new(Levels { src: 0 }, &g, cfg).run().unwrap_err();
+        assert_eq!(err, EngineError::IterationLimit { max_iterations: 3 });
+    }
+
+    #[test]
+    fn isolated_source_terminates_immediately() {
+        let mut el = EdgeList::new(4);
+        el.push(1, 2);
+        let g = Graph::directed_from_edges(el);
+        let r = run_levels(&g, EngineConfig::unscaled());
+        // Source 0 has no out-edges: one iteration processes it and
+        // activates nothing.
+        assert_eq!(r.meta[0], 0);
+        assert_eq!(r.meta[2], u32::MAX);
+        assert!(r.report.iterations <= 1);
+    }
+
+    #[test]
+    fn activation_log_is_complete() {
+        let g = path_graph(20);
+        let r = run_levels(
+            &g,
+            EngineConfig::unscaled().with_direction(DirectionPolicy::FixedPush),
+        );
+        assert_eq!(r.report.log.iterations(), r.report.iterations);
+        for (i, rec) in r.report.log.records.iter().enumerate() {
+            assert_eq!(rec.iteration, i as u32);
+            assert!(rec.cycles > 0);
+            assert_eq!(rec.frontier_len, 1);
+        }
+    }
+}

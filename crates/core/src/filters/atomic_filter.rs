@@ -1,0 +1,82 @@
+//! The atomic filter baseline (§8).
+//!
+//! Luo et al.'s BFS frontier construction: every thread that activates a
+//! vertex appends it to a single global worklist through an atomically
+//! incremented tail pointer. All appends contend on one counter, so the
+//! enqueue serializes — the paper reports "orders of magnitude slow
+//! down" versus the online filter. Functionally the output equals the
+//! online filter's concatenation (unsorted, possibly redundant).
+
+use simdx_graph::VertexId;
+use simdx_gpu::{Cost, GpuExecutor, KernelDesc, SchedUnit};
+
+/// Collects `records` into a global list through a contended atomic
+/// tail pointer, charging the serialized cost.
+pub fn collect(
+    records: &[VertexId],
+    executor: &mut GpuExecutor,
+    kernel: &KernelDesc,
+    launch: bool,
+) -> Vec<VertexId> {
+    let n = records.len() as u64;
+    // Every append performs one atomic on the *same* counter; all but
+    // the first conflict. One task models the serialized tail: the
+    // atomics cannot overlap regardless of available slots.
+    let tasks = [Cost {
+        atomics: n,
+        atomic_conflicts: n.saturating_sub(1),
+        writes: n,
+        ..Cost::default()
+    }];
+    executor.run_kernel(kernel, SchedUnit::Thread, &tasks, launch);
+    records.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::online;
+    use crate::frontier::ThreadBins;
+    use simdx_gpu::DeviceSpec;
+
+    fn setup() -> (GpuExecutor, KernelDesc) {
+        (
+            GpuExecutor::new(DeviceSpec::k40()),
+            KernelDesc::new("taskmgmt", 24),
+        )
+    }
+
+    #[test]
+    fn output_preserves_records() {
+        let (mut ex, k) = setup();
+        let out = collect(&[4, 4, 9, 1], &mut ex, &k, false);
+        assert_eq!(out, vec![4, 4, 9, 1]);
+    }
+
+    #[test]
+    fn atomic_collection_is_much_slower_than_online_concat() {
+        let (mut ex_a, k) = setup();
+        let records: Vec<VertexId> = (0..50_000).map(|i| i % 1000).collect();
+        collect(&records, &mut ex_a, &k, false);
+
+        let mut bins = ThreadBins::new(512, usize::MAX);
+        for (i, &v) in records.iter().enumerate() {
+            bins.record(i % 512, v);
+        }
+        let (mut ex_o, _) = setup();
+        online::concatenate(&bins, &mut ex_o, &k, false);
+
+        let ratio = ex_a.stats().total_cycles as f64 / ex_o.stats().total_cycles as f64;
+        assert!(
+            ratio > 50.0,
+            "atomic filter should serialize orders of magnitude slower, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn empty_records_are_cheap() {
+        let (mut ex, k) = setup();
+        let out = collect(&[], &mut ex, &k, false);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! SIMD-X core: the ACC programming model, just-in-time task management
+//! and push-pull based kernel fusion over the simulated GPU.
+//!
+//! The crate mirrors the paper's architecture diagram (Fig. 3):
+//!
+//! ```text
+//!          BFS  BP  k-Core  PageRank  SpMV  SSSP   (simdx-algos)
+//!        ┌──────────────────────────────────────┐
+//!        │        ACC programming model          │  acc
+//!        ├──────────────────┬───────────────────┤
+//!        │ Just-in-time     │ Push-pull based   │  jit, filters /
+//!        │ task management  │ kernel fusion     │  fusion
+//!        │ online + ballot  │ deadlock-free     │
+//!        │ filters, JIT ctl │ global barrier    │
+//!        └──────────────────┴───────────────────┘
+//!                      GPU (simdx-gpu)
+//! ```
+//!
+//! # Example: running a program
+//!
+//! ```
+//! use simdx_core::prelude::*;
+//! use simdx_graph::{EdgeList, Graph, VertexId, Weight};
+//!
+//! // A 4-vertex cycle and a trivial "levels" vote program.
+//! struct Levels;
+//! impl AccProgram for Levels {
+//!     type Meta = u32;
+//!     type Update = u32;
+//!     fn name(&self) -> &'static str { "levels" }
+//!     fn combine_kind(&self) -> CombineKind { CombineKind::Vote }
+//!     fn init(&self, g: &Graph) -> (Vec<u32>, Vec<VertexId>) {
+//!         let mut m = vec![u32::MAX; g.num_vertices() as usize];
+//!         m[0] = 0;
+//!         (m, vec![0])
+//!     }
+//!     fn compute(&self, _s: VertexId, _d: VertexId, _w: Weight,
+//!                ms: &u32, md: &u32) -> Option<u32> {
+//!         (*ms != u32::MAX && *md == u32::MAX).then(|| ms + 1)
+//!     }
+//!     fn combine(&self, a: u32, b: u32) -> u32 { a.min(b) }
+//!     fn apply(&self, _v: VertexId, c: &u32, u: u32) -> Option<u32> {
+//!         (u < *c).then_some(u)
+//!     }
+//! }
+//!
+//! let g = Graph::directed_from_edges(
+//!     EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 3)]));
+//! let result = Engine::new(Levels, &g, EngineConfig::unscaled())
+//!     .run()
+//!     .expect("run succeeds");
+//! assert_eq!(result.meta, vec![0, 1, 2, 3]);
+//! ```
+
+pub mod acc;
+pub mod config;
+pub mod engine;
+pub mod filters;
+pub mod frontier;
+pub mod fusion;
+pub mod jit;
+pub mod metrics;
+
+pub use acc::{AccProgram, CombineKind, DirectionCtx};
+pub use config::{DirectionPolicy, EngineConfig, FilterPolicy};
+pub use engine::Engine;
+pub use filters::FilterKind;
+pub use fusion::FusionStrategy;
+pub use jit::{ActivationLog, EngineError};
+pub use metrics::{RunReport, RunResult};
+
+/// Convenience re-exports for programs and harnesses.
+pub mod prelude {
+    pub use crate::acc::{AccProgram, CombineKind, DirectionCtx};
+    pub use crate::config::{DirectionPolicy, EngineConfig, FilterPolicy};
+    pub use crate::engine::Engine;
+    pub use crate::fusion::FusionStrategy;
+    pub use crate::jit::EngineError;
+    pub use crate::metrics::{RunReport, RunResult};
+}

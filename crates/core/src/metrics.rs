@@ -1,0 +1,52 @@
+//! Run-level reports returned by the engine.
+
+use crate::jit::ActivationLog;
+use simdx_gpu::executor::ExecutorStats;
+
+/// Everything the evaluation harness needs from one engine run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Device name.
+    pub device: &'static str,
+    /// BSP iterations executed.
+    pub iterations: u32,
+    /// Simulated wall time in milliseconds.
+    pub elapsed_ms: f64,
+    /// Raw executor statistics (cycles, launches, barriers, traffic).
+    pub stats: ExecutorStats,
+    /// Per-iteration activation log (Fig. 8 data).
+    pub log: ActivationLog,
+}
+
+impl RunReport {
+    /// Kernel launches charged during the run.
+    pub fn kernel_launches(&self) -> u64 {
+        self.stats.kernel_launches
+    }
+
+    /// Global-barrier passes charged during the run.
+    pub fn barrier_passes(&self) -> u64 {
+        self.stats.barrier_passes
+    }
+
+    /// Total simulated cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.stats.total_cycles
+    }
+
+    /// Iterations that used the ballot filter.
+    pub fn ballot_iterations(&self) -> u32 {
+        self.log.ballot_iterations()
+    }
+}
+
+/// A finished run: final metadata plus its report.
+#[derive(Clone, Debug)]
+pub struct RunResult<M> {
+    /// Final per-vertex metadata (the "distance array" of Fig. 1).
+    pub meta: Vec<M>,
+    /// Performance and behaviour report.
+    pub report: RunReport,
+}

@@ -1,0 +1,229 @@
+//! The cycle cost model.
+//!
+//! [`Cost`] is the unit of work the engine charges to a scheduling slot
+//! (a simulated thread, warp or CTA); [`CostModel`] converts it to
+//! cycles. The constants are calibration knobs, not measurements — they
+//! are chosen so that the *ratios* the paper's evaluation depends on
+//! hold: an uncoalesced access costs a full transaction while a
+//! coalesced one amortizes over 32 lanes; an atomic costs more than a
+//! plain write and serializes under contention; a kernel launch costs
+//! microseconds while a barrier costs sub-microsecond.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated cycles.
+pub type CycleCount = u64;
+
+/// Work performed by one scheduled task, in model units.
+///
+/// Element counts are the task's *total* work. `width` is the number of
+/// lanes cooperating on the task (1 for a thread task, 32 for a warp
+/// task, the CTA width for a CTA task): elapsed cycles divide by it,
+/// while memory traffic — which is physical bytes moved — does not.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cost {
+    /// ALU operations (comparisons, adds, lane shuffles).
+    pub compute_ops: u64,
+    /// Elements read with warp-coalesced addressing.
+    pub coalesced_reads: u64,
+    /// Elements read with scattered addressing (one transaction each).
+    pub random_reads: u64,
+    /// Elements written (assumed scattered unless noted otherwise).
+    pub writes: u64,
+    /// Atomic read-modify-write operations.
+    pub atomics: u64,
+    /// Extra serialization on atomics: number of *conflicting* ops that
+    /// had to retry/serialize behind this slot's atomics.
+    pub atomic_conflicts: u64,
+    /// Cooperating lanes executing this task in parallel.
+    pub width: u64,
+}
+
+impl Default for Cost {
+    fn default() -> Self {
+        Self {
+            compute_ops: 0,
+            coalesced_reads: 0,
+            random_reads: 0,
+            writes: 0,
+            atomics: 0,
+            atomic_conflicts: 0,
+            width: 1,
+        }
+    }
+}
+
+impl Cost {
+    /// A pure-compute cost.
+    pub fn compute(ops: u64) -> Self {
+        Self {
+            compute_ops: ops,
+            ..Self::default()
+        }
+    }
+
+    /// Builder: sets the cooperating lane count.
+    pub fn with_width(mut self, width: u64) -> Self {
+        self.width = width.max(1);
+        self
+    }
+
+    /// Component-wise sum (keeps the wider of the two widths).
+    pub fn add(&self, other: &Cost) -> Cost {
+        Cost {
+            compute_ops: self.compute_ops + other.compute_ops,
+            coalesced_reads: self.coalesced_reads + other.coalesced_reads,
+            random_reads: self.random_reads + other.random_reads,
+            writes: self.writes + other.writes,
+            atomics: self.atomics + other.atomics,
+            atomic_conflicts: self.atomic_conflicts + other.atomic_conflicts,
+            width: self.width.max(other.width),
+        }
+    }
+
+    /// Bytes this cost moves through global memory.
+    ///
+    /// Coalesced elements cost their 4 bytes. Scattered accesses fetch a
+    /// 128-byte transaction but the L2 cache recovers most of the waste
+    /// on graph workloads (neighbor metadata exhibits strong reuse), so
+    /// they are charged a quarter transaction; atomics, which bypass
+    /// part of the hierarchy, are charged half.
+    pub fn bytes(&self) -> u64 {
+        self.coalesced_reads * 4
+            + self.random_reads * crate::memory::TRANSACTION_BYTES / 4
+            + self.writes * crate::memory::TRANSACTION_BYTES / 4
+            + self.atomics * crate::memory::TRANSACTION_BYTES / 2
+    }
+}
+
+/// Converts [`Cost`] units to cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cycles per ALU op.
+    pub cycles_per_op: u64,
+    /// Cycles per coalesced element (transaction cost amortized over a
+    /// warp: 128 B / 32 lanes at ~1 cycle per 4 B element).
+    pub cycles_per_coalesced_elem: u64,
+    /// Cycles per scattered element (a whole transaction's latency slice).
+    pub cycles_per_random_elem: u64,
+    /// Cycles per written element.
+    pub cycles_per_write: u64,
+    /// Base cycles per atomic.
+    pub cycles_per_atomic: u64,
+    /// Additional cycles per conflicting atomic (serialization).
+    pub cycles_per_atomic_conflict: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            cycles_per_op: 1,
+            cycles_per_coalesced_elem: 1,
+            cycles_per_random_elem: 16,
+            cycles_per_write: 4,
+            cycles_per_atomic: 32,
+            cycles_per_atomic_conflict: 24,
+        }
+    }
+}
+
+impl CostModel {
+    /// Raw cycles for `cost`'s total work, ignoring lane cooperation.
+    pub fn raw_cycles(&self, cost: &Cost) -> CycleCount {
+        cost.compute_ops * self.cycles_per_op
+            + cost.coalesced_reads * self.cycles_per_coalesced_elem
+            + cost.random_reads * self.cycles_per_random_elem
+            + cost.writes * self.cycles_per_write
+            + cost.atomics * self.cycles_per_atomic
+            + cost.atomic_conflicts * self.cycles_per_atomic_conflict
+    }
+
+    /// Cycles charged to the owning slot: total work divided across the
+    /// task's cooperating lanes.
+    pub fn cycles(&self, cost: &Cost) -> CycleCount {
+        self.raw_cycles(cost).div_ceil(cost.width.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_reads_cost_more_than_coalesced() {
+        let m = CostModel::default();
+        let coalesced = Cost {
+            coalesced_reads: 32,
+            ..Default::default()
+        };
+        let random = Cost {
+            random_reads: 32,
+            ..Default::default()
+        };
+        assert!(m.cycles(&random) >= m.cycles(&coalesced) * 8);
+    }
+
+    #[test]
+    fn atomics_cost_more_than_writes() {
+        let m = CostModel::default();
+        let w = Cost {
+            writes: 10,
+            ..Default::default()
+        };
+        let a = Cost {
+            atomics: 10,
+            ..Default::default()
+        };
+        assert!(m.cycles(&a) > m.cycles(&w));
+    }
+
+    #[test]
+    fn conflicts_serialize() {
+        let m = CostModel::default();
+        let free = Cost {
+            atomics: 10,
+            ..Default::default()
+        };
+        let contended = Cost {
+            atomics: 10,
+            atomic_conflicts: 9,
+            ..Default::default()
+        };
+        assert!(m.cycles(&contended) > m.cycles(&free));
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let a = Cost {
+            compute_ops: 1,
+            coalesced_reads: 2,
+            random_reads: 3,
+            writes: 4,
+            atomics: 5,
+            atomic_conflicts: 6,
+            ..Cost::default()
+        };
+        let s = a.add(&a);
+        assert_eq!(s.compute_ops, 2);
+        assert_eq!(s.atomic_conflicts, 12);
+        let m = CostModel::default();
+        assert_eq!(m.cycles(&s), 2 * m.cycles(&a));
+    }
+
+    #[test]
+    fn zero_cost_is_zero_cycles() {
+        assert_eq!(CostModel::default().cycles(&Cost::default()), 0);
+    }
+
+    #[test]
+    fn width_divides_cycles_not_bytes() {
+        let m = CostModel::default();
+        let narrow = Cost {
+            random_reads: 64,
+            ..Cost::default()
+        };
+        let wide = narrow.with_width(32);
+        assert_eq!(m.cycles(&narrow), 32 * m.cycles(&wide));
+        assert_eq!(narrow.bytes(), wide.bytes());
+    }
+}

@@ -1,0 +1,367 @@
+//! The simulated executor: schedules kernel work over the device and
+//! accumulates simulated time.
+//!
+//! A kernel invocation is a bag of per-task [`Cost`]s, one per
+//! scheduling unit (thread / warp / CTA, per §4's thread-assignment
+//! step). The executor:
+//!
+//! 1. derives the parallel slot count from the kernel's occupancy
+//!    (Equation 1) and the scheduling granularity,
+//! 2. assigns tasks to slots statically and cyclically — the same
+//!    oblivious assignment a grid-stride CUDA loop performs — so skewed
+//!    task costs produce exactly the load imbalance the paper's
+//!    Thread/Warp/CTA classification exists to fight,
+//! 3. takes the kernel's elapsed time as the slowest slot's cycle sum,
+//!    floored by the device's aggregate memory bandwidth,
+//! 4. adds the launch overhead if this invocation was an actual kernel
+//!    launch (fused kernels pay a barrier instead; see §5).
+
+use crate::cost::{Cost, CostModel, CycleCount};
+use crate::device::DeviceSpec;
+use crate::kernel::{KernelDesc, SchedUnit};
+use crate::memory::TrafficCounter;
+use crate::occupancy::occupancy;
+
+/// Outcome of one simulated kernel invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelReport {
+    /// Kernel name.
+    pub name: String,
+    /// Scheduling granularity used.
+    pub unit: SchedUnit,
+    /// Number of tasks processed.
+    pub tasks: u64,
+    /// Parallel slots available at this granularity.
+    pub slots: u64,
+    /// Slowest-slot cycles (load imbalance shows up here).
+    pub makespan_cycles: CycleCount,
+    /// Bandwidth-floor cycles (total bytes / device bytes-per-cycle).
+    pub bandwidth_floor_cycles: CycleCount,
+    /// Final elapsed cycles charged, including launch overhead.
+    pub elapsed_cycles: CycleCount,
+    /// Whether a host-side launch overhead was charged.
+    pub launched: bool,
+}
+
+/// Cumulative statistics across an executor's lifetime.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Total simulated cycles.
+    pub total_cycles: CycleCount,
+    /// Number of kernel launches charged.
+    pub kernel_launches: u64,
+    /// Number of global-barrier passes charged.
+    pub barrier_passes: u64,
+    /// Number of kernel invocations (launched or fused-in).
+    pub kernel_invocations: u64,
+    /// Aggregate memory traffic.
+    pub traffic: TrafficCounter,
+}
+
+/// The simulated GPU executor.
+#[derive(Clone, Debug)]
+pub struct GpuExecutor {
+    device: DeviceSpec,
+    model: CostModel,
+    stats: ExecutorStats,
+    scale: u32,
+}
+
+impl GpuExecutor {
+    /// Creates an executor with the default cost model.
+    pub fn new(device: DeviceSpec) -> Self {
+        Self {
+            device,
+            model: CostModel::default(),
+            stats: ExecutorStats::default(),
+            scale: 1,
+        }
+    }
+
+    /// Creates an executor with a custom cost model.
+    pub fn with_model(device: DeviceSpec, model: CostModel) -> Self {
+        Self {
+            device,
+            model,
+            stats: ExecutorStats::default(),
+            scale: 1,
+        }
+    }
+
+    /// Sets the *device scale divisor* for scaled-down dataset twins.
+    ///
+    /// Running a 1/64-scale graph against a full-size device would
+    /// distort every ratio the evaluation depends on (fixed launch and
+    /// barrier costs vs per-iteration work, bin capacity vs frontier
+    /// volume, scan cost vs compute). Dividing the device's parallel
+    /// slot count and aggregate bandwidth by the dataset scale factor
+    /// restores the paper-scale ratios while preserving all *relative*
+    /// occupancy effects between kernels (register pressure, fusion).
+    /// See DESIGN.md §2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn set_scale(&mut self, scale: u32) {
+        assert!(scale > 0, "scale divisor must be positive");
+        self.scale = scale;
+    }
+
+    /// The current device scale divisor.
+    pub fn scale(&self) -> u32 {
+        self.scale
+    }
+
+    /// Parallel slots available to `kernel` at granularity `unit`,
+    /// after occupancy and device scaling.
+    pub fn slots_for(&self, kernel: &KernelDesc, unit: SchedUnit) -> u64 {
+        let occ = occupancy(&self.device, kernel);
+        let unit_threads = unit.threads(kernel.threads_per_cta) as u64;
+        (occ.resident_threads / unit_threads / self.scale as u64).max(1)
+    }
+
+    /// The device being simulated.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The cost model in force.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Cumulative statistics so far.
+    pub fn stats(&self) -> &ExecutorStats {
+        &self.stats
+    }
+
+    /// Resets the statistics, keeping device and model.
+    pub fn reset(&mut self) {
+        self.stats = ExecutorStats::default();
+    }
+
+    /// Total simulated milliseconds so far.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.device.cycles_to_ms(self.stats.total_cycles)
+    }
+
+    /// Charges one software-global-barrier pass.
+    pub fn charge_barrier(&mut self) {
+        self.stats.barrier_passes += 1;
+        self.stats.total_cycles += self.device.barrier_cycles;
+    }
+
+    /// Charges host-side cycles that are serial with the GPU (e.g. the
+    /// CPU-side decision logic between unfused kernel launches).
+    pub fn charge_host_cycles(&mut self, cycles: CycleCount) {
+        self.stats.total_cycles += cycles;
+    }
+
+    /// Runs one kernel invocation over `tasks`, one cost per scheduling
+    /// unit. `launch` selects whether a host launch overhead is paid
+    /// (true for unfused kernels; false for work executed inside an
+    /// already-running fused kernel).
+    pub fn run_kernel(
+        &mut self,
+        kernel: &KernelDesc,
+        unit: SchedUnit,
+        tasks: &[Cost],
+        launch: bool,
+    ) -> KernelReport {
+        let slots = self.slots_for(kernel, unit);
+        // Bandwidth saturation: a kernel resident below the device's
+        // latency-hiding threshold reaches only a fraction of peak.
+        let occ = occupancy(&self.device, kernel);
+        let saturation = (occ.resident_threads as f64
+            / self.device.saturation_threads.max(1) as f64)
+            .min(1.0);
+
+        // Static cyclic assignment: task i runs on slot i % slots.
+        let active_slots = slots.min(tasks.len() as u64).max(1) as usize;
+        let mut slot_cycles = vec![0u64; active_slots];
+        let mut traffic = TrafficCounter::default();
+        let mut total_bytes = 0u64;
+        for (i, cost) in tasks.iter().enumerate() {
+            slot_cycles[i % active_slots] += self.model.cycles(cost);
+            total_bytes += cost.bytes();
+            traffic.coalesced_reads += cost.coalesced_reads.div_ceil(32);
+            traffic.random_reads += cost.random_reads;
+            traffic.writes += cost.writes;
+            traffic.atomics += cost.atomics;
+        }
+        let makespan = slot_cycles.iter().copied().max().unwrap_or(0);
+        let bandwidth_floor = (total_bytes as f64 * self.scale as f64
+            / (self.device.bytes_per_cycle as f64 * saturation))
+            as u64;
+        let mut elapsed = makespan.max(bandwidth_floor);
+        if launch {
+            elapsed += self.device.kernel_launch_cycles;
+            self.stats.kernel_launches += 1;
+        }
+
+        self.stats.kernel_invocations += 1;
+        self.stats.total_cycles += elapsed;
+        self.stats.traffic.add(&traffic);
+
+        KernelReport {
+            name: kernel.name.clone(),
+            unit,
+            tasks: tasks.len() as u64,
+            slots,
+            makespan_cycles: makespan,
+            bandwidth_floor_cycles: bandwidth_floor,
+            elapsed_cycles: elapsed,
+            launched: launch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn executor() -> GpuExecutor {
+        GpuExecutor::new(DeviceSpec::k40())
+    }
+
+    fn kernel() -> KernelDesc {
+        KernelDesc::new("test", 32)
+    }
+
+    #[test]
+    fn empty_kernel_costs_only_launch() {
+        let mut ex = executor();
+        let r = ex.run_kernel(&kernel(), SchedUnit::Thread, &[], true);
+        assert_eq!(r.elapsed_cycles, ex.device().kernel_launch_cycles);
+        assert_eq!(ex.stats().kernel_launches, 1);
+    }
+
+    #[test]
+    fn fused_invocation_skips_launch_overhead() {
+        let mut ex = executor();
+        let tasks = vec![Cost::compute(100); 10];
+        let launched = ex.run_kernel(&kernel(), SchedUnit::Thread, &tasks, true);
+        ex.reset();
+        let fused = ex.run_kernel(&kernel(), SchedUnit::Thread, &tasks, false);
+        assert_eq!(
+            launched.elapsed_cycles,
+            fused.elapsed_cycles + ex.device().kernel_launch_cycles
+        );
+        assert_eq!(ex.stats().kernel_launches, 0);
+    }
+
+    #[test]
+    fn skewed_tasks_dominate_makespan() {
+        let mut ex = executor();
+        let mut tasks = vec![Cost::compute(1); 1000];
+        tasks[0] = Cost::compute(1_000_000);
+        let r = ex.run_kernel(&kernel(), SchedUnit::Thread, &tasks, false);
+        assert!(r.makespan_cycles >= 1_000_000);
+
+        // The same aggregate work spread evenly is far faster.
+        ex.reset();
+        let even = vec![Cost::compute(1_001); 1000];
+        let r2 = ex.run_kernel(&kernel(), SchedUnit::Thread, &even, false);
+        assert!(r2.makespan_cycles * 100 < r.makespan_cycles);
+    }
+
+    #[test]
+    fn more_tasks_than_slots_serialize() {
+        let mut ex = executor();
+        let occ = occupancy(ex.device(), &kernel());
+        let slots = occ.resident_threads;
+        let tasks = vec![Cost::compute(10); (slots * 4) as usize];
+        let r = ex.run_kernel(&kernel(), SchedUnit::Thread, &tasks, false);
+        assert_eq!(r.makespan_cycles, 40);
+    }
+
+    #[test]
+    fn warp_unit_has_fewer_slots_than_thread_unit() {
+        let mut ex = executor();
+        let tasks = vec![Cost::compute(1); 10];
+        let t = ex.run_kernel(&kernel(), SchedUnit::Thread, &tasks, false);
+        let w = ex.run_kernel(&kernel(), SchedUnit::Warp, &tasks, false);
+        assert_eq!(t.slots, w.slots * 32);
+    }
+
+    #[test]
+    fn bandwidth_floor_applies_to_streaming_kernels() {
+        let mut ex = executor();
+        // One slot-task per resident thread, each streaming lots of data
+        // with almost no compute: the floor should dominate.
+        let tasks = vec![
+            Cost {
+                coalesced_reads: 100_000,
+                ..Default::default()
+            };
+            64
+        ];
+        let r = ex.run_kernel(&kernel(), SchedUnit::Thread, &tasks, false);
+        assert!(r.bandwidth_floor_cycles > 0);
+        assert!(r.elapsed_cycles >= r.bandwidth_floor_cycles);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut ex = executor();
+        ex.run_kernel(&kernel(), SchedUnit::Thread, &[Cost::compute(5)], true);
+        ex.charge_barrier();
+        assert_eq!(ex.stats().kernel_invocations, 1);
+        assert_eq!(ex.stats().barrier_passes, 1);
+        assert!(ex.stats().total_cycles > 0);
+        assert!(ex.elapsed_ms() > 0.0);
+        ex.reset();
+        assert_eq!(ex.stats(), &ExecutorStats::default());
+    }
+
+    #[test]
+    fn p100_is_faster_than_k20_on_same_work() {
+        let tasks = vec![Cost::compute(1_000); 100_000];
+        let mut k20 = GpuExecutor::new(DeviceSpec::k20());
+        let mut p100 = GpuExecutor::new(DeviceSpec::p100());
+        k20.run_kernel(&kernel(), SchedUnit::Thread, &tasks, true);
+        p100.run_kernel(&kernel(), SchedUnit::Thread, &tasks, true);
+        // P100 has more resident threads -> smaller makespan, and a
+        // higher clock -> less wall time per cycle.
+        assert!(p100.elapsed_ms() < k20.elapsed_ms());
+    }
+}
+
+#[cfg(test)]
+mod scale_tests {
+    use super::*;
+
+    #[test]
+    fn scale_divides_slots_and_keeps_ratios() {
+        let mut ex = GpuExecutor::new(DeviceSpec::k40());
+        let light = KernelDesc::new("light", 48);
+        let heavy = KernelDesc::new("heavy", 110);
+        let l1 = ex.slots_for(&light, SchedUnit::Thread);
+        let h1 = ex.slots_for(&heavy, SchedUnit::Thread);
+        ex.set_scale(64);
+        let l64 = ex.slots_for(&light, SchedUnit::Thread);
+        let h64 = ex.slots_for(&heavy, SchedUnit::Thread);
+        assert_eq!(l64, l1 / 64);
+        assert_eq!(h64, h1 / 64);
+        // Relative occupancy advantage of the lighter kernel survives.
+        assert!(l64 > h64 * 2);
+    }
+
+    #[test]
+    fn scaled_makespan_grows_proportionally() {
+        let kernel = KernelDesc::new("k", 32);
+        let tasks = vec![Cost::compute(8); 100_000];
+        let mut full = GpuExecutor::new(DeviceSpec::k40());
+        let mut scaled = GpuExecutor::new(DeviceSpec::k40());
+        scaled.set_scale(64);
+        let rf = full.run_kernel(&kernel, SchedUnit::Thread, &tasks, false);
+        let rs = scaled.run_kernel(&kernel, SchedUnit::Thread, &tasks, false);
+        assert!(rs.makespan_cycles > rf.makespan_cycles * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        GpuExecutor::new(DeviceSpec::k40()).set_scale(0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Edge-list representation and normalization.
+//!
+//! The edge list is the ingestion format: generators emit edge lists and
+//! the CSR builder consumes them. CuSha-style baselines also compute on
+//! edge lists directly, which is why the paper notes the format "doubles
+//! the memory consumption" relative to CSR (§3.1, §7.1) — we model that
+//! in the baselines crate from the sizes reported here.
+
+use crate::{VertexId, Weight};
+
+/// A list of directed edges, optionally weighted.
+///
+/// Invariant: if `weights` is `Some`, it has exactly one entry per edge.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of vertices (IDs are in `0..num_vertices`).
+    num_vertices: VertexId,
+    /// `(source, destination)` pairs.
+    edges: Vec<(VertexId, VertexId)>,
+    /// Optional per-edge weights, parallel to `edges`.
+    weights: Option<Vec<Weight>>,
+}
+
+impl EdgeList {
+    /// Creates an empty edge list over `num_vertices` vertices.
+    pub fn new(num_vertices: VertexId) -> Self {
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+            weights: None,
+        }
+    }
+
+    /// Creates an edge list from raw pairs, inferring the vertex count
+    /// from the largest endpoint.
+    pub fn from_pairs(edges: Vec<(VertexId, VertexId)>) -> Self {
+        let num_vertices = edges
+            .iter()
+            .map(|&(s, d)| s.max(d).saturating_add(1))
+            .max()
+            .unwrap_or(0);
+        Self {
+            num_vertices,
+            edges,
+            weights: None,
+        }
+    }
+
+    /// Creates a weighted edge list from parallel vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != edges.len()`.
+    pub fn from_weighted(
+        num_vertices: VertexId,
+        edges: Vec<(VertexId, VertexId)>,
+        weights: Vec<Weight>,
+    ) -> Self {
+        assert_eq!(
+            edges.len(),
+            weights.len(),
+            "weights must be parallel to edges"
+        );
+        Self {
+            num_vertices,
+            edges,
+            weights: Some(weights),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> VertexId {
+        self.num_vertices
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the list carries weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// The edge pairs.
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// The weights, if present.
+    pub fn weights(&self) -> Option<&[Weight]> {
+        self.weights.as_deref()
+    }
+
+    /// Appends an unweighted edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is weighted (mixing weighted and unweighted
+    /// edges would break the parallel-vector invariant) or if an endpoint
+    /// is out of range.
+    pub fn push(&mut self, src: VertexId, dst: VertexId) {
+        assert!(self.weights.is_none(), "edge list is weighted; use push_weighted");
+        assert!(src < self.num_vertices && dst < self.num_vertices);
+        self.edges.push((src, dst));
+    }
+
+    /// Appends a weighted edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if previous edges were pushed unweighted, or on an
+    /// out-of-range endpoint.
+    pub fn push_weighted(&mut self, src: VertexId, dst: VertexId, w: Weight) {
+        assert!(src < self.num_vertices && dst < self.num_vertices);
+        if self.weights.is_none() {
+            assert!(self.edges.is_empty(), "edge list already has unweighted edges");
+            self.weights = Some(Vec::new());
+        }
+        self.edges.push((src, dst));
+        self.weights
+            .as_mut()
+            .expect("weights vector was just ensured")
+            .push(w);
+    }
+
+    /// Adds the reverse of every edge, turning a directed list into the
+    /// symmetric closure used for undirected graphs. Weights are copied
+    /// onto the mirrored edge.
+    pub fn symmetrize(&mut self) {
+        let n = self.edges.len();
+        self.edges.reserve(n);
+        for i in 0..n {
+            let (s, d) = self.edges[i];
+            self.edges.push((d, s));
+        }
+        if let Some(w) = &mut self.weights {
+            w.reserve(n);
+            for i in 0..n {
+                let wi = w[i];
+                w.push(wi);
+            }
+        }
+    }
+
+    /// Removes self-loops and exact duplicate edges (keeping the first
+    /// occurrence of each `(src, dst)` pair). Returns the number of edges
+    /// removed.
+    ///
+    /// Sorting is by `(src, dst)`; for weighted lists the weight of the
+    /// *smallest-weight* duplicate is kept, so SSSP results are unaffected
+    /// by duplicate-collapsing.
+    pub fn dedup(&mut self) -> usize {
+        let before = self.edges.len();
+        match self.weights.take() {
+            None => {
+                self.edges.retain(|&(s, d)| s != d);
+                self.edges.sort_unstable();
+                self.edges.dedup();
+            }
+            Some(w) => {
+                let mut combined: Vec<((VertexId, VertexId), Weight)> = self
+                    .edges
+                    .iter()
+                    .copied()
+                    .zip(w)
+                    .filter(|&((s, d), _)| s != d)
+                    .collect();
+                // Sort by endpoint then weight so dedup keeps the minimum weight.
+                combined.sort_unstable();
+                combined.dedup_by_key(|&mut (e, _)| e);
+                self.edges = combined.iter().map(|&(e, _)| e).collect();
+                self.weights = Some(combined.into_iter().map(|(_, w)| w).collect());
+            }
+        }
+        before - self.edges.len()
+    }
+
+    /// Approximate in-memory footprint in bytes when stored as an edge
+    /// list (the CuSha input format): 8 bytes per edge plus 4 per weight.
+    pub fn footprint_bytes(&self) -> u64 {
+        let per_edge = 8 + if self.is_weighted() { 4 } else { 0 };
+        self.edges.len() as u64 * per_edge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_infers_vertex_count() {
+        let el = EdgeList::from_pairs(vec![(0, 3), (2, 1)]);
+        assert_eq!(el.num_vertices(), 4);
+        assert_eq!(el.num_edges(), 2);
+        assert!(!el.is_weighted());
+    }
+
+    #[test]
+    fn empty_list() {
+        let el = EdgeList::from_pairs(vec![]);
+        assert_eq!(el.num_vertices(), 0);
+        assert_eq!(el.num_edges(), 0);
+    }
+
+    #[test]
+    fn push_and_push_weighted() {
+        let mut el = EdgeList::new(4);
+        el.push(0, 1);
+        el.push(1, 2);
+        assert_eq!(el.num_edges(), 2);
+
+        let mut wl = EdgeList::new(4);
+        wl.push_weighted(0, 1, 10);
+        wl.push_weighted(1, 2, 20);
+        assert_eq!(wl.weights(), Some(&[10, 20][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge list is weighted")]
+    fn mixing_weighted_then_unweighted_panics() {
+        let mut el = EdgeList::new(2);
+        el.push_weighted(0, 1, 1);
+        el.push(1, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_endpoint_panics() {
+        let mut el = EdgeList::new(2);
+        el.push(0, 2);
+    }
+
+    #[test]
+    fn symmetrize_doubles_edges_and_copies_weights() {
+        let mut el = EdgeList::from_weighted(3, vec![(0, 1), (1, 2)], vec![5, 7]);
+        el.symmetrize();
+        assert_eq!(el.num_edges(), 4);
+        assert_eq!(el.edges()[2], (1, 0));
+        assert_eq!(el.edges()[3], (2, 1));
+        assert_eq!(el.weights(), Some(&[5, 7, 5, 7][..]));
+    }
+
+    #[test]
+    fn dedup_removes_self_loops_and_duplicates() {
+        let mut el = EdgeList::from_pairs(vec![(0, 1), (1, 1), (0, 1), (1, 0)]);
+        let removed = el.dedup();
+        assert_eq!(removed, 2);
+        assert_eq!(el.edges(), &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn dedup_weighted_keeps_min_weight() {
+        let mut el =
+            EdgeList::from_weighted(3, vec![(0, 1), (0, 1), (2, 2), (1, 2)], vec![9, 3, 1, 4]);
+        let removed = el.dedup();
+        assert_eq!(removed, 2);
+        assert_eq!(el.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(el.weights(), Some(&[3, 4][..]));
+    }
+
+    #[test]
+    fn footprint_counts_weights() {
+        let un = EdgeList::from_pairs(vec![(0, 1), (1, 0)]);
+        assert_eq!(un.footprint_bytes(), 16);
+        let w = EdgeList::from_weighted(2, vec![(0, 1)], vec![1]);
+        assert_eq!(w.footprint_bytes(), 12);
+    }
+}

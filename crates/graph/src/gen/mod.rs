@@ -1,0 +1,24 @@
+//! Synthetic graph generators.
+//!
+//! Each generator is deterministic given its seed and emits an
+//! [`EdgeList`](crate::EdgeList); callers decide whether to build a
+//! directed or undirected [`Graph`](crate::Graph) from it. The generators
+//! cover all four structural classes of the paper's Table 3:
+//!
+//! * [`chung_lu`] — power-law social networks (FB, LJ, OR, PK, TW),
+//! * [`road`] — high-diameter road maps (ER, RC),
+//! * [`web`] — hyperlink web graphs with community structure (UK),
+//! * [`rmat`] — R-MAT and Graph500 Kronecker graphs (RM, KR),
+//! * [`erdos`] — uniform-degree random graphs (RD).
+
+pub mod chung_lu;
+pub mod erdos;
+pub mod rmat;
+pub mod road;
+pub mod web;
+
+pub use chung_lu::ChungLu;
+pub use erdos::Erdos;
+pub use rmat::Rmat;
+pub use road::Road;
+pub use web::Web;

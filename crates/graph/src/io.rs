@@ -1,0 +1,270 @@
+//! Graph I/O: a compact binary CSR codec and a text edge-list parser.
+//!
+//! The binary format lets the bench harness cache generated datasets
+//! between runs; the text parser accepts the whitespace-separated
+//! `src dst [weight]` format used by SNAP and GTgraph dumps.
+
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+use crate::{EdgeIdx, VertexId, Weight};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic prefix of the binary CSR format.
+pub const MAGIC: u32 = 0x5349_4D58; // "SIMX"
+/// Current binary format version.
+pub const VERSION: u32 = 1;
+
+/// Errors produced while decoding graph data.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input is shorter than the declared payload.
+    Truncated,
+    /// Magic number mismatch.
+    BadMagic(u32),
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// A structural invariant does not hold (e.g. unsorted offsets).
+    Corrupt(&'static str),
+    /// Text parse failure with a line number.
+    Parse { line: usize, what: &'static str },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "input truncated"),
+            Self::BadMagic(m) => write!(f, "bad magic {m:#x}"),
+            Self::BadVersion(v) => write!(f, "unsupported version {v}"),
+            Self::Corrupt(w) => write!(f, "corrupt payload: {w}"),
+            Self::Parse { line, what } => write!(f, "parse error at line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a CSR into the binary format.
+pub fn encode_csr(csr: &Csr) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        24 + csr.offsets().len() * 8 + csr.targets().len() * 4
+            + csr.weights().map_or(0, |w| w.len() * 4),
+    );
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(csr.num_vertices());
+    buf.put_u8(u8::from(csr.is_weighted()));
+    buf.put_u64_le(csr.num_edges());
+    for &o in csr.offsets() {
+        buf.put_u64_le(o);
+    }
+    for &t in csr.targets() {
+        buf.put_u32_le(t);
+    }
+    if let Some(ws) = csr.weights() {
+        for &w in ws {
+            buf.put_u32_le(w);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a CSR from the binary format.
+pub fn decode_csr(mut data: &[u8]) -> Result<Csr, DecodeError> {
+    if data.remaining() < 21 {
+        return Err(DecodeError::Truncated);
+    }
+    let magic = data.get_u32_le();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let n = data.get_u32_le() as usize;
+    let weighted = data.get_u8() != 0;
+    let m = data.get_u64_le() as usize;
+
+    let need = (n + 1) * 8 + m * 4 + if weighted { m * 4 } else { 0 };
+    if data.remaining() < need {
+        return Err(DecodeError::Truncated);
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(data.get_u64_le() as EdgeIdx);
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        targets.push(data.get_u32_le() as VertexId);
+    }
+    let weights = if weighted {
+        let mut ws = Vec::with_capacity(m);
+        for _ in 0..m {
+            ws.push(data.get_u32_le() as Weight);
+        }
+        Some(ws)
+    } else {
+        None
+    };
+
+    // Validate invariants before constructing.
+    if offsets.first() != Some(&0) || offsets.last() != Some(&(m as EdgeIdx)) {
+        return Err(DecodeError::Corrupt("offset endpoints"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(DecodeError::Corrupt("offsets not monotone"));
+    }
+    if targets.iter().any(|&t| t as usize >= n) {
+        return Err(DecodeError::Corrupt("target out of range"));
+    }
+
+    // Rebuild through the public constructor so internal invariants hold.
+    let mut edges = Vec::with_capacity(m);
+    for v in 0..n {
+        for i in offsets[v] as usize..offsets[v + 1] as usize {
+            edges.push((v as VertexId, targets[i]));
+        }
+    }
+    Ok(Csr::build(n as VertexId, &edges, weights.as_deref(), false))
+}
+
+/// Parses a whitespace-separated `src dst [weight]` edge list. Lines
+/// starting with `#` or `%` are comments; blank lines are skipped.
+pub fn parse_edge_list(text: &str) -> Result<EdgeList, DecodeError> {
+    let mut edges = Vec::new();
+    let mut weights: Vec<Weight> = Vec::new();
+    let mut any_weight = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, what| -> Result<u64, DecodeError> {
+            tok.ok_or(DecodeError::Parse {
+                line: lineno + 1,
+                what,
+            })?
+            .parse::<u64>()
+            .map_err(|_| DecodeError::Parse {
+                line: lineno + 1,
+                what,
+            })
+        };
+        let s = parse(it.next(), "source")? as VertexId;
+        let d = parse(it.next(), "destination")? as VertexId;
+        match it.next() {
+            Some(tok) => {
+                let w = tok.parse::<Weight>().map_err(|_| DecodeError::Parse {
+                    line: lineno + 1,
+                    what: "weight",
+                })?;
+                if !any_weight && !edges.is_empty() {
+                    return Err(DecodeError::Parse {
+                        line: lineno + 1,
+                        what: "mixed weighted/unweighted rows",
+                    });
+                }
+                any_weight = true;
+                weights.push(w);
+            }
+            None if any_weight => {
+                return Err(DecodeError::Parse {
+                    line: lineno + 1,
+                    what: "mixed weighted/unweighted rows",
+                })
+            }
+            None => {}
+        }
+        edges.push((s, d));
+    }
+    Ok(if any_weight {
+        let n = edges
+            .iter()
+            .map(|&(s, d)| s.max(d) + 1)
+            .max()
+            .unwrap_or(0);
+        EdgeList::from_weighted(n, edges, weights)
+    } else {
+        EdgeList::from_pairs(edges)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr(weighted: bool) -> Csr {
+        let el = if weighted {
+            EdgeList::from_weighted(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)], vec![1, 2, 3, 4])
+        } else {
+            EdgeList::from_pairs(vec![(0, 1), (0, 2), (1, 3), (2, 3)])
+        };
+        Csr::from_edge_list(&el)
+    }
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let csr = sample_csr(false);
+        let decoded = decode_csr(&encode_csr(&csr)).expect("decode");
+        assert_eq!(decoded, csr);
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let csr = sample_csr(true);
+        let decoded = decode_csr(&encode_csr(&csr)).expect("decode");
+        assert_eq!(decoded, csr);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let data = encode_csr(&sample_csr(false));
+        assert_eq!(decode_csr(&data[..10]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut data = encode_csr(&sample_csr(false)).to_vec();
+        data[0] ^= 0xFF;
+        assert!(matches!(decode_csr(&data), Err(DecodeError::BadMagic(_))));
+    }
+
+    #[test]
+    fn corrupt_target_rejected() {
+        let csr = sample_csr(false);
+        let mut data = encode_csr(&csr).to_vec();
+        // Last 4 bytes are the final target; make it out of range.
+        let len = data.len();
+        data[len - 4..].copy_from_slice(&100u32.to_le_bytes());
+        assert_eq!(
+            decode_csr(&data),
+            Err(DecodeError::Corrupt("target out of range"))
+        );
+    }
+
+    #[test]
+    fn parse_text_with_comments() {
+        let text = "# comment\n0 1\n1 2\n\n% another\n2 0\n";
+        let el = parse_edge_list(text).expect("parse");
+        assert_eq!(el.edges(), &[(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn parse_weighted_text() {
+        let el = parse_edge_list("0 1 5\n1 2 9\n").expect("parse");
+        assert_eq!(el.weights(), Some(&[5, 9][..]));
+    }
+
+    #[test]
+    fn parse_mixed_rows_rejected() {
+        let err = parse_edge_list("0 1 5\n1 2\n").unwrap_err();
+        assert!(matches!(err, DecodeError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn parse_garbage_rejected() {
+        let err = parse_edge_list("zero one\n").unwrap_err();
+        assert!(matches!(err, DecodeError::Parse { line: 1, .. }));
+    }
+}

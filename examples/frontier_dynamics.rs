@@ -1,0 +1,57 @@
+//! Frontier dynamics: watch the per-iteration engine decisions (scan
+//! direction, filter choice, frontier volume) that drive every result
+//! in the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release --example frontier_dynamics
+//! ```
+
+use simdx::algos::bfs;
+use simdx::core::EngineConfig;
+use simdx::graph::datasets;
+
+fn main() {
+    for abbrev in ["LJ", "RC"] {
+        let spec = datasets::dataset(abbrev).expect("twin");
+        let graph = spec.build(3);
+        let src = datasets::default_source(graph.out());
+        let r = bfs::run(&graph, src, EngineConfig::default()).expect("bfs");
+
+        println!(
+            "\nBFS on {} twin ({} vertices, {} edges): {} iterations",
+            spec.name,
+            graph.num_vertices(),
+            graph.num_edges(),
+            r.report.iterations
+        );
+        println!(
+            "{:>5}  {:>5}  {:>9}  {:>10}  {:>7}  {:>9}",
+            "iter", "dir", "frontier", "degree sum", "filter", "cycles"
+        );
+        // Print the first 12 iterations (road twins run hundreds).
+        for rec in r.report.log.records.iter().take(12) {
+            println!(
+                "{:>5}  {:>5}  {:>9}  {:>10}  {:>7}  {:>9}",
+                rec.iteration,
+                format!("{:?}", rec.direction),
+                rec.frontier_len,
+                rec.degree_sum,
+                rec.filter.to_string(),
+                rec.cycles
+            );
+        }
+        if r.report.iterations > 12 {
+            println!("  ... {} more iterations", r.report.iterations - 12);
+        }
+        println!(
+            "direction heuristic switched {} time(s); filter switched {} time(s)",
+            r.report
+                .log
+                .records
+                .windows(2)
+                .filter(|w| w[0].direction != w[1].direction)
+                .count(),
+            r.report.log.filter_switches()
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the SIMD-X workspace.
+pub use simdx_algos as algos;
+pub use simdx_baselines as baselines;
+pub use simdx_core as core;
+pub use simdx_gpu as gpu;
+pub use simdx_graph as graph;

@@ -1,0 +1,167 @@
+//! Cross-crate integration tests: every engine (SIMD-X, Gunrock-style,
+//! CuSha-style, Ligra-style, Galois-style) must agree with the
+//! sequential references on every algorithm, across dataset classes and
+//! engine configurations.
+
+use simdx::algos::{bfs, kcore, pagerank, reference, sssp, wcc};
+use simdx::baselines::cpu::{galois, ligra};
+use simdx::baselines::cusha::{CushaConfig, CushaEngine};
+use simdx::baselines::gunrock::{GunrockConfig, GunrockEngine};
+use simdx::core::prelude::*;
+use simdx::core::FilterPolicy;
+use simdx::graph::datasets;
+
+/// Small scaled twins spanning the four structural classes.
+fn twins() -> Vec<(&'static str, simdx::graph::Graph)> {
+    [("PK", 4u32), ("RC", 3), ("RM", 5), ("UK", 5)]
+        .iter()
+        .map(|&(a, shift)| {
+            (
+                a,
+                datasets::dataset(a).expect("known").build_scaled(7, shift),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn bfs_agrees_across_all_five_systems() {
+    for (name, g) in twins() {
+        let src = datasets::default_source(g.out());
+        let expected = reference::bfs(g.out(), src);
+
+        let sx = bfs::run(&g, src, EngineConfig::default()).expect("simdx");
+        assert_eq!(sx.meta, expected, "simdx on {name}");
+
+        let gr = GunrockEngine::new(simdx::algos::Bfs::new(src), &g, GunrockConfig::default())
+            .run()
+            .expect("gunrock");
+        assert_eq!(gr.meta, expected, "gunrock on {name}");
+
+        let cu = CushaEngine::new(simdx::algos::Bfs::new(src), &g, CushaConfig::default())
+            .run()
+            .expect("cusha");
+        assert_eq!(cu.meta, expected, "cusha on {name}");
+
+        let li = ligra::bfs(&g, src, ligra::LigraConfig::default()).expect("ligra");
+        assert_eq!(li.meta, expected, "ligra on {name}");
+
+        let ga = galois::bfs(&g, src, galois::GaloisConfig::default()).expect("galois");
+        assert_eq!(ga.meta, expected, "galois on {name}");
+    }
+}
+
+#[test]
+fn sssp_agrees_across_all_five_systems() {
+    for (name, g) in twins() {
+        let src = datasets::default_source(g.out());
+        let expected = reference::sssp(g.out(), src);
+
+        let sx = sssp::run(&g, src, EngineConfig::default()).expect("simdx");
+        assert_eq!(sx.meta, expected, "simdx on {name}");
+
+        let gr = GunrockEngine::new(simdx::algos::Sssp::new(src), &g, GunrockConfig::default())
+            .run()
+            .expect("gunrock");
+        assert_eq!(gr.meta, expected, "gunrock on {name}");
+
+        let cu = CushaEngine::new(simdx::algos::Sssp::new(src), &g, CushaConfig::default())
+            .run()
+            .expect("cusha");
+        assert_eq!(cu.meta, expected, "cusha on {name}");
+
+        let li = ligra::sssp(&g, src, ligra::LigraConfig::default()).expect("ligra");
+        assert_eq!(li.meta, expected, "ligra on {name}");
+
+        let ga = galois::sssp(&g, src, galois::GaloisConfig::default()).expect("galois");
+        assert_eq!(ga.meta, expected, "galois on {name}");
+    }
+}
+
+#[test]
+fn pagerank_agrees_within_tolerance_across_systems() {
+    for (name, g) in twins() {
+        let expected = reference::pagerank(&g, 0.85, 1e-6, 500);
+        let close = |got: &[f32], sys: &str| {
+            for (i, (a, b)) in got.iter().zip(&expected).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-3,
+                    "{sys} on {name}: rank[{i}] {a} vs {b}"
+                );
+            }
+        };
+        close(&pagerank::run(&g, EngineConfig::default()).expect("simdx").meta, "simdx");
+        close(
+            &GunrockEngine::new(simdx::algos::PageRank::new(&g), &g, GunrockConfig::default())
+                .run()
+                .expect("gunrock")
+                .meta,
+            "gunrock",
+        );
+        close(
+            &CushaEngine::new(simdx::algos::PageRank::new(&g), &g, CushaConfig::default())
+                .run()
+                .expect("cusha")
+                .meta,
+            "cusha",
+        );
+        close(
+            &ligra::pagerank(&g, 0.85, 1e-6, ligra::LigraConfig::default())
+                .expect("ligra")
+                .meta,
+            "ligra",
+        );
+        close(
+            &galois::pagerank(&g, 0.85, 1e-6, galois::GaloisConfig::default())
+                .expect("galois")
+                .meta,
+            "galois",
+        );
+    }
+}
+
+#[test]
+fn kcore_agrees_between_simdx_and_ligra() {
+    for (name, g) in twins() {
+        for k in [4, 16] {
+            let expected = reference::kcore(&g, k);
+            let sx = kcore::run(&g, k, EngineConfig::default()).expect("simdx");
+            assert_eq!(kcore::survivors(&sx.meta), expected, "simdx k={k} on {name}");
+            let li = ligra::kcore(&g, k, ligra::LigraConfig::default()).expect("ligra");
+            let alive: Vec<bool> = li.meta.iter().map(|&d| d != u32::MAX).collect();
+            assert_eq!(alive, expected, "ligra k={k} on {name}");
+        }
+    }
+}
+
+#[test]
+fn every_config_combination_is_functionally_identical() {
+    let g = datasets::dataset("PK").expect("PK").build_scaled(9, 4);
+    let src = datasets::default_source(g.out());
+    let expected = reference::sssp(g.out(), src);
+    for fusion in [FusionStrategy::None, FusionStrategy::All, FusionStrategy::PushPull] {
+        for filter in [FilterPolicy::Jit, FilterPolicy::BallotOnly] {
+            let cfg = EngineConfig::default().with_fusion(fusion).with_filter(filter);
+            let r = sssp::run(&g, src, cfg).expect("sssp");
+            assert_eq!(r.meta, expected, "{fusion:?}/{filter:?}");
+        }
+    }
+}
+
+#[test]
+fn wcc_component_structure_matches_reference() {
+    let g = datasets::dataset("RC").expect("RC").build_scaled(5, 3);
+    let r = wcc::run(&g, EngineConfig::default()).expect("wcc");
+    assert_eq!(r.meta, reference::wcc(g.out()));
+}
+
+#[test]
+fn simdx_run_is_deterministic() {
+    let g = datasets::dataset("LJ").expect("LJ").build_scaled(2, 4);
+    let src = datasets::default_source(g.out());
+    let a = bfs::run(&g, src, EngineConfig::default()).expect("a");
+    let b = bfs::run(&g, src, EngineConfig::default()).expect("b");
+    assert_eq!(a.meta, b.meta);
+    assert_eq!(a.report.stats, b.report.stats);
+    assert_eq!(a.report.log, b.report.log);
+}

@@ -1,0 +1,164 @@
+//! Property-based tests over randomly generated graphs: the invariants
+//! the paper's mechanisms rest on must hold for *every* input, not just
+//! the dataset twins.
+
+use proptest::prelude::*;
+use simdx::algos::{bfs, kcore, reference, sssp, wcc};
+use simdx::core::prelude::*;
+use simdx::core::FilterPolicy;
+use simdx::graph::{io, weights, Csr, EdgeList, Graph};
+
+/// Strategy: an arbitrary directed graph with up to `max_v` vertices.
+fn arb_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2..max_v).prop_flat_map(move |n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 0..max_e),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSR construction round-trips through the binary codec.
+    #[test]
+    fn csr_codec_roundtrip((n, edges) in arb_edges(64, 200)) {
+        let mut el = EdgeList::new(n);
+        for (s, d) in edges {
+            el.push(s, d);
+        }
+        let csr = Csr::from_edge_list(&el);
+        let decoded = io::decode_csr(&io::encode_csr(&csr)).expect("roundtrip");
+        prop_assert_eq!(decoded, csr);
+    }
+
+    /// CSR invariants: offsets monotone, degrees sum to |E|, neighbors
+    /// sorted.
+    #[test]
+    fn csr_invariants((n, edges) in arb_edges(64, 200)) {
+        let mut el = EdgeList::new(n);
+        for (s, d) in edges {
+            el.push(s, d);
+        }
+        let csr = Csr::from_edge_list(&el);
+        prop_assert!(csr.offsets().windows(2).all(|w| w[0] <= w[1]));
+        let deg_sum: u64 = (0..csr.num_vertices()).map(|v| csr.degree(v) as u64).sum();
+        prop_assert_eq!(deg_sum, csr.num_edges());
+        for v in 0..csr.num_vertices() {
+            prop_assert!(csr.neighbors(v).windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    /// Transposing twice is the identity.
+    #[test]
+    fn transpose_involution((n, edges) in arb_edges(48, 150)) {
+        let mut el = EdgeList::new(n);
+        for (s, d) in edges {
+            el.push(s, d);
+        }
+        el.dedup();
+        let csr = Csr::from_edge_list(&el);
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    /// The engine's BFS equals the sequential reference on arbitrary
+    /// graphs under every filter policy.
+    #[test]
+    fn engine_bfs_equals_reference((n, edges) in arb_edges(48, 150)) {
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(
+            edges.iter().map(|&(s, d)| (s % n, d % n)).collect::<Vec<_>>(),
+        ));
+        if g.num_vertices() == 0 {
+            return Ok(());
+        }
+        let expected = reference::bfs(g.out(), 0);
+        for policy in [FilterPolicy::Jit, FilterPolicy::BallotOnly] {
+            let r = bfs::run(&g, 0, EngineConfig::unscaled().with_filter(policy))
+                .expect("bfs");
+            prop_assert_eq!(&r.meta, &expected);
+        }
+    }
+
+    /// The engine's SSSP (frontier relaxation) equals Dijkstra for any
+    /// positive weights — the ∆-stepping-family correctness property.
+    #[test]
+    fn engine_sssp_equals_dijkstra((n, edges) in arb_edges(40, 120), wseed in 0u64..1000) {
+        let el = EdgeList::from_pairs(
+            edges.iter().map(|&(s, d)| (s % n, d % n)).collect::<Vec<_>>(),
+        );
+        if el.num_vertices() == 0 {
+            return Ok(());
+        }
+        let el = weights::assign_default_weights(&el, wseed);
+        let g = Graph::directed_from_edges(el);
+        let expected = reference::sssp(g.out(), 0);
+        let r = sssp::run(&g, 0, EngineConfig::unscaled()).expect("sssp");
+        prop_assert_eq!(r.meta, expected);
+    }
+
+    /// k-Core survivors each keep >= k surviving in-neighbors, and the
+    /// result matches sequential peeling.
+    #[test]
+    fn engine_kcore_is_a_core((n, edges) in arb_edges(40, 150), k in 1u32..6) {
+        let g = Graph::undirected_from_edges(EdgeList::from_pairs(
+            edges.iter().map(|&(s, d)| (s % n, d % n)).collect::<Vec<_>>(),
+        ));
+        if g.num_vertices() == 0 {
+            return Ok(());
+        }
+        let r = kcore::run(&g, k, EngineConfig::unscaled()).expect("kcore");
+        let alive = kcore::survivors(&r.meta);
+        prop_assert_eq!(&alive, &reference::kcore(&g, k));
+        for v in 0..g.num_vertices() {
+            if alive[v as usize] {
+                let live = g
+                    .in_()
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| alive[u as usize])
+                    .count() as u32;
+                prop_assert!(live >= k, "vertex {} kept {} < k", v, live);
+            }
+        }
+    }
+
+    /// WCC labels are consistent: same label iff reference gives the
+    /// same label (on symmetric graphs: connected components).
+    #[test]
+    fn engine_wcc_equals_reference((n, edges) in arb_edges(40, 120)) {
+        let g = Graph::undirected_from_edges(EdgeList::from_pairs(
+            edges.iter().map(|&(s, d)| (s % n, d % n)).collect::<Vec<_>>(),
+        ));
+        if g.num_vertices() == 0 {
+            return Ok(());
+        }
+        let r = wcc::run(&g, EngineConfig::unscaled()).expect("wcc");
+        prop_assert_eq!(r.meta, reference::wcc(g.out()));
+    }
+
+    /// The ballot filter's output is always sorted, duplicate-free, and
+    /// equal to the set the online filter records (ignoring order).
+    #[test]
+    fn filters_agree_on_frontier_content((n, edges) in arb_edges(48, 150)) {
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(
+            edges.iter().map(|&(s, d)| (s % n, d % n)).collect::<Vec<_>>(),
+        ));
+        if g.num_vertices() == 0 {
+            return Ok(());
+        }
+        let jit = bfs::run(&g, 0, EngineConfig::unscaled()).expect("jit");
+        let ballot = bfs::run(
+            &g,
+            0,
+            EngineConfig::unscaled().with_filter(FilterPolicy::BallotOnly),
+        )
+        .expect("ballot");
+        // Same metadata and same iteration structure.
+        prop_assert_eq!(jit.meta, ballot.meta);
+        prop_assert_eq!(jit.report.iterations, ballot.report.iterations);
+        for (a, b) in jit.report.log.records.iter().zip(&ballot.report.log.records) {
+            prop_assert_eq!(a.frontier_len, b.frontier_len, "iteration {}", a.iteration);
+        }
+    }
+}

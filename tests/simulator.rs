@@ -1,0 +1,80 @@
+//! Integration tests for the GPU-simulator substrate guarantees the
+//! engine depends on: the deadlock-free barrier theorem, occupancy
+//! monotonicity, and the fusion/occupancy interaction.
+
+use proptest::prelude::*;
+use simdx::gpu::barrier::{BarrierError, GlobalBarrier};
+use simdx::gpu::occupancy::{deadlock_free_launch, occupancy};
+use simdx::gpu::{DeviceSpec, KernelDesc, LaunchConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equation 1's configuration never deadlocks, on any device, for
+    /// any feasible register/CTA-width combination.
+    #[test]
+    fn equation_one_is_always_deadlock_free(
+        regs in 1u32..200,
+        threads_per_cta in prop::sample::select(vec![32u32, 64, 128, 256]),
+        device_idx in 0usize..3,
+    ) {
+        let device = [DeviceSpec::k20(), DeviceSpec::k40(), DeviceSpec::p100()]
+            [device_idx].clone();
+        let kernel = KernelDesc::new("fused", regs).with_threads_per_cta(threads_per_cta);
+        if kernel.registers_per_cta() > device.registers_per_sm as u64 {
+            // Not launchable at all; out of scope.
+            return Ok(());
+        }
+        let lc = deadlock_free_launch(&device, &kernel);
+        let occ = occupancy(&device, &kernel);
+        let mut barrier = GlobalBarrier::new(lc, &occ);
+        for _ in 0..16 {
+            prop_assert!(barrier.sync().is_ok());
+        }
+    }
+
+    /// Any launch wider than the residency bound deadlocks — the flaw
+    /// the paper identifies in prior software barriers (§5, Fig. 10).
+    #[test]
+    fn oversubscription_always_deadlocks(
+        regs in 1u32..200,
+        extra in 1u32..64,
+    ) {
+        let device = DeviceSpec::k40();
+        let kernel = KernelDesc::new("fused", regs);
+        if kernel.registers_per_cta() > device.registers_per_sm as u64 {
+            return Ok(());
+        }
+        let occ = occupancy(&device, &kernel);
+        let lc = LaunchConfig {
+            ctas: occ.resident_ctas + extra,
+            threads_per_cta: kernel.threads_per_cta,
+        };
+        let mut barrier = GlobalBarrier::new(lc, &occ);
+        let deadlocked = matches!(barrier.sync(), Err(BarrierError::Deadlock { .. }));
+        prop_assert!(deadlocked);
+    }
+
+    /// Occupancy is monotone: more registers per thread never increases
+    /// resident CTAs.
+    #[test]
+    fn occupancy_monotone_in_registers(a in 1u32..150, b in 1u32..150) {
+        let device = DeviceSpec::k40();
+        let (lo, hi) = (a.min(b), a.max(b));
+        let occ_lo = occupancy(&device, &KernelDesc::new("lo", lo));
+        let occ_hi = occupancy(&device, &KernelDesc::new("hi", hi));
+        prop_assert!(occ_lo.resident_ctas >= occ_hi.resident_ctas);
+    }
+}
+
+#[test]
+fn fusion_occupancy_interaction_matches_section_five() {
+    // §5: all-fusion (110 regs) halves configurable threads relative to
+    // push-pull fusion (48/50 regs); Eq. 1's worked example gives 60
+    // CTAs on a K40.
+    let k40 = DeviceSpec::k40();
+    let all = occupancy(&k40, &KernelDesc::new("all", 110));
+    let fused_push = occupancy(&k40, &KernelDesc::new("push", 48));
+    assert_eq!(all.resident_ctas, 60);
+    assert!(fused_push.resident_threads >= 2 * all.resident_threads);
+}
