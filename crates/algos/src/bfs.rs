@@ -76,7 +76,11 @@ impl AccProgram for Bfs {
 }
 
 /// Runs BFS and returns levels plus the run report.
-pub fn run(graph: &Graph, src: VertexId, config: EngineConfig) -> Result<RunResult<u32>, EngineError> {
+pub fn run(
+    graph: &Graph,
+    src: VertexId,
+    config: EngineConfig,
+) -> Result<RunResult<u32>, EngineError> {
     Engine::new(Bfs::new(src), graph, config).run()
 }
 
@@ -135,8 +139,10 @@ mod tests {
         let src = datasets::default_source(g.out());
         // The twin is shrunk 4x below dataset scale; shrink the device
         // by the same factor so bin capacity tracks frontier volume.
-        let mut cfg = EngineConfig::default();
-        cfg.parallelism_scale = 64 * 4;
+        let cfg = EngineConfig {
+            parallelism_scale: 64 * 4,
+            ..EngineConfig::default()
+        };
         let r = run(&g, src, cfg).expect("bfs");
         assert!(
             r.report.ballot_iterations() > 0,

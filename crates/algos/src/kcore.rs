@@ -91,7 +91,11 @@ impl AccProgram for KCore {
             return None;
         }
         let remaining = current.saturating_sub(update);
-        Some(if remaining < self.k { DELETED } else { remaining })
+        Some(if remaining < self.k {
+            DELETED
+        } else {
+            remaining
+        })
     }
 
     /// Deletions propagate along out-edges; the decomposition runs in

@@ -163,12 +163,8 @@ mod tests {
 
     #[test]
     fn hub_outranks_leaf() {
-        let g = Graph::directed_from_edges(EdgeList::from_pairs(vec![
-            (1, 0),
-            (2, 0),
-            (3, 0),
-            (0, 1),
-        ]));
+        let g =
+            Graph::directed_from_edges(EdgeList::from_pairs(vec![(1, 0), (2, 0), (3, 0), (0, 1)]));
         let r = run(&g, EngineConfig::unscaled()).expect("pagerank");
         assert!(r.meta[0] > r.meta[2]);
     }
@@ -180,8 +176,10 @@ mod tests {
         let g = datasets::dataset("PK").unwrap().build_scaled(4, 4);
         // The twin is shrunk 16x below dataset scale; shrink the device
         // by the same factor so bin capacity tracks frontier volume.
-        let mut cfg = EngineConfig::default();
-        cfg.parallelism_scale = 64 * 16;
+        let cfg = EngineConfig {
+            parallelism_scale: 64 * 16,
+            ..EngineConfig::default()
+        };
         let r = run(&g, cfg).expect("pagerank");
         let first = &r.report.log.records[0];
         assert!(first.overflowed, "iteration 0 should overflow the bins");

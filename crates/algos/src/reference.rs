@@ -204,11 +204,7 @@ mod tests {
 
     fn weighted_diamond() -> Graph {
         // 0 →(1) 1 →(1) 3, 0 →(5) 2 →(1) 3.
-        let el = EdgeList::from_weighted(
-            4,
-            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
-            vec![1, 5, 1, 1],
-        );
+        let el = EdgeList::from_weighted(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)], vec![1, 5, 1, 1]);
         Graph::directed_from_edges(el)
     }
 

@@ -78,7 +78,11 @@ impl AccProgram for Spmv {
 }
 
 /// Runs one SpMV round; returns `y` plus the run report.
-pub fn run(graph: &Graph, x: Vec<f32>, config: EngineConfig) -> Result<RunResult<f32>, EngineError> {
+pub fn run(
+    graph: &Graph,
+    x: Vec<f32>,
+    config: EngineConfig,
+) -> Result<RunResult<f32>, EngineError> {
     Engine::new(Spmv::new(x), graph, config).run()
 }
 

@@ -101,11 +101,7 @@ mod tests {
     use simdx_graph::{datasets, EdgeList};
 
     fn weighted_diamond() -> Graph {
-        let el = EdgeList::from_weighted(
-            4,
-            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
-            vec![1, 5, 1, 1],
-        );
+        let el = EdgeList::from_weighted(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)], vec![1, 5, 1, 1]);
         Graph::directed_from_edges(el)
     }
 
@@ -130,11 +126,8 @@ mod tests {
         // 1 (direct edge, weight 5) and again in iteration 3 (shorter
         // path through d). Reproduce with a long-cheap vs short-costly
         // path pair.
-        let el = EdgeList::from_weighted(
-            4,
-            vec![(0, 1), (0, 2), (2, 3), (3, 1)],
-            vec![10, 1, 1, 1],
-        );
+        let el =
+            EdgeList::from_weighted(4, vec![(0, 1), (0, 2), (2, 3), (3, 1)], vec![10, 1, 1, 1]);
         let g = Graph::directed_from_edges(el);
         let r = run(&g, 0, EngineConfig::unscaled()).expect("sssp");
         assert_eq!(r.meta, vec![0, 3, 1, 2]);

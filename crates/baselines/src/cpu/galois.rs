@@ -18,8 +18,8 @@ use crate::cpu::{host_executor, host_kernel};
 use crate::BaselineError;
 use simdx_core::metrics::{RunReport, RunResult};
 use simdx_core::ActivationLog;
-use simdx_graph::{Graph, VertexId};
 use simdx_gpu::{Cost, GpuExecutor, SchedUnit};
+use simdx_graph::{Graph, VertexId};
 
 /// Configuration for the Galois-style runners.
 #[derive(Clone, Copy, Debug)]

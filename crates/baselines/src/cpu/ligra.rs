@@ -14,8 +14,8 @@ use crate::cpu::{host_executor, host_kernel, real_threads};
 use crate::BaselineError;
 use simdx_core::metrics::{RunReport, RunResult};
 use simdx_core::ActivationLog;
-use simdx_graph::{Graph, VertexId};
 use simdx_gpu::{Cost, GpuExecutor, SchedUnit};
+use simdx_graph::{Graph, VertexId};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Configuration shared by the Ligra-style runners.
@@ -130,7 +130,10 @@ fn relax_run(
                         local
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker"))
+                    .collect()
             })
             .expect("scope");
             collected.into_iter().flatten().collect()
@@ -162,7 +165,10 @@ fn relax_run(
                         local
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker"))
+                    .collect()
             })
             .expect("scope");
             collected.into_iter().flatten().collect()
@@ -213,7 +219,12 @@ fn relax_run(
         iteration += 1;
     }
 
-    finish(name, executor, iteration, dist.iter().map(|d| d.load(Ordering::Relaxed)).collect())
+    finish(
+        name,
+        executor,
+        iteration,
+        dist.iter().map(|d| d.load(Ordering::Relaxed)).collect(),
+    )
 }
 
 /// Ligra BFS (levels).
@@ -293,7 +304,10 @@ pub fn pagerank(
                     (local, moved)
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
         })
         .expect("scope");
 
@@ -377,7 +391,10 @@ pub fn kcore(graph: &Graph, k: u32, cfg: LigraConfig) -> Result<RunResult<u32>, 
                     local
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
         })
         .expect("scope");
 

@@ -22,8 +22,8 @@ use crate::BaselineError;
 use simdx_core::acc::AccProgram;
 use simdx_core::metrics::{RunReport, RunResult};
 use simdx_core::ActivationLog;
-use simdx_graph::{Graph, VertexId};
 use simdx_gpu::{Cost, DeviceSpec, GpuExecutor, KernelDesc, SchedUnit};
+use simdx_graph::{Graph, VertexId};
 
 /// Register consumption of the monolithic shard kernel.
 const SHARD_KERNEL_REGS: u32 = 40;
@@ -83,18 +83,17 @@ impl<'g, P: AccProgram> CushaEngine<'g, P> {
         // Dirty destinations: gathers that could change this iteration.
         let mut dirty = vec![false; n];
         let mut dirty_list: Vec<VertexId> = Vec::new();
-        let mark_from_sources = |sources: &[VertexId],
-                                     dirty: &mut Vec<bool>,
-                                     dirty_list: &mut Vec<VertexId>| {
-            for &v in sources {
-                for &u in out.neighbors(v) {
-                    if !dirty[u as usize] {
-                        dirty[u as usize] = true;
-                        dirty_list.push(u);
+        let mark_from_sources =
+            |sources: &[VertexId], dirty: &mut Vec<bool>, dirty_list: &mut Vec<VertexId>| {
+                for &v in sources {
+                    for &u in out.neighbors(v) {
+                        if !dirty[u as usize] {
+                            dirty[u as usize] = true;
+                            dirty_list.push(u);
+                        }
                     }
                 }
-            }
-        };
+            };
         mark_from_sources(&frontier, &mut dirty, &mut dirty_list);
         // Vertices seeded active also need their own first gather (e.g.
         // PageRank's everything-changed start).
@@ -257,8 +256,7 @@ mod tests {
                 for i in lo..hi {
                     let u = in_.targets()[i];
                     let w = in_.weights().map_or(1, |ws| ws[i]);
-                    if let Some(up) =
-                        program.compute(u, v, w, &prev[u as usize], &curr[v as usize])
+                    if let Some(up) = program.compute(u, v, w, &prev[u as usize], &curr[v as usize])
                     {
                         acc = Some(acc.map_or(up, |a| program.combine(a, up)));
                     }

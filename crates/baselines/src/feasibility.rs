@@ -16,8 +16,8 @@
 //! * Galois "cannot converge for SSSP on ER" and Ligra "fails to obtain
 //!   result for BFS on UK" (§7.1) — encoded as explicit rules.
 
-use simdx_graph::datasets::DatasetSpec;
 use simdx_gpu::DeviceSpec;
+use simdx_graph::datasets::DatasetSpec;
 
 /// The systems compared in Table 4.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -69,8 +69,7 @@ pub enum Infeasible {
 /// §6), with one shared weight array.
 pub fn csr_bytes(spec: &DatasetSpec) -> u64 {
     let orientations = if spec.directed { 2 } else { 1 };
-    orientations * ((spec.paper_vertices + 1) * 8 + spec.paper_edges * 4)
-        + spec.paper_edges * 4
+    orientations * ((spec.paper_vertices + 1) * 8 + spec.paper_edges * 4) + spec.paper_edges * 4
 }
 
 /// Paper-scale bytes of a CuSha G-Shards image: a 16-byte shard entry
@@ -119,9 +118,7 @@ pub fn check(
         (System::CuSha, _) => oom(cusha_bytes(spec)),
         (System::Gunrock, a) => oom(gunrock_bytes(spec, a)),
         // CPU systems have 512 GB; their failures are convergence rules.
-        (System::Galois, Algo::Sssp) if spec.abbrev == "ER" => {
-            Err(Infeasible::DoesNotConverge)
-        }
+        (System::Galois, Algo::Sssp) if spec.abbrev == "ER" => Err(Infeasible::DoesNotConverge),
         (System::Ligra, Algo::Bfs) if spec.abbrev == "UK" => Err(Infeasible::DoesNotConverge),
         (System::Galois | System::Ligra, _) => Ok(()),
     }
@@ -186,9 +183,15 @@ mod tests {
                 check(System::Gunrock, Algo::Sssp, spec(abbrev), &k40()),
                 Err(Infeasible::OutOfMemory { .. })
             ));
-            assert_eq!(check(System::Gunrock, Algo::Bfs, spec(abbrev), &k40()), Ok(()));
+            assert_eq!(
+                check(System::Gunrock, Algo::Bfs, spec(abbrev), &k40()),
+                Ok(())
+            );
         }
-        assert_eq!(check(System::Gunrock, Algo::Sssp, spec("LJ"), &k40()), Ok(()));
+        assert_eq!(
+            check(System::Gunrock, Algo::Sssp, spec("LJ"), &k40()),
+            Ok(())
+        );
     }
 
     #[test]
@@ -197,8 +200,14 @@ mod tests {
             check(System::Gunrock, Algo::KCore, spec("LJ"), &k40()),
             Err(Infeasible::Unsupported)
         );
-        assert_eq!(check(System::Ligra, Algo::KCore, spec("LJ"), &k40()), Ok(()));
-        assert_eq!(check(System::SimdX, Algo::KCore, spec("LJ"), &k40()), Ok(()));
+        assert_eq!(
+            check(System::Ligra, Algo::KCore, spec("LJ"), &k40()),
+            Ok(())
+        );
+        assert_eq!(
+            check(System::SimdX, Algo::KCore, spec("LJ"), &k40()),
+            Ok(())
+        );
     }
 
     #[test]

@@ -20,9 +20,9 @@ use simdx_core::acc::{AccProgram, DirectionCtx};
 use simdx_core::filters::batch;
 use simdx_core::metrics::{RunReport, RunResult};
 use simdx_core::ActivationLog;
+use simdx_gpu::{Cost, DeviceSpec, GpuExecutor, KernelDesc, SchedUnit};
 use simdx_graph::csr::Direction;
 use simdx_graph::{Graph, VertexId};
-use simdx_gpu::{Cost, DeviceSpec, GpuExecutor, KernelDesc, SchedUnit};
 
 /// Gunrock register consumption per kernel (AFC kernels carry atomic
 /// bookkeeping; values in line with the `-Xptxas -v` numbers Gunrock
@@ -110,35 +110,24 @@ impl<'g, P: AccProgram> GunrockEngine<'g, P> {
             match dir {
                 Direction::Push => {
                     // Advance: expand the frontier to an edge list.
-                    let ef = batch::expand(
-                        &frontier,
-                        self.graph.out(),
-                        &mut executor,
-                        &advance_k,
-                        true,
-                    );
+                    let ef =
+                        batch::expand(&frontier, self.graph.out(), &mut executor, &advance_k, true);
                     // Compute: one lane per edge, atomic application.
                     let mut tasks = Vec::with_capacity(ef.edges.len().div_ceil(32));
                     for chunk in ef.edges.chunks(32) {
                         let mut atomics = 0u64;
                         let mut conflicts = 0u64;
                         for &(v, u, w) in chunk {
-                            let up = self.program.compute(
-                                v,
-                                u,
-                                w,
-                                &prev[v as usize],
-                                &curr[u as usize],
-                            );
+                            let up =
+                                self.program
+                                    .compute(v, u, w, &prev[v as usize], &curr[u as usize]);
                             if let Some(up) = up {
                                 atomics += 1;
                                 if stamp[u as usize] == iteration {
                                     conflicts += 1;
                                 }
                                 let first = curr[u as usize] == prev[u as usize];
-                                if let Some(new) =
-                                    self.program.apply(u, &curr[u as usize], up)
-                                {
+                                if let Some(new) = self.program.apply(u, &curr[u as usize], up) {
                                     curr[u as usize] = new;
                                     stamp[u as usize] = iteration;
                                     if first {
@@ -170,13 +159,10 @@ impl<'g, P: AccProgram> GunrockEngine<'g, P> {
                         for i in lo..hi {
                             let u = in_csr.targets()[i];
                             let w = in_csr.weights().map_or(1, |ws| ws[i]);
-                            if let Some(up) = self.program.compute(
-                                u,
-                                v,
-                                w,
-                                &prev[u as usize],
-                                &curr[v as usize],
-                            ) {
+                            if let Some(up) =
+                                self.program
+                                    .compute(u, v, w, &prev[u as usize], &curr[v as usize])
+                            {
                                 acc = Some(match acc {
                                     None => up,
                                     Some(a) => self.program.combine(a, up),
@@ -295,10 +281,7 @@ mod tests {
             .run()
             .expect("gunrock bfs");
         // Three launches per iteration: advance, compute, filter.
-        assert_eq!(
-            gr.report.kernel_launches(),
-            3 * gr.report.iterations as u64
-        );
+        assert_eq!(gr.report.kernel_launches(), 3 * gr.report.iterations as u64);
     }
 
     #[test]

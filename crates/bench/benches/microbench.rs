@@ -7,15 +7,16 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simdx_algos::bfs::Bfs;
+use simdx_algos::pagerank::PageRank;
 use simdx_core::acc::{AccProgram, CombineKind};
 use simdx_core::filters::{ballot, online, strided};
 use simdx_core::frontier::ThreadBins;
-use simdx_core::{Engine, EngineConfig};
-use simdx_graph::gen::{ChungLu, Road};
-use simdx_graph::{datasets, Graph, VertexId, Weight};
+use simdx_core::{Engine, EngineConfig, ExecMode};
 use simdx_gpu::occupancy::occupancy;
 use simdx_gpu::warp;
 use simdx_gpu::{DeviceSpec, GpuExecutor, KernelDesc};
+use simdx_graph::gen::{ChungLu, Road};
+use simdx_graph::{datasets, Graph, VertexId, Weight};
 
 /// Minimal program for the filter benches.
 struct Diff;
@@ -88,7 +89,9 @@ fn bench_filters(c: &mut Criterion) {
 fn bench_warp_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("warp");
     let preds = [true; 32];
-    group.bench_function("ballot", |b| b.iter(|| warp::ballot(std::hint::black_box(&preds))));
+    group.bench_function("ballot", |b| {
+        b.iter(|| warp::ballot(std::hint::black_box(&preds)))
+    });
     let vals: Vec<u32> = (0..32).collect();
     group.bench_function("reduce_min", |b| {
         b.iter(|| warp::reduce(std::hint::black_box(&vals), u32::min))
@@ -131,12 +134,45 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_exec_modes(c: &mut Criterion) {
+    // A/B of the host execution backends on one skewed graph; the
+    // results are bit-equal by contract, so this measures pure host
+    // throughput. See also `snapshot` for the persisted JSON form.
+    let g = datasets::dataset("PK").expect("PK").build_scaled(3, 2);
+    let src = datasets::default_source(g.out());
+    let modes = [
+        ExecMode::Serial,
+        ExecMode::Parallel { threads: 2 },
+        ExecMode::Parallel { threads: 0 },
+    ];
+    let mut group = c.benchmark_group("exec_mode");
+    group.sample_size(10);
+    for mode in modes {
+        group.bench_with_input(BenchmarkId::new("bfs", mode.label()), &g, |b, g| {
+            b.iter(|| {
+                Engine::new(Bfs::new(src), g, EngineConfig::default().with_exec(mode))
+                    .run()
+                    .expect("bfs")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pagerank", mode.label()), &g, |b, g| {
+            b.iter(|| {
+                Engine::new(PageRank::new(g), g, EngineConfig::default().with_exec(mode))
+                    .run()
+                    .expect("pagerank")
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_filters,
     bench_warp_primitives,
     bench_occupancy,
     bench_generators,
-    bench_engine
+    bench_engine,
+    bench_exec_modes
 );
 criterion_main!(benches);

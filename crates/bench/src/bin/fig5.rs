@@ -67,6 +67,10 @@ fn main() {
         row.push(format!("{:.2}", (log_sum / n as f64).exp()));
         rows.push(row);
     }
-    print_table("Figure 5: ACC speedup over Gunrock (atomic updates)", &header, &rows);
+    print_table(
+        "Figure 5: ACC speedup over Gunrock (atomic updates)",
+        &header,
+        &rows,
+    );
     println!("\nPaper: vote avg 1.12x, aggregation avg 1.09x.");
 }

@@ -18,10 +18,16 @@ fn pattern_row(abbrev: &str, report: &RunReport) -> Vec<String> {
 }
 
 fn main() {
-    let header = ["Graph", "Iter", "Online", "Ballot", "Pattern (o=online, B=ballot)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect::<Vec<_>>();
+    let header = [
+        "Graph",
+        "Iter",
+        "Online",
+        "Ballot",
+        "Pattern (o=online, B=ballot)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect::<Vec<_>>();
 
     for algo in ["BFS", "k-Core", "SSSP"] {
         let mut rows = Vec::new();
@@ -30,16 +36,32 @@ fn main() {
             let src = source(&g);
             let cfg = EngineConfig::default();
             let report = match algo {
-                "BFS" => Engine::new(Bfs::new(src), &g, cfg).run().expect("bfs").report,
-                "k-Core" => Engine::new(KCore::new(16), &g, cfg)
-                    .run()
-                    .expect("kcore")
-                    .report,
-                _ => Engine::new(Sssp::new(src), &g, cfg).run().expect("sssp").report,
+                "BFS" => {
+                    Engine::new(Bfs::new(src), &g, cfg)
+                        .run()
+                        .expect("bfs")
+                        .report
+                }
+                "k-Core" => {
+                    Engine::new(KCore::new(16), &g, cfg)
+                        .run()
+                        .expect("kcore")
+                        .report
+                }
+                _ => {
+                    Engine::new(Sssp::new(src), &g, cfg)
+                        .run()
+                        .expect("sssp")
+                        .report
+                }
             };
             rows.push(pattern_row(abbrev, &report));
         }
-        print_table(&format!("Figure 8 ({algo}): filter activation"), &header, &rows);
+        print_table(
+            &format!("Figure 8 ({algo}): filter activation"),
+            &header,
+            &rows,
+        );
     }
     println!(
         "\nPaper shape: BFS/SSSP go online->ballot->online on social/web graphs; \

@@ -58,8 +58,12 @@ fn main() {
             .elapsed_ms;
         let mut best = f64::INFINITY;
         for policy in [FilterPolicy::BallotOnly, FilterPolicy::OnlineOnly] {
-            if let Ok(r) =
-                Engine::new(Sssp::new(src), &g, EngineConfig::default().with_filter(policy)).run()
+            if let Ok(r) = Engine::new(
+                Sssp::new(src),
+                &g,
+                EngineConfig::default().with_filter(policy),
+            )
+            .run()
             {
                 best = best.min(r.report.elapsed_ms);
             }

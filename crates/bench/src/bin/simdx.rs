@@ -22,8 +22,8 @@
 
 use simdx_algos::{bfs, bp, kcore, pagerank, spmv, sssp, wcc};
 use simdx_core::{EngineConfig, FilterPolicy, FusionStrategy, RunReport};
-use simdx_graph::{datasets, io, weights, Graph};
 use simdx_gpu::DeviceSpec;
+use simdx_graph::{datasets, io, weights, Graph};
 
 fn usage() -> ! {
     eprintln!(
@@ -167,7 +167,12 @@ fn main() {
             r.report
         }),
         "sssp" => sssp::run(&g, src, cfg).map(|r| {
-            let far = r.meta.iter().filter(|&&d| d != u32::MAX).max().unwrap_or(&0);
+            let far = r
+                .meta
+                .iter()
+                .filter(|&&d| d != u32::MAX)
+                .max()
+                .unwrap_or(&0);
             println!("max distance     : {far} from source {src}");
             r.report
         }),

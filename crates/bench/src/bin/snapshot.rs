@@ -1,0 +1,257 @@
+//! Machine-readable host-performance snapshot: writes
+//! `BENCH_engine.json` with *wall-clock* engine runtimes (not simulated
+//! cycles — those are identical by the determinism contract) for every
+//! algorithm × graph × [`ExecMode`], so the repo's perf trajectory is
+//! comparable across commits.
+//!
+//! Usage:
+//!
+//! ```text
+//! snapshot [--scale N] [--reps R] [--out PATH] [--threads a,b,...]
+//! ```
+//!
+//! `--scale` sets the RMAT/ER vertex scale (default 15, ~260k directed
+//! edges; use 17 for the ~1M-edge acceptance graph). Each cell reports
+//! the best of `--reps` runs (default 3). Thread lists default to
+//! `2,4` plus the machine width; serial is always measured.
+
+use simdx_algos::{bfs::Bfs, kcore::KCore, pagerank::PageRank, sssp::Sssp};
+use simdx_core::{Engine, EngineConfig, ExecMode};
+use simdx_graph::gen::{Erdos, Rmat, Road};
+use simdx_graph::{weights, Graph};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Args {
+    scale: u32,
+    reps: u32,
+    out: String,
+    threads: Vec<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 15,
+        reps: 3,
+        out: "BENCH_engine.json".to_string(),
+        threads: default_threads(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--scale" => args.scale = value().parse().expect("--scale N"),
+            "--reps" => args.reps = value().parse::<u32>().expect("--reps R").max(1),
+            "--out" => args.out = value(),
+            "--threads" => {
+                args.threads = value()
+                    .split(',')
+                    .map(|t| t.parse().expect("--threads a,b,..."))
+                    .collect();
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn default_threads() -> Vec<usize> {
+    let width = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut t = vec![2, 4, width];
+    t.retain(|&x| x >= 2);
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
+/// One measured cell.
+struct Sample {
+    algorithm: &'static str,
+    graph: String,
+    num_vertices: u32,
+    num_edges: u64,
+    mode: String,
+    /// Best-of-reps wall-clock milliseconds of the host computation.
+    wall_ms: f64,
+    /// Simulated milliseconds (identical across modes by contract).
+    simulated_ms: f64,
+    iterations: u32,
+}
+
+fn measure(
+    samples: &mut Vec<Sample>,
+    algorithm: &'static str,
+    graph_name: &str,
+    g: &Graph,
+    modes: &[ExecMode],
+    reps: u32,
+    run: impl Fn(EngineConfig) -> (f64, u32),
+) {
+    for &mode in modes {
+        let mut best_wall = f64::INFINITY;
+        let mut sim = 0.0;
+        let mut iters = 0;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let (simulated_ms, iterations) = run(EngineConfig::default().with_exec(mode));
+            let wall = start.elapsed().as_secs_f64() * 1e3;
+            best_wall = best_wall.min(wall);
+            sim = simulated_ms;
+            iters = iterations;
+        }
+        eprintln!(
+            "{algorithm:>8} × {graph_name:<8} × {:<12} {best_wall:>9.2} ms wall",
+            mode.label()
+        );
+        samples.push(Sample {
+            algorithm,
+            graph: graph_name.to_string(),
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+            mode: mode.label(),
+            wall_ms: best_wall,
+            simulated_ms: sim,
+            iterations: iters,
+        });
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args = parse_args();
+    let mut modes = vec![ExecMode::Serial];
+    modes.extend(
+        args.threads
+            .iter()
+            .map(|&t| ExecMode::Parallel { threads: t }),
+    );
+
+    // The three structural classes the equivalence suite uses, at
+    // snapshot scale. RMAT is the skewed acceptance graph.
+    let rmat = Graph::directed_from_edges(Rmat::gtgraph(args.scale, 8).generate(5));
+    let rmat_w = Graph::directed_from_edges(weights::assign_default_weights(
+        &Rmat::gtgraph(args.scale, 8).generate(5),
+        9,
+    ));
+    let rmat_u = Graph::undirected_from_edges(Rmat::gtgraph(args.scale, 8).generate(5));
+    let er = Graph::directed_from_edges(Erdos::new(1 << args.scale, 8).generate(5));
+    let road = Graph::undirected_from_edges(Road::strip(1 << (args.scale / 2), 64).generate(5));
+
+    let mut samples = Vec::new();
+    let src = 0;
+
+    measure(
+        &mut samples,
+        "bfs",
+        "rmat",
+        &rmat,
+        &modes,
+        args.reps,
+        |cfg| {
+            let r = bfs_run(&rmat, src, cfg);
+            (r.0, r.1)
+        },
+    );
+    measure(&mut samples, "bfs", "er", &er, &modes, args.reps, |cfg| {
+        bfs_run(&er, src, cfg)
+    });
+    measure(
+        &mut samples,
+        "bfs",
+        "road",
+        &road,
+        &modes,
+        args.reps,
+        |cfg| bfs_run(&road, src, cfg),
+    );
+    measure(
+        &mut samples,
+        "sssp",
+        "rmat",
+        &rmat_w,
+        &modes,
+        args.reps,
+        |cfg| {
+            let r = Engine::new(Sssp::new(src), &rmat_w, cfg)
+                .run()
+                .expect("sssp");
+            (r.report.elapsed_ms, r.report.iterations)
+        },
+    );
+    measure(
+        &mut samples,
+        "pagerank",
+        "rmat",
+        &rmat,
+        &modes,
+        args.reps,
+        |cfg| {
+            let r = Engine::new(PageRank::new(&rmat), &rmat, cfg)
+                .run()
+                .expect("pr");
+            (r.report.elapsed_ms, r.report.iterations)
+        },
+    );
+    measure(
+        &mut samples,
+        "kcore",
+        "rmat",
+        &rmat_u,
+        &modes,
+        args.reps,
+        |cfg| {
+            let r = Engine::new(KCore::new(8), &rmat_u, cfg)
+                .run()
+                .expect("kcore");
+            (r.report.elapsed_ms, r.report.iterations)
+        },
+    );
+
+    // Hand-rolled JSON (the workspace builds without a registry; see
+    // crates/compat/README.md).
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"simdx-bench-engine/1\",\n");
+    let _ = writeln!(out, "  \"scale\": {},", args.scale);
+    let _ = writeln!(out, "  \"reps\": {},", args.reps);
+    let _ = writeln!(
+        out,
+        "  \"host_threads\": {},",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    out.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"algorithm\": \"{}\", \"graph\": \"{}\", \"num_vertices\": {}, \
+             \"num_edges\": {}, \"mode\": \"{}\", \"wall_ms\": {:.3}, \
+             \"simulated_ms\": {:.3}, \"iterations\": {}}}",
+            json_escape(s.algorithm),
+            json_escape(&s.graph),
+            s.num_vertices,
+            s.num_edges,
+            json_escape(&s.mode),
+            s.wall_ms,
+            s.simulated_ms,
+            s.iterations
+        );
+        out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&args.out, &out).expect("write snapshot");
+    eprintln!("wrote {}", args.out);
+}
+
+fn bfs_run(g: &Graph, src: u32, cfg: EngineConfig) -> (f64, u32) {
+    let r = Engine::new(Bfs::new(src), g, cfg).run().expect("bfs");
+    (r.report.elapsed_ms, r.report.iterations)
+}

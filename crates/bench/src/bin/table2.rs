@@ -10,23 +10,56 @@ use simdx_algos::sssp::Sssp;
 use simdx_bench::{load, print_table, source};
 use simdx_core::fusion::{registers, FusionPlan, FusionStrategy, KernelRole};
 use simdx_core::{Engine, EngineConfig};
-use simdx_graph::csr::Direction;
 use simdx_gpu::SchedUnit;
+use simdx_graph::csr::Direction;
 
 fn main() {
     // Static register table.
-    let header = ["Kernel", "Registers"].iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let header = ["Kernel", "Registers"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>();
     let rows = vec![
-        vec!["push Thread (no fusion)".into(), registers::PUSH_THREAD.to_string()],
-        vec!["push Warp (no fusion)".into(), registers::PUSH_WARP.to_string()],
-        vec!["push CTA (no fusion)".into(), registers::PUSH_CTA.to_string()],
-        vec!["push task mgmt (no fusion)".into(), registers::PUSH_TASK_MGMT.to_string()],
-        vec!["pull Thread (no fusion)".into(), registers::PULL_THREAD.to_string()],
-        vec!["pull Warp (no fusion)".into(), registers::PULL_WARP.to_string()],
-        vec!["pull CTA (no fusion)".into(), registers::PULL_CTA.to_string()],
-        vec!["pull task mgmt (no fusion)".into(), registers::PULL_TASK_MGMT.to_string()],
-        vec!["selective fusion: push".into(), registers::FUSED_PUSH.to_string()],
-        vec!["selective fusion: pull".into(), registers::FUSED_PULL.to_string()],
+        vec![
+            "push Thread (no fusion)".into(),
+            registers::PUSH_THREAD.to_string(),
+        ],
+        vec![
+            "push Warp (no fusion)".into(),
+            registers::PUSH_WARP.to_string(),
+        ],
+        vec![
+            "push CTA (no fusion)".into(),
+            registers::PUSH_CTA.to_string(),
+        ],
+        vec![
+            "push task mgmt (no fusion)".into(),
+            registers::PUSH_TASK_MGMT.to_string(),
+        ],
+        vec![
+            "pull Thread (no fusion)".into(),
+            registers::PULL_THREAD.to_string(),
+        ],
+        vec![
+            "pull Warp (no fusion)".into(),
+            registers::PULL_WARP.to_string(),
+        ],
+        vec![
+            "pull CTA (no fusion)".into(),
+            registers::PULL_CTA.to_string(),
+        ],
+        vec![
+            "pull task mgmt (no fusion)".into(),
+            registers::PULL_TASK_MGMT.to_string(),
+        ],
+        vec![
+            "selective fusion: push".into(),
+            registers::FUSED_PUSH.to_string(),
+        ],
+        vec![
+            "selective fusion: pull".into(),
+            registers::FUSED_PULL.to_string(),
+        ],
         vec!["all fusion".into(), registers::ALL_FUSION.to_string()],
     ];
     print_table("Table 2a: register consumption per kernel", &header, &rows);
@@ -42,10 +75,15 @@ fn main() {
     // Measured launch counts: SSSP on ER maximizes iteration count.
     let (_, g) = load("ER");
     let src = source(&g);
-    let header = ["Strategy", "Kernel launches", "Iterations", "Barrier passes"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect::<Vec<_>>();
+    let header = [
+        "Strategy",
+        "Kernel launches",
+        "Iterations",
+        "Barrier passes",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect::<Vec<_>>();
     let mut rows = Vec::new();
     for (label, strategy) in [
         ("no fusion", FusionStrategy::None),
@@ -53,7 +91,9 @@ fn main() {
         ("all fusion", FusionStrategy::All),
     ] {
         let cfg = EngineConfig::default().with_fusion(strategy);
-        let r = Engine::new(Sssp::new(src), &g, cfg).run().expect("sssp run");
+        let r = Engine::new(Sssp::new(src), &g, cfg)
+            .run()
+            .expect("sssp run");
         rows.push(vec![
             label.to_string(),
             r.report.kernel_launches().to_string(),
@@ -66,7 +106,5 @@ fn main() {
         &header,
         &rows,
     );
-    println!(
-        "\nPaper: up to 40,688 launches unfused, 3 with push-pull fusion, 1 all-fused."
-    );
+    println!("\nPaper: up to 40,688 launches unfused, 3 with push-pull fusion, 1 all-fused.");
 }

@@ -6,7 +6,14 @@ use simdx_graph::stats;
 
 fn main() {
     let header = [
-        "Graph", "Abbrev", "Class", "Paper |V|", "Paper |E|", "Twin |V|", "Twin |E|", "Twin diam",
+        "Graph",
+        "Abbrev",
+        "Class",
+        "Paper |V|",
+        "Paper |E|",
+        "Twin |V|",
+        "Twin |E|",
+        "Twin diam",
         "Gini",
     ]
     .iter()
@@ -29,5 +36,9 @@ fn main() {
             format!("{gini:.2}"),
         ]);
     }
-    print_table("Table 3: graph datasets (paper scale vs 1/64 twins)", &header, &rows);
+    print_table(
+        "Table 3: graph datasets (paper scale vs 1/64 twins)",
+        &header,
+        &rows,
+    );
 }

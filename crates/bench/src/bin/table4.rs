@@ -32,9 +32,7 @@ fn main() {
 
         let mut all_cells: Vec<(usize, Vec<Cell>)> = Vec::new();
         for (si, (_, system)) in systems.iter().enumerate() {
-            if matches!(algo, Algo::KCore)
-                && !matches!(system, System::SimdX | System::Ligra)
-            {
+            if matches!(algo, Algo::KCore) && !matches!(system, System::SimdX | System::Ligra) {
                 continue;
             }
             let cells: Vec<Cell> = graphs

@@ -12,9 +12,9 @@ use simdx_baselines::cusha::{CushaConfig, CushaEngine};
 use simdx_baselines::feasibility::{self, Algo, System};
 use simdx_baselines::gunrock::{GunrockConfig, GunrockEngine};
 use simdx_core::{Engine, EngineConfig, RunReport};
+use simdx_gpu::DeviceSpec;
 use simdx_graph::datasets::{self, DatasetSpec};
 use simdx_graph::{Graph, VertexId};
-use simdx_gpu::DeviceSpec;
 
 /// Fixed generation seed so every binary sees identical graphs.
 pub const SEED: u64 = 3;
@@ -54,7 +54,9 @@ pub fn run_cell(system: System, algo: Algo, spec: &DatasetSpec, g: &Graph) -> Ce
             let report = match algo {
                 Algo::Bfs => Engine::new(Bfs::new(src), g, cfg).run().map(|r| r.report),
                 Algo::Sssp => Engine::new(Sssp::new(src), g, cfg).run().map(|r| r.report),
-                Algo::PageRank => Engine::new(PageRank::new(g), g, cfg).run().map(|r| r.report),
+                Algo::PageRank => Engine::new(PageRank::new(g), g, cfg)
+                    .run()
+                    .map(|r| r.report),
                 Algo::KCore => Engine::new(KCore::new(TABLE4_K), g, cfg)
                     .run()
                     .map(|r| r.report),

@@ -1,0 +1,73 @@
+//! Offline stub for `crossbeam::scope`, implemented over
+//! `std::thread::scope` (stable since Rust 1.63 — scoped threads no
+//! longer need an external crate, but the seed sources use crossbeam's
+//! spelling). Only the API surface the workspace uses is provided:
+//! `scope`, `Scope::spawn` (whose closure receives a placeholder `()`
+//! instead of a nested `&Scope` — every call site ignores the argument)
+//! and `ScopedJoinHandle::join`. See `crates/compat/README.md`.
+
+use std::any::Any;
+use std::thread;
+
+/// Error type matching `crossbeam::thread::Result`'s payload.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Runs `f` with a scope handle; spawned threads may borrow from the
+/// enclosing stack frame and are all joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope(s))))
+}
+
+/// Scope handle for spawning borrowing threads.
+pub struct Scope<'scope, 'env>(&'scope thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure's argument is a placeholder
+    /// for crossbeam's nested-`&Scope` parameter.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle(self.0.spawn(move || f(())))
+    }
+}
+
+/// Join handle of a scoped thread.
+pub struct ScopedJoinHandle<'scope, T>(thread::ScopedJoinHandle<'scope, T>);
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread, returning its result or the panic payload.
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.0.join()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u32, 2, 3, 4];
+        let sum: u32 = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|part| s.spawn(move |_| part.iter().sum::<u32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn panic_surfaces_through_join() {
+        super::scope(|s| {
+            let h = s.spawn(|_| -> () { panic!("boom") });
+            assert!(h.join().is_err());
+        })
+        .unwrap();
+    }
+}

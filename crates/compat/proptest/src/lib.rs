@@ -1,0 +1,301 @@
+//! Offline stub for the subset of `proptest` the integration tests use:
+//! the `proptest!` macro over range and `prop::sample::select`
+//! strategies, `prop_assert!`, and `ProptestConfig::with_cases`.
+//!
+//! Unlike the real crate there is no shrinking and no persisted failure
+//! seeds — cases are drawn from a deterministic splitmix64 stream, so a
+//! failure reproduces identically on every run. That trade is fine for
+//! this workspace: the properties are cheap invariants over small
+//! numeric domains. See `crates/compat/README.md`.
+
+/// Failure raised by `prop_assert!`.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic sample stream for one property run.
+#[derive(Clone, Debug)]
+pub struct SampleRng(u64);
+
+impl SampleRng {
+    /// Seeds the stream (the macro derives the seed from the case index).
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next 64-bit draw (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value generator (`x in strategy` in the macro).
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn proptest_sample(&self, rng: &mut SampleRng) -> Self::Value;
+
+    /// Derives a dependent strategy from each drawn value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Strategy always yielding a fixed value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn proptest_sample(&self, _rng: &mut SampleRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn proptest_sample(&self, rng: &mut SampleRng) -> Self::Value {
+        let v = self.base.proptest_sample(rng);
+        (self.f)(v).proptest_sample(rng)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn proptest_sample(&self, rng: &mut SampleRng) -> Self::Value {
+        (self.0.proptest_sample(rng), self.1.proptest_sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn proptest_sample(&self, rng: &mut SampleRng) -> Self::Value {
+        (
+            self.0.proptest_sample(rng),
+            self.1.proptest_sample(rng),
+            self.2.proptest_sample(rng),
+        )
+    }
+}
+
+/// Collection strategies under their real-crate path.
+pub mod collection {
+    use crate::{SampleRng, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` with length drawn from `size` and elements
+    /// from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn proptest_sample(&self, rng: &mut SampleRng) -> Self::Value {
+            let len = self.size.proptest_sample(rng);
+            (0..len)
+                .map(|_| self.element.proptest_sample(rng))
+                .collect()
+        }
+    }
+
+    /// Vec strategy constructor (`proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn proptest_sample(&self, rng: &mut SampleRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Strategy combinators under their real-crate paths.
+pub mod prop {
+    /// Sampling combinators.
+    pub mod sample {
+        use crate::{SampleRng, Strategy};
+
+        /// Uniform choice from a fixed set.
+        pub struct Select<T>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn proptest_sample(&self, rng: &mut SampleRng) -> T {
+                assert!(!self.0.is_empty(), "select over empty set");
+                let idx = ((rng.next_u64() as u128 * self.0.len() as u128) >> 64) as usize;
+                self.0[idx].clone()
+            }
+        }
+
+        /// Strategy drawing uniformly from `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            Select(options)
+        }
+    }
+}
+
+/// Everything the `use proptest::prelude::*` sites need.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, SampleRng, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Asserts inside a property body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "property assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}) at {}:{}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError(format!(
+                "{}: {:?} vs {:?}",
+                format!($($fmt)+),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+/// Declares deterministic property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` expands to a `#[test]`
+/// looping over `cases` samples; the body may use `prop_assert!` and
+/// `return Ok(())`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)+
+    ) => {
+        $crate::proptest!(@inner ($cfg) $($rest)+);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $($rest:tt)+
+    ) => {
+        $crate::proptest!(
+            @inner ($crate::ProptestConfig::default())
+            $(#[$meta])* fn $($rest)+);
+    };
+    (
+        @inner ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::SampleRng::new(
+                        0x5EED ^ ((case as u64) << 1));
+                    $(
+                        let $arg = $crate::Strategy::proptest_sample(
+                            &($strat), &mut rng);
+                    )+
+                    let outcome: Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "{} failed at case {case}: {}",
+                            stringify!($name), e.0
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}

@@ -55,7 +55,13 @@ pub struct DirectionCtx {
 /// `Meta` is the per-vertex algorithmic metadata (the "distance array"
 /// of Fig. 1), kept in current/previous pairs so `active` can compare
 /// across iterations.
-pub trait AccProgram {
+///
+/// Programs must be `Sync`: the engine's parallel host backend
+/// ([`crate::config::ExecMode::Parallel`]) shares the program across
+/// its worker threads. ACC functions are pure per-vertex/per-edge logic
+/// over immutable `&self`, so this holds structurally for every
+/// implementation.
+pub trait AccProgram: Sync {
     /// Per-vertex metadata.
     type Meta: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static;
     /// The value produced by `compute` on one edge and folded by
@@ -100,8 +106,7 @@ pub trait AccProgram {
     /// Applies a combined update to `v`'s metadata. Returns the new
     /// metadata if the vertex actually changed, `None` otherwise; the
     /// engine uses the change signal to feed the online filter.
-    fn apply(&self, v: VertexId, current: &Self::Meta, update: Self::Update)
-        -> Option<Self::Meta>;
+    fn apply(&self, v: VertexId, current: &Self::Meta, update: Self::Update) -> Option<Self::Meta>;
 
     /// Whether an applied change activates `v` for the next iteration
     /// (i.e. gets recorded by the online filter). Defaults to `true`.

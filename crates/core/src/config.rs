@@ -18,6 +18,48 @@ pub enum FilterPolicy {
     OnlineOnly,
 }
 
+/// Host execution backend for the engine's per-iteration hot path.
+///
+/// Both modes produce **bit-equal results**: identical metadata,
+/// identical iteration logs and identical simulated cycle counts (the
+/// determinism contract in `crates/core/README.md`). `Parallel` only
+/// changes how fast the host computes them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Single-threaded reference path.
+    #[default]
+    Serial,
+    /// Multi-threaded path over a persistent worker pool.
+    Parallel {
+        /// Worker count; `0` resolves to the machine's available
+        /// parallelism at run time.
+        threads: usize,
+    },
+}
+
+impl ExecMode {
+    /// Resolved worker count: `Serial` is 1, `Parallel { threads: 0 }`
+    /// asks the OS.
+    pub fn worker_count(&self) -> usize {
+        match *self {
+            Self::Serial => 1,
+            Self::Parallel { threads: 0 } => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Self::Parallel { threads } => threads,
+        }
+    }
+
+    /// Short label for reports and bench artifacts.
+    pub fn label(&self) -> String {
+        match *self {
+            Self::Serial => "serial".to_string(),
+            Self::Parallel { threads: 0 } => "parallel/auto".to_string(),
+            Self::Parallel { threads } => format!("parallel/{threads}"),
+        }
+    }
+}
+
 /// Push/pull direction selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DirectionPolicy {
@@ -63,6 +105,8 @@ pub struct EngineConfig {
     pub direction: DirectionPolicy,
     /// Hard iteration cap (defense against non-converging programs).
     pub max_iterations: u32,
+    /// Host execution backend (serial reference vs worker pool).
+    pub exec: ExecMode,
 }
 
 impl Default for EngineConfig {
@@ -77,6 +121,7 @@ impl Default for EngineConfig {
             parallelism_scale: 64,
             direction: DirectionPolicy::default(),
             max_iterations: 100_000,
+            exec: ExecMode::Serial,
         }
     }
 }
@@ -121,6 +166,18 @@ impl EngineConfig {
         self.direction = direction;
         self
     }
+
+    /// Builder: set the host execution backend.
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Builder: parallel host execution with `threads` workers (0 =
+    /// available parallelism).
+    pub fn parallel(self, threads: usize) -> Self {
+        self.with_exec(ExecMode::Parallel { threads })
+    }
 }
 
 #[cfg(test)]
@@ -149,5 +206,17 @@ mod tests {
         assert_eq!(c.filter, FilterPolicy::BallotOnly);
         assert_eq!(c.fusion, FusionStrategy::None);
         assert_eq!(c.overflow_threshold, 8);
+    }
+
+    #[test]
+    fn exec_mode_resolution() {
+        assert_eq!(ExecMode::Serial.worker_count(), 1);
+        assert_eq!(ExecMode::Parallel { threads: 4 }.worker_count(), 4);
+        assert!(ExecMode::Parallel { threads: 0 }.worker_count() >= 1);
+        assert_eq!(ExecMode::Serial.label(), "serial");
+        assert_eq!(ExecMode::Parallel { threads: 4 }.label(), "parallel/4");
+        let c = EngineConfig::unscaled().parallel(2);
+        assert_eq!(c.exec, ExecMode::Parallel { threads: 2 });
+        assert_eq!(EngineConfig::default().exec, ExecMode::Serial);
     }
 }

@@ -17,6 +17,35 @@
 //! All metadata updates are performed exactly (the result is bit-equal
 //! to a sequential reference); the executor charges simulated cycles for
 //! every step so the report reflects the paper's cost structure.
+//!
+//! # Host execution backends
+//!
+//! [`crate::config::ExecMode`] selects how the *host* computes an
+//! iteration. `Serial`
+//! is the single-threaded reference; `Parallel` distributes every hot
+//! step over a persistent [`WorkerPool`] while producing **bit-equal
+//! reports** — identical metadata, logs and simulated cycle counts. The
+//! strategies (documented in `crates/core/README.md`):
+//!
+//! * *Push compute is destination-sharded.* Each worker owns a
+//!   contiguous vertex range of `metadata_curr` (balanced by in-degree)
+//!   and replays the full task list, applying only the edges that land
+//!   in its range. Sources read the immutable `metadata_prev` snapshot,
+//!   so a destination's update sequence depends only on the edges that
+//!   target it — every worker therefore observes exactly the serial
+//!   subsequence for its vertices, preserving order-sensitive results
+//!   (PageRank's float accumulation, cost `writes` counts) bit for bit.
+//! * *Pull compute, classification, candidate sweeps, degree sums and
+//!   the ballot scan are task-chunked.* Contiguous chunks concatenated
+//!   in worker order reproduce the serial order exactly.
+//! * *Online-filter records are deferred and replayed.* Workers emit
+//!   `(task, edge)`-keyed records; the engine sorts and replays them
+//!   into [`ThreadBins`] in serial order, reproducing bin contents and
+//!   overflow behaviour exactly.
+//! * *Costs are charged identically.* Task-cost vectors are assembled
+//!   in serial order (or charged from per-worker partitions via
+//!   [`GpuExecutor::run_kernel_parts`], which preserves the logical
+//!   sequence), so the simulated device sees the same work either way.
 
 use crate::acc::{AccProgram, CombineKind, DirectionCtx};
 use crate::config::{DirectionPolicy, EngineConfig};
@@ -25,9 +54,11 @@ use crate::frontier::{ThreadBins, Worklists};
 use crate::fusion::{FusionPlan, KernelRole};
 use crate::jit::{ActivationLog, EngineError, IterationRecord, JitController};
 use crate::metrics::{RunReport, RunResult};
+use crate::par::{chunk_range, WorkerPool};
+use crate::scratch::{IterScratch, RecordEntry, WorkerScratch};
+use simdx_gpu::{Cost, GpuExecutor, SchedUnit};
 use simdx_graph::csr::{Csr, Direction};
 use simdx_graph::{Graph, VertexId};
-use simdx_gpu::{Cost, GpuExecutor, SchedUnit};
 
 /// The SIMD-X engine: a program, a graph and a configuration.
 pub struct Engine<'g, P: AccProgram> {
@@ -59,30 +90,45 @@ impl<'g, P: AccProgram> Engine<'g, P> {
     /// Runs the program to convergence, returning final metadata and the
     /// run report.
     pub fn run(&mut self) -> Result<RunResult<P::Meta>, EngineError> {
-        let n = self.graph.num_vertices() as usize;
-        let num_edges = self.graph.num_edges();
+        let program = &self.program;
+        let graph = self.graph;
+        let n = graph.num_vertices() as usize;
+        let num_edges = graph.num_edges();
         let mut executor = GpuExecutor::new(self.config.device.clone());
         executor.set_scale(self.config.parallelism_scale);
         let mut plan = FusionPlan::new(self.config.fusion, self.config.threads_per_cta);
         let jit = JitController::new(self.config.filter);
 
-        let (mut curr, mut frontier) = self.program.init(self.graph);
+        // Host backend: a persistent pool for Parallel mode; a resolved
+        // width of 1 falls back to the serial path outright.
+        let threads = self.config.exec.worker_count().max(1);
+        let pool = (threads > 1).then(|| WorkerPool::new(threads));
+        let threads = pool.as_ref().map_or(1, WorkerPool::threads);
+        let mut scratch = IterScratch::<P::Meta>::new(threads);
+        let IterScratch {
+            lists,
+            cands,
+            tasks,
+            mgmt_tasks,
+            vote_scan_tasks,
+            changed,
+            dirty_stamp,
+            records,
+            bins,
+            next,
+            push_bounds,
+            workers,
+        } = &mut scratch;
+
+        let (mut curr, mut frontier) = program.init(graph);
         assert_eq!(curr.len(), n, "init must produce one metadata per vertex");
         let mut prev = curr.clone();
-        let mut changed: Vec<VertexId> = Vec::new();
         let mut log = ActivationLog::default();
-        let mut bins = ThreadBins::new(1, self.config.overflow_threshold);
         let mut prev_dir = Direction::Push;
         let mut iteration = 0u32;
-        // Per-iteration stamps for the aggregation-pull dirty marking.
-        let mut dirty_stamp: Vec<u32> = Vec::new();
 
         loop {
-            if frontier.is_empty()
-                || self
-                    .program
-                    .converged(iteration, frontier.len() as u64, &curr)
-            {
+            if frontier.is_empty() || program.converged(iteration, frontier.len() as u64, &curr) {
                 break;
             }
             if iteration >= self.config.max_iterations {
@@ -93,8 +139,21 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             let cycles_before = executor.stats().total_cycles;
 
             // 1. Direction.
-            let out_csr = self.graph.out();
-            let degree_sum: u64 = frontier.iter().map(|&v| out_csr.degree(v) as u64).sum();
+            let out_csr = graph.out();
+            let degree_sum: u64 = match &pool {
+                None => frontier.iter().map(|&v| out_csr.degree(v) as u64).sum(),
+                Some(pool) => {
+                    let frontier = &frontier;
+                    pool.for_each_worker(workers, |w, ws| {
+                        let (lo, hi) = chunk_range(frontier.len(), threads, w);
+                        ws.degree_sum = frontier[lo..hi]
+                            .iter()
+                            .map(|&v| out_csr.degree(v) as u64)
+                            .sum();
+                    });
+                    workers.iter().map(|ws| ws.degree_sum).sum()
+                }
+            };
             let ctx = DirectionCtx {
                 iteration,
                 frontier_len: frontier.len() as u64,
@@ -103,22 +162,30 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 num_edges,
                 previous: prev_dir,
             };
-            let dir = self
-                .program
+            let dir = program
                 .direction(&ctx)
                 .unwrap_or_else(|| self.heuristic_direction(&ctx));
-            let scan_csr = self.graph.csr(dir);
+            let scan_csr = graph.csr(dir);
 
             // 2. Worklists. Pull mode recomputes every candidate vertex;
             // push mode expands the frontier itself.
             let frontier_sorted = log
                 .records
                 .last()
-                .map_or(true, |r| r.filter == FilterKind::Ballot);
-            let worklists = match dir {
-                Direction::Push => {
-                    Worklists::classify(&frontier, scan_csr, self.config.thresholds)
-                }
+                .is_none_or(|r| r.filter == FilterKind::Ballot);
+            match dir {
+                Direction::Push => match &pool {
+                    None => lists.classify_into(&frontier, scan_csr, self.config.thresholds),
+                    Some(pool) => Self::classify_parallel(
+                        pool,
+                        threads,
+                        workers,
+                        lists,
+                        &frontier,
+                        scan_csr,
+                        &self.config,
+                    ),
+                },
                 Direction::Pull => {
                     // Voting programs sweep every candidate (bottom-up
                     // BFS scans all unvisited vertices and terminates
@@ -127,136 +194,284 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     // management restricts recomputation to vertices
                     // with at least one active in-neighbor — a skipped
                     // vertex would recompute its existing value.
-                    let mut cands = Vec::new();
-                    match self.program.combine_kind() {
+                    cands.clear();
+                    match program.combine_kind() {
                         CombineKind::Vote => {
-                            for v in 0..n as VertexId {
-                                if self.program.pull_candidate(v, &curr[v as usize]) {
-                                    cands.push(v);
-                                }
-                            }
-                            // Candidate scan: a coalesced metadata sweep.
-                            let scan_tasks: Vec<Cost> = (0..(n as u64).div_ceil(32))
-                                .map(|_| Cost {
-                                    compute_ops: 64,
-                                    coalesced_reads: 32,
-                                    writes: 4,
-                                    width: 32,
-                                    ..Cost::default()
-                                })
-                                .collect();
-                            let k = plan.kernel(dir, KernelRole::TaskMgmt);
-                            executor.run_kernel(&k, SchedUnit::Warp, &scan_tasks, false);
-                        }
-                        CombineKind::Aggregation => {
-                            if dirty_stamp.len() != n {
-                                dirty_stamp = vec![u32::MAX; n];
-                            }
-                            let mut mark_tasks = Vec::with_capacity(frontier.len());
-                            for &v in &frontier {
-                                let nbrs = out_csr.neighbors(v);
-                                for &u in nbrs {
-                                    if dirty_stamp[u as usize] != iteration
-                                        && self
-                                            .program
-                                            .pull_candidate(u, &curr[u as usize])
-                                    {
-                                        dirty_stamp[u as usize] = iteration;
-                                        cands.push(u);
+                            match &pool {
+                                None => {
+                                    for v in 0..n as VertexId {
+                                        if program.pull_candidate(v, &curr[v as usize]) {
+                                            cands.push(v);
+                                        }
                                     }
                                 }
-                                mark_tasks.push(Cost {
-                                    compute_ops: nbrs.len() as u64 + 1,
-                                    coalesced_reads: 1 + nbrs.len() as u64,
-                                    writes: nbrs.len() as u64,
-                                    width: 32,
-                                    ..Cost::default()
-                                });
+                                Some(pool) => {
+                                    let curr = &curr;
+                                    pool.for_each_worker(workers, |w, ws| {
+                                        ws.cands.clear();
+                                        let (lo, hi) = chunk_range(n, threads, w);
+                                        for (i, m) in curr[lo..hi].iter().enumerate() {
+                                            let v = (lo + i) as VertexId;
+                                            if program.pull_candidate(v, m) {
+                                                ws.cands.push(v);
+                                            }
+                                        }
+                                    });
+                                    for ws in workers.iter() {
+                                        cands.extend_from_slice(&ws.cands);
+                                    }
+                                }
                             }
-                            cands.sort_unstable();
+                            // Candidate scan: a coalesced metadata sweep
+                            // whose cost sequence depends only on |V| —
+                            // built once per run and recharged each
+                            // pull-vote iteration.
+                            let chunks = (n as u64).div_ceil(32) as usize;
+                            if vote_scan_tasks.len() != chunks {
+                                vote_scan_tasks.clear();
+                                vote_scan_tasks.resize(
+                                    chunks,
+                                    Cost {
+                                        compute_ops: 64,
+                                        coalesced_reads: 32,
+                                        writes: 4,
+                                        width: 32,
+                                        ..Cost::default()
+                                    },
+                                );
+                            }
                             let k = plan.kernel(dir, KernelRole::TaskMgmt);
-                            executor.run_kernel(&k, SchedUnit::Warp, &mark_tasks, false);
+                            executor.run_kernel(&k, SchedUnit::Warp, vote_scan_tasks, false);
+                        }
+                        CombineKind::Aggregation => {
+                            match &pool {
+                                None => {
+                                    if dirty_stamp.len() != n {
+                                        dirty_stamp.clear();
+                                        dirty_stamp.resize(n, u32::MAX);
+                                    }
+                                    mgmt_tasks.clear();
+                                    for &v in &frontier {
+                                        let nbrs = out_csr.neighbors(v);
+                                        for &u in nbrs {
+                                            if dirty_stamp[u as usize] != iteration
+                                                && program.pull_candidate(u, &curr[u as usize])
+                                            {
+                                                dirty_stamp[u as usize] = iteration;
+                                                cands.push(u);
+                                            }
+                                        }
+                                        mgmt_tasks.push(Self::mark_cost(nbrs.len()));
+                                    }
+                                    cands.sort_unstable();
+                                    let k = plan.kernel(dir, KernelRole::TaskMgmt);
+                                    executor.run_kernel(&k, SchedUnit::Warp, mgmt_tasks, false);
+                                }
+                                Some(pool) => {
+                                    let curr = &curr;
+                                    let frontier = &frontier;
+                                    pool.for_each_worker(workers, |w, ws| {
+                                        ws.cands.clear();
+                                        ws.tasks.clear();
+                                        let (lo, hi) = chunk_range(frontier.len(), threads, w);
+                                        for &v in &frontier[lo..hi] {
+                                            let nbrs = out_csr.neighbors(v);
+                                            for &u in nbrs {
+                                                if program.pull_candidate(u, &curr[u as usize]) {
+                                                    ws.cands.push(u);
+                                                }
+                                            }
+                                            ws.tasks.push(Self::mark_cost(nbrs.len()));
+                                        }
+                                    });
+                                    // Workers may discover the same
+                                    // candidate from different frontier
+                                    // chunks; sort + dedup reproduces the
+                                    // serial stamp-deduplicated sorted
+                                    // list exactly.
+                                    for ws in workers.iter() {
+                                        cands.extend_from_slice(&ws.cands);
+                                    }
+                                    cands.sort_unstable();
+                                    cands.dedup();
+                                    let k = plan.kernel(dir, KernelRole::TaskMgmt);
+                                    executor.run_kernel_parts(
+                                        &k,
+                                        SchedUnit::Warp,
+                                        workers.iter().map(|ws| ws.tasks.as_slice()),
+                                        false,
+                                    );
+                                }
+                            }
                         }
                     }
-                    Worklists::classify(&cands, scan_csr, self.config.thresholds)
+                    match &pool {
+                        None => lists.classify_into(cands, scan_csr, self.config.thresholds),
+                        Some(pool) => Self::classify_parallel(
+                            pool,
+                            threads,
+                            workers,
+                            lists,
+                            cands,
+                            scan_csr,
+                            &self.config,
+                        ),
+                    }
                 }
             };
 
             // 3. Thread bins for the online filter, sized by the Thread
-            // kernel's (scaled) slot count.
+            // kernel's (scaled) slot count; the bins (and their inner
+            // allocations) persist across iterations.
             let thread_kernel = plan.kernel(dir, KernelRole::Compute(SchedUnit::Thread));
             let bin_count = executor.slots_for(&thread_kernel, SchedUnit::Thread) as usize;
-            if bins.num_threads() != bin_count
-                || bins.threshold() != self.config.overflow_threshold
-            {
-                bins = ThreadBins::new(bin_count, self.config.overflow_threshold);
-            } else {
-                bins.clear();
-            }
+            bins.reset_to(bin_count, self.config.overflow_threshold);
             let record = jit.records_bins();
 
             // 4. Compute kernels over the three worklists.
-            let mut task_counter = 0u64;
-            for (unit, list) in worklists.iter_units() {
+            let mut task_base = 0u64;
+            for unit in [SchedUnit::Thread, SchedUnit::Warp, SchedUnit::Cta] {
+                let list = lists.list(unit);
                 let kernel = plan.kernel(dir, KernelRole::Compute(unit));
                 let launch = plan.needs_launch(dir);
                 let width = unit.threads(self.config.threads_per_cta) as u64;
-                let mut tasks = Vec::with_capacity(list.len());
-                for &v in list {
-                    let cost = match dir {
-                        Direction::Push => Self::push_task(
-                            &self.program,
-                            v,
+                match (&pool, dir) {
+                    (None, _) => {
+                        tasks.clear();
+                        for (t, &v) in list.iter().enumerate() {
+                            let task_counter = task_base + t as u64;
+                            let cost = match dir {
+                                Direction::Push => Self::push_task(
+                                    program,
+                                    v,
+                                    scan_csr,
+                                    &prev,
+                                    &mut curr,
+                                    bins,
+                                    changed,
+                                    record,
+                                    width,
+                                    task_counter,
+                                    frontier_sorted,
+                                ),
+                                Direction::Pull => Self::pull_task(
+                                    program,
+                                    v,
+                                    scan_csr,
+                                    &prev,
+                                    &mut curr,
+                                    bins,
+                                    changed,
+                                    record,
+                                    width,
+                                    task_counter,
+                                ),
+                            };
+                            tasks.push(cost);
+                        }
+                        executor.run_kernel(&kernel, unit, tasks, launch);
+                    }
+                    (Some(pool), Direction::Push) => {
+                        let bounds = push_bounds.get_or_insert_with(|| {
+                            Self::dest_fences(graph.csr(Direction::Pull), threads)
+                        });
+                        Self::push_unit_parallel(
+                            program,
+                            pool,
+                            workers,
+                            list,
                             scan_csr,
                             &prev,
                             &mut curr,
-                            &mut bins,
-                            &mut changed,
+                            bounds,
+                            tasks,
+                            changed,
+                            records,
+                            bins,
                             record,
                             width,
-                            task_counter,
+                            task_base,
                             frontier_sorted,
-                        ),
-                        Direction::Pull => Self::pull_task(
-                            &self.program,
-                            v,
-                            scan_csr,
-                            &prev,
-                            &mut curr,
-                            &mut bins,
-                            &mut changed,
-                            record,
-                            width,
-                            task_counter,
-                        ),
-                    };
-                    tasks.push(cost);
-                    task_counter += 1;
+                        );
+                        executor.run_kernel(&kernel, unit, tasks, launch);
+                    }
+                    (Some(pool), Direction::Pull) => {
+                        Self::pull_unit_parallel(
+                            program, pool, threads, workers, list, scan_csr, &prev, &mut curr,
+                            changed, bins, record, width, task_base,
+                        );
+                        executor.run_kernel_parts(
+                            &kernel,
+                            unit,
+                            workers.iter().map(|ws| ws.tasks.as_slice()),
+                            launch,
+                        );
+                    }
                 }
-                executor.run_kernel(&kernel, unit, &tasks, launch);
+                task_base += list.len() as u64;
             }
             if plan.uses_global_barrier() {
                 executor.charge_barrier();
             }
 
             // 5. Task management under JIT control.
-            let decision = jit.decide(&bins, iteration)?;
+            let decision = jit.decide(bins, iteration)?;
             let tm_kernel = plan.kernel(dir, KernelRole::TaskMgmt);
             let tm_launch = plan.needs_launch(dir);
-            let next = match decision {
+            match decision {
                 FilterKind::Online => {
-                    online::concatenate(&bins, &mut executor, &tm_kernel, tm_launch)
+                    online::concatenate_into(
+                        bins,
+                        &mut executor,
+                        &tm_kernel,
+                        tm_launch,
+                        mgmt_tasks,
+                        next,
+                    );
                 }
-                FilterKind::Ballot => {
-                    ballot::scan(&self.program, &curr, &prev, &mut executor, &tm_kernel, tm_launch)
-                }
+                FilterKind::Ballot => match &pool {
+                    None => {
+                        let ws = &mut workers[0].warp;
+                        ws.clear();
+                        ballot::scan_range(program, &curr, &prev, 0, n, ws);
+                        executor.run_kernel(&tm_kernel, SchedUnit::Warp, &ws.tasks, tm_launch);
+                        std::mem::swap(next, &mut ws.active);
+                    }
+                    Some(pool) => {
+                        let total_chunks = n.div_ceil(32);
+                        let curr = &curr;
+                        let prev = &prev;
+                        pool.for_each_worker(workers, |w, ws| {
+                            ws.warp.clear();
+                            let (c0, c1) = chunk_range(total_chunks, threads, w);
+                            ballot::scan_range(
+                                program,
+                                curr,
+                                prev,
+                                c0 * 32,
+                                (c1 * 32).min(n),
+                                &mut ws.warp,
+                            );
+                        });
+                        next.clear();
+                        for ws in workers.iter() {
+                            next.extend_from_slice(&ws.warp.active);
+                        }
+                        executor.run_kernel_parts(
+                            &tm_kernel,
+                            SchedUnit::Warp,
+                            workers.iter().map(|ws| ws.warp.tasks.as_slice()),
+                            tm_launch,
+                        );
+                    }
+                },
             };
             if plan.uses_global_barrier() {
                 executor.charge_barrier();
             }
 
             // 6. Publish metadata_prev for the changed vertices.
-            for &v in &changed {
+            for &v in changed.iter() {
                 prev[v as usize] = curr[v as usize];
             }
             changed.clear();
@@ -264,14 +479,17 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             log.records.push(IterationRecord {
                 iteration,
                 direction: dir,
-                frontier_len: worklists.len(),
+                frontier_len: lists.len(),
                 degree_sum,
                 filter: decision,
                 overflowed: bins.overflowed(),
                 cycles: executor.stats().total_cycles - cycles_before,
             });
 
-            frontier = next;
+            // The old frontier buffer becomes next iteration's output
+            // scratch (cleared before reuse) — no per-iteration frontier
+            // allocation.
+            std::mem::swap(&mut frontier, next);
             prev_dir = dir;
             iteration += 1;
         }
@@ -280,7 +498,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         Ok(RunResult {
             meta: curr,
             report: RunReport {
-                algorithm: self.program.name().to_string(),
+                algorithm: program.name().to_string(),
                 device: executor.device().name,
                 iterations: iteration,
                 elapsed_ms,
@@ -288,6 +506,181 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 log,
             },
         })
+    }
+
+    /// Parallel worklist classification: contiguous chunks per worker,
+    /// merged in worker order (which *is* the serial order).
+    fn classify_parallel(
+        pool: &WorkerPool,
+        threads: usize,
+        workers: &mut [WorkerScratch<P::Meta>],
+        lists: &mut Worklists,
+        active: &[VertexId],
+        csr: &Csr,
+        config: &EngineConfig,
+    ) {
+        let thresholds = config.thresholds;
+        pool.for_each_worker(workers, |w, ws| {
+            let (lo, hi) = chunk_range(active.len(), threads, w);
+            ws.lists.classify_into(&active[lo..hi], csr, thresholds);
+        });
+        lists.clear();
+        for ws in workers.iter() {
+            lists.append(&ws.lists);
+        }
+    }
+
+    /// One push-mode compute-kernel loop, destination-sharded (see the
+    /// module docs): every worker replays the whole task list but
+    /// applies only the edges landing in its contiguous vertex shard of
+    /// `curr`, then per-task applied counts, changed vertices and
+    /// deferred filter records are merged deterministically.
+    #[allow(clippy::too_many_arguments)]
+    fn push_unit_parallel(
+        program: &P,
+        pool: &WorkerPool,
+        workers: &mut [WorkerScratch<P::Meta>],
+        list: &[VertexId],
+        csr: &Csr,
+        prev: &[P::Meta],
+        curr: &mut [P::Meta],
+        bounds: &[u32],
+        tasks: &mut Vec<Cost>,
+        changed: &mut Vec<VertexId>,
+        records: &mut Vec<RecordEntry>,
+        bins: &mut ThreadBins,
+        record: bool,
+        width: u64,
+        task_base: u64,
+        frontier_sorted: bool,
+    ) {
+        // Degree-dependent cost fields are destination-independent;
+        // build them up front (writes filled in from the merge below).
+        tasks.clear();
+        for &v in list {
+            let (lo, hi) = csr.range(v);
+            tasks.push(Self::push_cost((hi - lo) as u64, 0, width, frontier_sorted));
+        }
+
+        pool.for_each_worker_sharded(workers, curr, bounds, |_w, ws, off, curr_shard| {
+            ws.changed.clear();
+            ws.records.clear();
+            ws.applied.clear();
+            let end = off + curr_shard.len();
+            for (t, &v) in list.iter().enumerate() {
+                let task_counter = task_base + t as u64;
+                let (lo, hi) = csr.range(v);
+                let m_src = prev[v as usize];
+                let bin_base = (task_counter * width) as usize;
+                let mut applied = 0u32;
+                for i in lo..hi {
+                    let u = csr.targets()[i];
+                    let ui = u as usize;
+                    if ui < off || ui >= end {
+                        continue;
+                    }
+                    let w = csr.weights().map_or(1, |ws| ws[i]);
+                    let m_dst = &curr_shard[ui - off];
+                    if let Some(up) = program.compute(v, u, w, &m_src, m_dst) {
+                        // First-change detection: a vertex is enqueued
+                        // exactly once per iteration even when several
+                        // sources update it (duplicate frontier entries
+                        // would double-apply non-idempotent aggregations
+                        // like k-Core's decrements).
+                        let first_change = curr_shard[ui - off] == prev[ui];
+                        if let Some(new) = program.apply(u, &curr_shard[ui - off], up) {
+                            curr_shard[ui - off] = new;
+                            applied += 1;
+                            if first_change {
+                                ws.changed.push(u);
+                                if record && program.activates(u, &new) {
+                                    ws.records.push(RecordEntry {
+                                        key: (task_counter, (i - lo) as u32),
+                                        slot: bin_base + (i - lo) % width as usize,
+                                        v: u,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                if applied > 0 {
+                    ws.applied.push((t as u32, applied));
+                }
+            }
+        });
+
+        // Merge: writes per task sum over shards; the record replay
+        // sorts by (task, edge) so the bins see the serial sequence.
+        records.clear();
+        for ws in workers.iter_mut() {
+            for &(t, a) in &ws.applied {
+                tasks[t as usize].writes += a as u64;
+            }
+            changed.extend_from_slice(&ws.changed);
+            records.extend_from_slice(&ws.records);
+        }
+        records.sort_unstable_by_key(|r| r.key);
+        for r in records.iter() {
+            bins.record(r.slot, r.v);
+        }
+    }
+
+    /// One pull-mode compute-kernel loop, task-chunked: pull tasks are
+    /// independent (candidate vertices are unique and sources read the
+    /// `prev` snapshot), so workers own contiguous task ranges and the
+    /// engine applies their deferred writebacks and replays their
+    /// records in worker (= task) order.
+    #[allow(clippy::too_many_arguments)]
+    fn pull_unit_parallel(
+        program: &P,
+        pool: &WorkerPool,
+        threads: usize,
+        workers: &mut [WorkerScratch<P::Meta>],
+        list: &[VertexId],
+        csr: &Csr,
+        prev: &[P::Meta],
+        curr: &mut [P::Meta],
+        changed: &mut Vec<VertexId>,
+        bins: &mut ThreadBins,
+        record: bool,
+        width: u64,
+        task_base: u64,
+    ) {
+        {
+            let curr = &*curr;
+            pool.for_each_worker(workers, |w, ws| {
+                ws.tasks.clear();
+                ws.changed.clear();
+                ws.records.clear();
+                ws.writebacks.clear();
+                let (t0, t1) = chunk_range(list.len(), threads, w);
+                for (t, &v) in list.iter().enumerate().take(t1).skip(t0) {
+                    let task_counter = task_base + t as u64;
+                    let cost = Self::pull_task_collect(
+                        program,
+                        v,
+                        csr,
+                        prev,
+                        curr,
+                        ws,
+                        record,
+                        width,
+                        task_counter,
+                    );
+                    ws.tasks.push(cost);
+                }
+            });
+        }
+        for ws in workers.iter() {
+            for &(v, new) in &ws.writebacks {
+                curr[v as usize] = new;
+            }
+            changed.extend_from_slice(&ws.changed);
+            for r in &ws.records {
+                bins.record(r.slot, r.v);
+            }
+        }
     }
 
     /// Frontier-volume direction heuristic (Beamer-style): pull when the
@@ -314,6 +707,66 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     Direction::Push
                 }
             }
+        }
+    }
+
+    /// Destination-shard fences over `rev_csr` (the transpose of the
+    /// push scan direction): contiguous vertex ranges balanced by
+    /// incoming-edge volume, so push workers see comparable apply load.
+    fn dest_fences(rev_csr: &Csr, parts: usize) -> Vec<u32> {
+        let n = rev_csr.num_vertices();
+        // +1 per vertex keeps zero-degree stretches from collapsing
+        // every shard boundary onto the hubs.
+        let total: u64 = rev_csr.num_edges() + n as u64;
+        let mut fences = Vec::with_capacity(parts + 1);
+        fences.push(0u32);
+        let mut acc = 0u64;
+        let mut v = 0u32;
+        for p in 1..parts as u64 {
+            let target = total * p / parts as u64;
+            while v < n && acc < target {
+                acc += rev_csr.degree(v) as u64 + 1;
+                v += 1;
+            }
+            fences.push(v);
+        }
+        fences.push(n);
+        fences
+    }
+
+    /// Cost of the aggregation-pull dirty-marking task for a frontier
+    /// vertex with `nbrs` out-neighbors.
+    fn mark_cost(nbrs: usize) -> Cost {
+        Cost {
+            compute_ops: nbrs as u64 + 1,
+            coalesced_reads: 1 + nbrs as u64,
+            writes: nbrs as u64,
+            width: 32,
+            ..Cost::default()
+        }
+    }
+
+    /// Slot-scaled cost of one push task of degree `d`.
+    fn push_cost(d: u64, applied: u64, width: u64, frontier_sorted: bool) -> Cost {
+        Cost {
+            compute_ops: 2 * d + 2 + Self::tree_ops(width),
+            coalesced_reads: d + if frontier_sorted { 1 } else { 0 },
+            random_reads: d + if frontier_sorted { 0 } else { 1 },
+            writes: applied,
+            width,
+            ..Cost::default()
+        }
+    }
+
+    /// Slot-scaled cost of one pull task that scanned `scanned` in-edges.
+    fn pull_cost(scanned: u64, applied: u64, width: u64) -> Cost {
+        Cost {
+            compute_ops: 2 * scanned + 2 + Self::tree_ops(width),
+            coalesced_reads: 1 + scanned,
+            random_reads: scanned,
+            writes: applied,
+            width,
+            ..Cost::default()
         }
     }
 
@@ -365,14 +818,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 }
             }
         }
-        Cost {
-            compute_ops: 2 * d + 2 + Self::tree_ops(width),
-            coalesced_reads: d + if frontier_sorted { 1 } else { 0 },
-            random_reads: d + if frontier_sorted { 0 } else { 1 },
-            writes: applied,
-            width,
-            ..Cost::default()
-        }
+        Self::push_cost(d, applied, width, frontier_sorted)
     }
 
     /// Processes one pull-mode task (candidate vertex `v` gathers along
@@ -391,6 +837,71 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         width: u64,
         task_counter: u64,
     ) -> Cost {
+        let (scanned, acc) = Self::pull_gather(program, v, csr, prev, curr);
+        let mut applied = 0u64;
+        if let Some(up) = acc {
+            let first_change = curr[v as usize] == prev[v as usize];
+            if let Some(new) = program.apply(v, &curr[v as usize], up) {
+                curr[v as usize] = new;
+                applied = 1;
+                if first_change {
+                    changed.push(v);
+                    if record && program.activates(v, &new) {
+                        bins.record((task_counter * width) as usize, v);
+                    }
+                }
+            }
+        }
+        Self::pull_cost(scanned, applied, width)
+    }
+
+    /// The pull-task variant for parallel workers: the same gather, but
+    /// the metadata write, changed entry and filter record are deferred
+    /// into the worker's scratch for deterministic merging.
+    #[allow(clippy::too_many_arguments)]
+    fn pull_task_collect(
+        program: &P,
+        v: VertexId,
+        csr: &Csr,
+        prev: &[P::Meta],
+        curr: &[P::Meta],
+        ws: &mut WorkerScratch<P::Meta>,
+        record: bool,
+        width: u64,
+        task_counter: u64,
+    ) -> Cost {
+        let (scanned, acc) = Self::pull_gather(program, v, csr, prev, curr);
+        let mut applied = 0u64;
+        if let Some(up) = acc {
+            let first_change = curr[v as usize] == prev[v as usize];
+            if let Some(new) = program.apply(v, &curr[v as usize], up) {
+                ws.writebacks.push((v, new));
+                applied = 1;
+                if first_change {
+                    ws.changed.push(v);
+                    if record && program.activates(v, &new) {
+                        ws.records.push(RecordEntry {
+                            key: (task_counter, 0),
+                            slot: (task_counter * width) as usize,
+                            v,
+                        });
+                    }
+                }
+            }
+        }
+        Self::pull_cost(scanned, applied, width)
+    }
+
+    /// The shared gather loop of both pull-task variants: scans `v`'s
+    /// in-edges combining updates, with collaborative early termination
+    /// for voting combines. Returns (edges scanned, combined update).
+    fn pull_gather(
+        program: &P,
+        v: VertexId,
+        csr: &Csr,
+        prev: &[P::Meta],
+        curr: &[P::Meta],
+    ) -> (u64, Option<P::Update>) {
         let (lo, hi) = csr.range(v);
         let m_dst = curr[v as usize];
         let vote = program.combine_kind() == CombineKind::Vote;
@@ -412,28 +923,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 }
             }
         }
-        let mut applied = 0u64;
-        if let Some(up) = acc {
-            let first_change = curr[v as usize] == prev[v as usize];
-            if let Some(new) = program.apply(v, &curr[v as usize], up) {
-                curr[v as usize] = new;
-                applied = 1;
-                if first_change {
-                    changed.push(v);
-                    if record && program.activates(v, &new) {
-                        bins.record((task_counter * width) as usize, v);
-                    }
-                }
-            }
-        }
-        Cost {
-            compute_ops: 2 * scanned + 2 + Self::tree_ops(width),
-            coalesced_reads: 1 + scanned,
-            random_reads: scanned,
-            writes: applied,
-            width,
-            ..Cost::default()
-        }
+        (scanned, acc)
     }
 
     /// ALU cost of the cross-lane Combine tree: `log2(width)` shuffle
@@ -451,7 +941,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
 mod tests {
     use super::*;
     use crate::acc::CombineKind;
-    use crate::config::FilterPolicy;
+    use crate::config::{ExecMode, FilterPolicy};
     use crate::fusion::FusionStrategy;
     use simdx_graph::{EdgeList, Weight};
 
@@ -532,7 +1022,11 @@ mod tests {
     fn all_filter_policies_agree_on_result() {
         let g = path_graph(64);
         let base = run_levels(&g, EngineConfig::unscaled()).meta;
-        for policy in [FilterPolicy::Jit, FilterPolicy::BallotOnly, FilterPolicy::OnlineOnly] {
+        for policy in [
+            FilterPolicy::Jit,
+            FilterPolicy::BallotOnly,
+            FilterPolicy::OnlineOnly,
+        ] {
             let r = run_levels(&g, EngineConfig::unscaled().with_filter(policy));
             assert_eq!(r.meta, base, "policy {policy:?} diverged");
         }
@@ -542,7 +1036,11 @@ mod tests {
     fn all_fusion_strategies_agree_on_result() {
         let g = path_graph(64);
         let base = run_levels(&g, EngineConfig::unscaled()).meta;
-        for fusion in [FusionStrategy::None, FusionStrategy::All, FusionStrategy::PushPull] {
+        for fusion in [
+            FusionStrategy::None,
+            FusionStrategy::All,
+            FusionStrategy::PushPull,
+        ] {
             let r = run_levels(&g, EngineConfig::unscaled().with_fusion(fusion));
             assert_eq!(r.meta, base, "fusion {fusion:?} diverged");
         }
@@ -551,9 +1049,18 @@ mod tests {
     #[test]
     fn fusion_reduces_kernel_launches() {
         let g = path_graph(200);
-        let none = run_levels(&g, EngineConfig::unscaled().with_fusion(FusionStrategy::None));
-        let pp = run_levels(&g, EngineConfig::unscaled().with_fusion(FusionStrategy::PushPull));
-        let all = run_levels(&g, EngineConfig::unscaled().with_fusion(FusionStrategy::All));
+        let none = run_levels(
+            &g,
+            EngineConfig::unscaled().with_fusion(FusionStrategy::None),
+        );
+        let pp = run_levels(
+            &g,
+            EngineConfig::unscaled().with_fusion(FusionStrategy::PushPull),
+        );
+        let all = run_levels(
+            &g,
+            EngineConfig::unscaled().with_fusion(FusionStrategy::All),
+        );
         // Unfused: 4 launches per iteration. Fused: a handful total.
         assert!(none.report.kernel_launches() >= 4 * none.report.iterations as u64);
         assert!(pp.report.kernel_launches() <= 6);
@@ -568,8 +1075,14 @@ mod tests {
         // A long path = thousands of tiny iterations: launch overhead
         // dominates, fusion wins (the §7.2 BFS-on-ER effect).
         let g = path_graph(400);
-        let none = run_levels(&g, EngineConfig::unscaled().with_fusion(FusionStrategy::None));
-        let pp = run_levels(&g, EngineConfig::unscaled().with_fusion(FusionStrategy::PushPull));
+        let none = run_levels(
+            &g,
+            EngineConfig::unscaled().with_fusion(FusionStrategy::None),
+        );
+        let pp = run_levels(
+            &g,
+            EngineConfig::unscaled().with_fusion(FusionStrategy::PushPull),
+        );
         assert!(
             none.report.elapsed_ms > pp.report.elapsed_ms * 2.0,
             "non-fused {} vs push-pull {}",
@@ -596,7 +1109,9 @@ mod tests {
         let cfg = EngineConfig::unscaled()
             .with_filter(FilterPolicy::Jit)
             .with_direction(DirectionPolicy::FixedPush);
-        let r = Engine::new(Levels { src: 0 }, &g, cfg).run().expect("jit run");
+        let r = Engine::new(Levels { src: 0 }, &g, cfg)
+            .run()
+            .expect("jit run");
         assert_eq!(r.report.log.records[0].filter, FilterKind::Ballot);
         assert!(r.report.log.records[0].overflowed);
         assert_eq!(r.meta[1], 1);
@@ -608,8 +1123,10 @@ mod tests {
         // iterations — the V-proportional scan makes ballot-only slower
         // (the Fig. 12 road-graph effect).
         let g = path_graph(2048);
-        let mut cfg = EngineConfig::default();
-        cfg.max_iterations = 10_000;
+        let cfg = EngineConfig {
+            max_iterations: 10_000,
+            ..EngineConfig::default()
+        };
         let jit = run_levels(&g, cfg.clone());
         let ballot = run_levels(&g, cfg.with_filter(FilterPolicy::BallotOnly));
         assert!(
@@ -678,5 +1195,81 @@ mod tests {
             assert!(rec.cycles > 0);
             assert_eq!(rec.frontier_len, 1);
         }
+    }
+
+    /// Asserts a parallel run is bit-equal to the serial reference:
+    /// same metadata, same log, same simulated cycles.
+    fn assert_parallel_matches(g: &Graph, cfg: EngineConfig) {
+        let serial = run_levels(g, cfg.clone().with_exec(ExecMode::Serial));
+        for threads in [2usize, 3, 5] {
+            let par = run_levels(g, cfg.clone().parallel(threads));
+            assert_eq!(par.meta, serial.meta, "{threads} threads: metadata");
+            assert_eq!(
+                par.report.log, serial.report.log,
+                "{threads} threads: iteration log"
+            );
+            assert_eq!(
+                par.report.stats, serial.report.stats,
+                "{threads} threads: executor stats"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_equal_on_path() {
+        assert_parallel_matches(&path_graph(300), EngineConfig::unscaled());
+    }
+
+    #[test]
+    fn parallel_is_bit_equal_with_direction_switches() {
+        let mut edges = Vec::new();
+        let n = 256u32;
+        for v in 0..n {
+            for k in 1..=8 {
+                edges.push((v, (v * 7 + k * 13) % n));
+            }
+        }
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(edges));
+        assert_parallel_matches(&g, EngineConfig::unscaled());
+        assert_parallel_matches(&g, EngineConfig::default());
+    }
+
+    #[test]
+    fn parallel_is_bit_equal_on_hub_overflow() {
+        // The star graph exercises ballot switching and bin overflow;
+        // the overflow flag and dropped records must replay identically.
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(
+            (1..=5000u32).map(|i| (0, i)).collect(),
+        ));
+        assert_parallel_matches(
+            &g,
+            EngineConfig::unscaled().with_direction(DirectionPolicy::FixedPush),
+        );
+    }
+
+    #[test]
+    fn parallel_online_only_overflow_error_matches() {
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(
+            (1..=10_000u32).map(|i| (0, i)).collect(),
+        ));
+        let cfg = EngineConfig::unscaled()
+            .with_filter(FilterPolicy::OnlineOnly)
+            .with_direction(DirectionPolicy::FixedPush);
+        let serial = Engine::new(Levels { src: 0 }, &g, cfg.clone())
+            .run()
+            .unwrap_err();
+        let par = Engine::new(Levels { src: 0 }, &g, cfg.parallel(4))
+            .run()
+            .unwrap_err();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn parallel_zero_threads_resolves_to_auto() {
+        let g = path_graph(64);
+        let serial = run_levels(&g, EngineConfig::unscaled());
+        let auto = run_levels(&g, EngineConfig::unscaled().parallel(0));
+        assert_eq!(serial.meta, auto.meta);
+        assert_eq!(serial.report.stats, auto.report.stats);
     }
 }

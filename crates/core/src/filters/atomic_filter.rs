@@ -7,8 +7,8 @@
 //! down" versus the online filter. Functionally the output equals the
 //! online filter's concatenation (unsorted, possibly redundant).
 
-use simdx_graph::VertexId;
 use simdx_gpu::{Cost, GpuExecutor, KernelDesc, SchedUnit};
+use simdx_graph::VertexId;
 
 /// Collects `records` into a global list through a contended atomic
 /// tail pointer, charging the serialized cost.

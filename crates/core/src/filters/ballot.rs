@@ -9,9 +9,79 @@
 //! coalesced scan and sorted active vertices").
 
 use crate::acc::AccProgram;
-use simdx_graph::VertexId;
 use simdx_gpu::warp::{ballot, popc};
 use simdx_gpu::{Cost, GpuExecutor, KernelDesc, SchedUnit, WARP_SIZE};
+use simdx_graph::VertexId;
+
+/// Reusable output buffers of one ballot-scan partition (also the
+/// serial scan's scratch — the serial engine is the one-partition case).
+#[derive(Clone, Debug, Default)]
+pub struct WarpScanScratch {
+    /// Per-warp-chunk scan costs, in chunk order.
+    pub tasks: Vec<Cost>,
+    /// Active vertices found, in vertex order.
+    pub active: Vec<VertexId>,
+}
+
+impl WarpScanScratch {
+    /// Clears both buffers, keeping capacity.
+    pub fn clear(&mut self) {
+        self.tasks.clear();
+        self.active.clear();
+    }
+}
+
+/// Scans vertices `[start, end)` of the metadata arrays in warp-sized
+/// chunks, appending active vertices and per-chunk costs to `out`.
+///
+/// `start` must be warp-aligned so that partition boundaries fall on
+/// the same chunk boundaries the whole-array scan uses — partitions
+/// concatenated in range order are then bit-identical (same actives,
+/// same cost sequence) to one scan of the full range.
+pub fn scan_range<P: AccProgram>(
+    program: &P,
+    curr: &[P::Meta],
+    prev: &[P::Meta],
+    start: usize,
+    end: usize,
+    out: &mut WarpScanScratch,
+) {
+    assert_eq!(curr.len(), prev.len(), "metadata arrays must be parallel");
+    assert!(
+        start.is_multiple_of(WARP_SIZE),
+        "partition start must be warp-aligned"
+    );
+    let mut preds = [false; WARP_SIZE];
+    let mut base = start;
+    while base < end {
+        let chunk = (end - base).min(WARP_SIZE);
+        for lane in 0..chunk {
+            let v = (base + lane) as VertexId;
+            preds[lane] = program.active(v, &curr[base + lane], &prev[base + lane]);
+        }
+        // `__ballot` across the warp, then the warp appends its set
+        // lanes in order — keeping the global output sorted because
+        // warp w owns vertices [32w, 32w+32).
+        let mask = ballot(&preds[..chunk]);
+        let votes = popc(mask);
+        for lane in 0..chunk {
+            if mask & (1 << lane) != 0 {
+                out.active.push((base + lane) as VertexId);
+            }
+        }
+        // Per-warp cost: two coalesced metadata loads per lane, the
+        // compare + ballot + popc ALU work, and the compacted append of
+        // the voting lanes.
+        out.tasks.push(Cost {
+            compute_ops: 3 * chunk as u64,
+            coalesced_reads: 2 * chunk as u64,
+            writes: u64::from(votes),
+            width: WARP_SIZE as u64,
+            ..Cost::default()
+        });
+        base += chunk;
+    }
+}
 
 /// Scans `curr` vs `prev` metadata with the program's Active condition
 /// and returns the sorted, duplicate-free active list, charging the scan
@@ -28,52 +98,18 @@ pub fn scan<P: AccProgram>(
     kernel: &KernelDesc,
     launch: bool,
 ) -> Vec<VertexId> {
-    assert_eq!(curr.len(), prev.len(), "metadata arrays must be parallel");
-    let n = curr.len();
-    let mut active = Vec::new();
-    let mut tasks = Vec::with_capacity(n.div_ceil(WARP_SIZE));
-    let mut preds = [false; WARP_SIZE];
-
-    let mut base = 0usize;
-    while base < n {
-        let chunk = (n - base).min(WARP_SIZE);
-        for lane in 0..chunk {
-            let v = (base + lane) as VertexId;
-            preds[lane] = program.active(v, &curr[base + lane], &prev[base + lane]);
-        }
-        // `__ballot` across the warp, then the warp appends its set
-        // lanes in order — keeping the global output sorted because
-        // warp w owns vertices [32w, 32w+32).
-        let mask = ballot(&preds[..chunk]);
-        let votes = popc(mask);
-        for lane in 0..chunk {
-            if mask & (1 << lane) != 0 {
-                active.push((base + lane) as VertexId);
-            }
-        }
-        // Per-warp cost: two coalesced metadata loads per lane, the
-        // compare + ballot + popc ALU work, and the compacted append of
-        // the voting lanes.
-        tasks.push(Cost {
-            compute_ops: 3 * chunk as u64,
-            coalesced_reads: 2 * chunk as u64,
-            writes: u64::from(votes),
-            width: WARP_SIZE as u64,
-            ..Cost::default()
-        });
-        base += chunk;
-    }
-
-    executor.run_kernel(kernel, SchedUnit::Warp, &tasks, launch);
-    active
+    let mut out = WarpScanScratch::default();
+    scan_range(program, curr, prev, 0, curr.len(), &mut out);
+    executor.run_kernel(kernel, SchedUnit::Warp, &out.tasks, launch);
+    out.active
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::acc::CombineKind;
-    use simdx_graph::{Graph, Weight};
     use simdx_gpu::DeviceSpec;
+    use simdx_graph::{Graph, Weight};
 
     /// Trivial program whose Active is the default curr != prev.
     struct Diff;

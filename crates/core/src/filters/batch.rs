@@ -12,9 +12,9 @@
 //! This module provides the expansion step and its memory accounting;
 //! the Gunrock-style engine in `simdx-baselines` drives it.
 
+use simdx_gpu::{Cost, GpuExecutor, KernelDesc, SchedUnit, WARP_SIZE};
 use simdx_graph::csr::Csr;
 use simdx_graph::{VertexId, Weight};
-use simdx_gpu::{Cost, GpuExecutor, KernelDesc, SchedUnit, WARP_SIZE};
 
 /// An explicit active-edge list: one entry per edge of an active vertex.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -74,8 +74,8 @@ pub fn expand(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simdx_graph::EdgeList;
     use simdx_gpu::DeviceSpec;
+    use simdx_graph::EdgeList;
 
     fn setup() -> (GpuExecutor, KernelDesc) {
         (
@@ -87,12 +87,7 @@ mod tests {
     #[test]
     fn expansion_lists_all_active_edges() {
         let (mut ex, k) = setup();
-        let csr = Csr::from_edge_list(&EdgeList::from_pairs(vec![
-            (0, 1),
-            (0, 2),
-            (1, 2),
-            (2, 0),
-        ]));
+        let csr = Csr::from_edge_list(&EdgeList::from_pairs(vec![(0, 1), (0, 2), (1, 2), (2, 0)]));
         let ef = expand(&[0, 2], &csr, &mut ex, &k, true);
         assert_eq!(ef.edges, vec![(0, 1, 1), (0, 2, 1), (2, 0, 1)]);
         assert_eq!(ef.footprint_bytes(), 36);

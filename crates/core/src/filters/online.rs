@@ -7,8 +7,8 @@
 //! duplicates — both documented properties the evaluation measures.
 
 use crate::frontier::ThreadBins;
-use simdx_graph::VertexId;
 use simdx_gpu::{Cost, GpuExecutor, KernelDesc, SchedUnit};
+use simdx_graph::VertexId;
 
 /// Concatenates all thread bins into the next active list, charging the
 /// prefix-scan + copy kernel to `executor`.
@@ -18,13 +18,30 @@ pub fn concatenate(
     kernel: &KernelDesc,
     launch: bool,
 ) -> Vec<VertexId> {
-    let list = bins.concatenate();
+    let mut tasks = Vec::new();
+    let mut list = Vec::with_capacity(bins.total_recorded() as usize);
+    concatenate_into(bins, executor, kernel, launch, &mut tasks, &mut list);
+    list
+}
+
+/// In-place [`concatenate`] writing the next active list and the charged
+/// task costs into reused buffers (both cleared first) — the engine
+/// scratch's zero-allocation path.
+pub fn concatenate_into(
+    bins: &ThreadBins,
+    executor: &mut GpuExecutor,
+    kernel: &KernelDesc,
+    launch: bool,
+    tasks: &mut Vec<Cost>,
+    out: &mut Vec<VertexId>,
+) {
+    bins.concatenate_into(out);
 
     // Cost: a warp-cooperative exclusive scan over the bin sizes plus a
     // coalesced copy of every recorded vertex to its offset.
     let scan_warps = (bins.num_threads() as u64).div_ceil(32);
-    let copy_warps = (list.len() as u64).div_ceil(32);
-    let mut tasks = Vec::with_capacity((scan_warps + copy_warps) as usize);
+    let copy_warps = (out.len() as u64).div_ceil(32);
+    tasks.clear();
     for _ in 0..scan_warps {
         tasks.push(Cost {
             compute_ops: 96,
@@ -42,8 +59,7 @@ pub fn concatenate(
             ..Cost::default()
         });
     }
-    executor.run_kernel(kernel, SchedUnit::Warp, &tasks, launch);
-    list
+    executor.run_kernel(kernel, SchedUnit::Warp, tasks, launch);
 }
 
 #[cfg(test)]

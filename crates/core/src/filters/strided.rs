@@ -9,8 +9,8 @@
 //! while the functional output stays identical.
 
 use crate::acc::AccProgram;
-use simdx_graph::VertexId;
 use simdx_gpu::{Cost, GpuExecutor, KernelDesc, SchedUnit, WARP_SIZE};
+use simdx_graph::VertexId;
 
 /// Scans metadata with strided per-thread addressing. Functionally
 /// identical to [`crate::filters::ballot::scan`]; cost-wise every lane
@@ -53,8 +53,8 @@ pub fn scan<P: AccProgram>(
 mod tests {
     use super::*;
     use crate::acc::CombineKind;
-    use simdx_graph::{Graph, Weight};
     use simdx_gpu::DeviceSpec;
+    use simdx_graph::{Graph, Weight};
 
     struct Diff;
 
@@ -104,8 +104,7 @@ mod tests {
             curr[v] = 9;
         }
         let strided_list = scan(&Diff, &curr, &prev, &mut ex, &k, false);
-        let ballot_list =
-            crate::filters::ballot::scan(&Diff, &curr, &prev, &mut ex, &k, false);
+        let ballot_list = crate::filters::ballot::scan(&Diff, &curr, &prev, &mut ex, &k, false);
         assert_eq!(strided_list, ballot_list);
     }
 

@@ -7,9 +7,9 @@
 //! *thread bins*; a bin overflow is the signal that flips the JIT
 //! controller over to the ballot filter.
 
+use simdx_gpu::SchedUnit;
 use simdx_graph::csr::Csr;
 use simdx_graph::VertexId;
-use simdx_gpu::SchedUnit;
 
 /// Degree thresholds separating the three worklists.
 ///
@@ -63,14 +63,43 @@ impl Worklists {
     /// `csr` (in the scan direction the next iteration will use).
     pub fn classify(active: &[VertexId], csr: &Csr, thresholds: ClassifyThresholds) -> Self {
         let mut lists = Self::default();
+        lists.classify_into(active, csr, thresholds);
+        lists
+    }
+
+    /// In-place [`Self::classify`]: clears the lists (keeping their
+    /// capacity) and refills them — the zero-allocation path the engine
+    /// scratch uses every iteration.
+    pub fn classify_into(
+        &mut self,
+        active: &[VertexId],
+        csr: &Csr,
+        thresholds: ClassifyThresholds,
+    ) {
+        self.clear();
         for &v in active {
             match thresholds.classify(csr.degree(v)) {
-                SchedUnit::Thread => lists.small.push(v),
-                SchedUnit::Warp => lists.med.push(v),
-                SchedUnit::Cta => lists.large.push(v),
+                SchedUnit::Thread => self.small.push(v),
+                SchedUnit::Warp => self.med.push(v),
+                SchedUnit::Cta => self.large.push(v),
             }
         }
-        lists
+    }
+
+    /// Clears all three lists, keeping capacity.
+    pub fn clear(&mut self) {
+        self.small.clear();
+        self.med.clear();
+        self.large.clear();
+    }
+
+    /// Appends another set of worklists (used to merge per-worker
+    /// classification results in worker order, which reproduces the
+    /// serial order because workers own contiguous chunks).
+    pub fn append(&mut self, other: &Self) {
+        self.small.extend_from_slice(&other.small);
+        self.med.extend_from_slice(&other.med);
+        self.large.extend_from_slice(&other.large);
     }
 
     /// Total entries across the three lists.
@@ -185,10 +214,17 @@ impl ThreadBins {
     /// filter trade-off (§4).
     pub fn concatenate(&self) -> Vec<VertexId> {
         let mut out = Vec::with_capacity(self.total_recorded() as usize);
+        self.concatenate_into(&mut out);
+        out
+    }
+
+    /// In-place [`Self::concatenate`] into a reused buffer (cleared
+    /// first, capacity kept).
+    pub fn concatenate_into(&self, out: &mut Vec<VertexId>) {
+        out.clear();
         for bin in &self.bins {
             out.extend_from_slice(bin);
         }
-        out
     }
 
     /// Clears all bins and the overflow flag for the next iteration.
@@ -198,6 +234,15 @@ impl ThreadBins {
         }
         self.overflowed = false;
         self.dropped = 0;
+    }
+
+    /// Reshapes to `num_threads` bins with `threshold` capacity and
+    /// clears, reusing existing bin allocations (the engine calls this
+    /// every iteration; growing/shrinking only moves empty `Vec`s).
+    pub fn reset_to(&mut self, num_threads: usize, threshold: usize) {
+        self.bins.resize_with(num_threads.max(1), Vec::new);
+        self.threshold = threshold;
+        self.clear();
     }
 }
 

@@ -16,8 +16,8 @@
 //! (Table 2); they drive occupancy via Equation 1, which is how fusion
 //! strategy changes performance in the simulator.
 
-use simdx_graph::csr::Direction;
 use simdx_gpu::{KernelDesc, SchedUnit};
+use simdx_graph::csr::Direction;
 
 /// Measured register consumption per kernel (Table 2).
 pub mod registers {
@@ -171,12 +171,27 @@ mod tests {
     fn table2_register_values() {
         let plan = FusionPlan::new(FusionStrategy::None, 128);
         let regs = |d, r| plan.kernel(d, r).registers_per_thread;
-        assert_eq!(regs(Direction::Push, KernelRole::Compute(SchedUnit::Thread)), 26);
-        assert_eq!(regs(Direction::Push, KernelRole::Compute(SchedUnit::Warp)), 27);
-        assert_eq!(regs(Direction::Push, KernelRole::Compute(SchedUnit::Cta)), 28);
+        assert_eq!(
+            regs(Direction::Push, KernelRole::Compute(SchedUnit::Thread)),
+            26
+        );
+        assert_eq!(
+            regs(Direction::Push, KernelRole::Compute(SchedUnit::Warp)),
+            27
+        );
+        assert_eq!(
+            regs(Direction::Push, KernelRole::Compute(SchedUnit::Cta)),
+            28
+        );
         assert_eq!(regs(Direction::Push, KernelRole::TaskMgmt), 24);
-        assert_eq!(regs(Direction::Pull, KernelRole::Compute(SchedUnit::Thread)), 24);
-        assert_eq!(regs(Direction::Pull, KernelRole::Compute(SchedUnit::Cta)), 22);
+        assert_eq!(
+            regs(Direction::Pull, KernelRole::Compute(SchedUnit::Thread)),
+            24
+        );
+        assert_eq!(
+            regs(Direction::Pull, KernelRole::Compute(SchedUnit::Cta)),
+            22
+        );
         assert_eq!(regs(Direction::Pull, KernelRole::TaskMgmt), 30);
 
         let fused = FusionPlan::new(FusionStrategy::PushPull, 128);
@@ -202,6 +217,9 @@ mod tests {
     }
 
     #[test]
+    // The "constant" assertions are the point: they pin the Table 2
+    // register constants to the §5 relationship the paper states.
+    #[allow(clippy::assertions_on_constants)]
     fn fusion_halves_register_consumption_vs_all() {
         // §5: "the register consumption decreases to 48 and 55 [from
         // 110] thus increases the configurable thread count".

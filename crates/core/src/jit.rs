@@ -143,7 +143,11 @@ impl ActivationLog {
 
     /// Largest frontier observed.
     pub fn max_frontier(&self) -> u64 {
-        self.records.iter().map(|r| r.frontier_len).max().unwrap_or(0)
+        self.records
+            .iter()
+            .map(|r| r.frontier_len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// A compact pattern string, one character per iteration:

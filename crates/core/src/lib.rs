@@ -60,9 +60,11 @@ pub mod frontier;
 pub mod fusion;
 pub mod jit;
 pub mod metrics;
+pub mod par;
+mod scratch;
 
 pub use acc::{AccProgram, CombineKind, DirectionCtx};
-pub use config::{DirectionPolicy, EngineConfig, FilterPolicy};
+pub use config::{DirectionPolicy, EngineConfig, ExecMode, FilterPolicy};
 pub use engine::Engine;
 pub use filters::FilterKind;
 pub use fusion::FusionStrategy;
@@ -72,7 +74,7 @@ pub use metrics::{RunReport, RunResult};
 /// Convenience re-exports for programs and harnesses.
 pub mod prelude {
     pub use crate::acc::{AccProgram, CombineKind, DirectionCtx};
-    pub use crate::config::{DirectionPolicy, EngineConfig, FilterPolicy};
+    pub use crate::config::{DirectionPolicy, EngineConfig, ExecMode, FilterPolicy};
     pub use crate::engine::Engine;
     pub use crate::fusion::FusionStrategy;
     pub use crate::jit::EngineError;

@@ -1,0 +1,361 @@
+//! Deterministic host-side parallel runtime for the engine.
+//!
+//! The engine's per-iteration hot path (worklist classification, the
+//! three compute-kernel task loops, the pull-candidate sweeps and the
+//! warp-chunked ballot scan) is data-parallel, but the *report* must be
+//! bit-equal to the serial engine: identical metadata, identical bins,
+//! identical simulated cycle counts. The runtime here provides the two
+//! building blocks that make that possible:
+//!
+//! * [`WorkerPool`] — a persistent pool of OS threads executing one
+//!   shared closure per parallel region, indexed by worker id. The
+//!   submitting thread participates as worker 0, so `threads = N` means
+//!   `N` CPUs busy, and the pool is reused across all iterations of a
+//!   run (no per-region spawn cost).
+//! * [`chunk_range`] — the static, contiguous partition both modes use.
+//!   Contiguous chunks concatenated in worker order reproduce the serial
+//!   processing order exactly; every parallel stage in the engine merges
+//!   its per-worker output that way (or replays it in an explicit
+//!   deterministic sort order, for the online-filter bin records).
+//!
+//! Worker closures are `Fn(usize) + Sync` borrowed for the duration of
+//! one [`WorkerPool::run`] call. Mutable state is handed out through
+//! [`SliceShards`], which splits a slice into disjoint per-worker
+//! ranges; the pool's "one invocation per worker index per region"
+//! guarantee makes that aliasing-free.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Contiguous chunk `[start, end)` of `len` items for worker `w` of
+/// `parts`: the canonical deterministic partition.
+pub fn chunk_range(len: usize, parts: usize, w: usize) -> (usize, usize) {
+    debug_assert!(w < parts);
+    let chunk = len.div_ceil(parts.max(1)).max(1);
+    ((w * chunk).min(len), ((w + 1) * chunk).min(len))
+}
+
+type Job<'a> = &'a (dyn Fn(usize) + Sync);
+
+struct PoolState {
+    /// Borrowed job pointer, lifetime-erased; valid exactly while
+    /// `remaining > 0` for the current epoch (the submitter blocks in
+    /// [`WorkerPool::run`] until every worker has finished with it).
+    job: Option<Job<'static>>,
+    epoch: u64,
+    remaining: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// Persistent worker pool; see the module docs.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+    /// `[0, 1, ..., threads]` — unit fences for per-worker slot shards.
+    unit_fences: Vec<u32>,
+}
+
+impl WorkerPool {
+    /// Creates a pool presenting `threads` workers. Worker 0 is the
+    /// submitting thread itself, so only `threads - 1` OS threads are
+    /// spawned; `threads <= 1` spawns none and `run` degenerates to an
+    /// inline call.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("simdx-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            threads,
+            unit_fences: (0..=threads as u32).collect(),
+        }
+    }
+
+    /// Runs `f(w, &mut workers[w])` on every worker concurrently.
+    /// `workers.len()` must equal [`Self::threads`].
+    pub fn for_each_worker<T: Send>(&self, workers: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+        assert_eq!(workers.len(), self.threads, "one scratch slot per worker");
+        let slots = SliceShards::new(workers, &self.unit_fences);
+        self.run(&|w| {
+            // SAFETY: each worker index runs exactly once per region.
+            let (_, slot) = unsafe { slots.shard(w) };
+            f(w, &mut slot[0]);
+        });
+    }
+
+    /// Runs `f(w, &mut workers[w], shard_offset, shard)` on every worker
+    /// concurrently, where `shard` is the `[bounds[w], bounds[w+1])`
+    /// range of `data` — the destination-sharded form the push kernels
+    /// use. `bounds` must be a monotone fence list with
+    /// `threads + 1` entries covering `data`.
+    pub fn for_each_worker_sharded<T: Send, U: Send>(
+        &self,
+        workers: &mut [T],
+        data: &mut [U],
+        bounds: &[u32],
+        f: impl Fn(usize, &mut T, usize, &mut [U]) + Sync,
+    ) {
+        assert_eq!(workers.len(), self.threads, "one scratch slot per worker");
+        assert_eq!(bounds.len(), self.threads + 1, "one shard per worker");
+        let slots = SliceShards::new(workers, &self.unit_fences);
+        let shards = SliceShards::new(data, bounds);
+        self.run(&|w| {
+            // SAFETY: each worker index runs exactly once per region.
+            let (_, slot) = unsafe { slots.shard(w) };
+            let (off, shard) = unsafe { shards.shard(w) };
+            f(w, &mut slot[0], off, shard);
+        });
+    }
+
+    /// Number of workers (including the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(w)` once for every worker index `w in 0..threads`,
+    /// returning when all invocations completed. Panics if any worker
+    /// panicked.
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        if self.threads == 1 {
+            job(0);
+            return;
+        }
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            debug_assert!(state.remaining == 0, "overlapping pool regions");
+            // Lifetime erasure: the pointer is only dereferenced by
+            // workers between here and the completion wait below, and we
+            // do not return (even by panic) before `remaining == 0`.
+            state.job = Some(unsafe { std::mem::transmute::<Job<'_>, Job<'static>>(job) });
+            state.epoch += 1;
+            state.remaining = self.threads - 1;
+            state.panicked = false;
+            self.shared.work_cv.notify_all();
+        }
+        // The submitter is worker 0. Defer its panic until the other
+        // workers are done with the borrowed job.
+        let mine = catch_unwind(AssertUnwindSafe(|| job(0)));
+        let panicked = {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            while state.remaining > 0 {
+                state = self.shared.done_cv.wait(state).expect("pool wait");
+            }
+            state.job = None;
+            state.panicked
+        };
+        if let Err(payload) = mine {
+            resume_unwind(payload);
+        }
+        assert!(!panicked, "engine worker panicked");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, w: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen_epoch {
+                    seen_epoch = state.epoch;
+                    break state.job.expect("job set for new epoch");
+                }
+                state = shared.work_cv.wait(state).expect("pool wait");
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| job(w)));
+        let mut state = shared.state.lock().expect("pool lock");
+        if outcome.is_err() {
+            state.panicked = true;
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Disjoint mutable shards of one slice, one per worker.
+///
+/// Construction records the shard boundaries; [`SliceShards::shard`]
+/// hands out `&mut` views. Safety rests on the boundaries being
+/// non-overlapping (checked at construction) and on each worker taking
+/// only its own shard (the pool invokes each worker index exactly once
+/// per region).
+pub struct SliceShards<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    bounds: &'a [u32],
+}
+
+// SAFETY: shards are disjoint; cross-thread handoff of &mut T ranges is
+// sound for T: Send.
+unsafe impl<T: Send> Sync for SliceShards<'_, T> {}
+
+impl<'a, T> SliceShards<'a, T> {
+    /// Splits `slice` at `bounds` (a monotone fence list of `parts + 1`
+    /// entries starting at 0 and ending at `slice.len()`).
+    pub fn new(slice: &'a mut [T], bounds: &'a [u32]) -> Self {
+        assert!(bounds.len() >= 2, "need at least one shard");
+        assert_eq!(bounds[0], 0);
+        assert_eq!(*bounds.last().expect("non-empty") as usize, slice.len());
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "bounds monotone");
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            bounds,
+        }
+    }
+
+    /// Shard `[bounds[w], bounds[w+1])` as a mutable slice, plus its
+    /// starting offset in the underlying slice.
+    ///
+    /// # Safety
+    ///
+    /// Each worker index must be claimed by at most one thread per
+    /// region (the [`WorkerPool::run`] contract).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn shard(&self, w: usize) -> (usize, &mut [T]) {
+        let lo = self.bounds[w] as usize;
+        let hi = self.bounds[w + 1] as usize;
+        debug_assert!(lo <= hi && hi <= self.len);
+        (
+            lo,
+            std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn chunk_ranges_cover_and_preserve_order() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8] {
+                let mut got = Vec::new();
+                for w in 0..parts {
+                    let (lo, hi) = chunk_range(len, parts, w);
+                    got.extend(lo..hi);
+                }
+                assert_eq!(got, (0..len).collect::<Vec<_>>(), "len={len} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_runs_every_worker_every_region() {
+        let pool = WorkerPool::new(4);
+        let hits = AtomicU64::new(0);
+        for _ in 0..100 {
+            pool.run(&|w| {
+                hits.fetch_add(1 << (8 * w), Ordering::Relaxed);
+            });
+        }
+        // 100 (= 0x64) hits per worker, one byte lane each.
+        assert_eq!(hits.load(Ordering::Relaxed), 0x6464_6464);
+    }
+
+    #[test]
+    fn pool_of_one_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let calls = AtomicU64::new(0);
+        pool.run(&|w| {
+            assert_eq!(w, 0);
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_borrows_stack_data() {
+        let data: Vec<u64> = (0..1000).collect();
+        let partial = Mutex::new(vec![0u64; 4]);
+        let pool = WorkerPool::new(4);
+        pool.run(&|w| {
+            let (lo, hi) = chunk_range(data.len(), 4, w);
+            let sum: u64 = data[lo..hi].iter().sum();
+            partial.lock().expect("lock")[w] = sum;
+        });
+        let total: u64 = partial.lock().expect("lock").iter().sum();
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = WorkerPool::new(3);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|w| {
+                if w == 2 {
+                    panic!("worker boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicked region.
+        pool.run(&|_| {});
+    }
+
+    #[test]
+    fn shards_are_disjoint_and_offset() {
+        let mut data = vec![0u32; 10];
+        let bounds = [0u32, 3, 3, 10];
+        let shards = SliceShards::new(&mut data, &bounds);
+        let pool = WorkerPool::new(3);
+        pool.run(&|w| {
+            // SAFETY: one claim per worker index per region.
+            let (off, shard) = unsafe { shards.shard(w) };
+            for (i, x) in shard.iter_mut().enumerate() {
+                *x = (off + i) as u32 + 100 * (w as u32 + 1);
+            }
+        });
+        assert_eq!(data, vec![100, 101, 102, 303, 304, 305, 306, 307, 308, 309]);
+    }
+}

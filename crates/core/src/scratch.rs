@@ -1,0 +1,122 @@
+//! Reusable per-iteration buffers for the engine loop.
+//!
+//! The seed engine allocated fresh `Vec`s for worklists, candidate
+//! lists, task-cost vectors, the changed list and the dirty stamps on
+//! every iteration — on iteration-heavy graphs (road networks, long
+//! paths) the allocator dominated the host profile. [`IterScratch`]
+//! owns all of those buffers for the lifetime of one `Engine::run` call;
+//! every iteration clears in place and refills, and the parallel
+//! backend's per-worker partitions live in [`WorkerScratch`] so the hot
+//! path performs no allocation in steady state in either exec mode.
+
+use crate::filters::ballot::WarpScanScratch;
+use crate::frontier::{ThreadBins, Worklists};
+use simdx_gpu::Cost;
+use simdx_graph::VertexId;
+
+/// One online-filter activation record, deferred by a parallel worker
+/// and replayed into [`ThreadBins`] in deterministic order.
+///
+/// `key` is `(global task index, edge offset within the task)` — the
+/// exact order in which the serial engine calls `ThreadBins::record`,
+/// so sorting by `key` and replaying reproduces the serial bins (and
+/// therefore the same overflow behaviour and the same concatenated
+/// next-frontier) bit for bit.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RecordEntry {
+    /// (task counter, edge offset) sort key.
+    pub key: (u64, u32),
+    /// Simulated-thread bin slot (`ThreadBins::record`'s first arg).
+    pub slot: usize,
+    /// Recorded vertex.
+    pub v: VertexId,
+}
+
+/// Per-worker private buffers for one parallel region.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerScratch<M> {
+    /// Classification output (merged in worker order).
+    pub lists: Worklists,
+    /// Pull-candidate output (merged in worker order).
+    pub cands: Vec<VertexId>,
+    /// Task-cost output for task-partitioned kernels (charged via
+    /// `run_kernel_parts` in worker order).
+    pub tasks: Vec<Cost>,
+    /// Vertices whose metadata first changed this iteration.
+    pub changed: Vec<VertexId>,
+    /// Deferred online-filter records.
+    pub records: Vec<RecordEntry>,
+    /// Push mode: per-task successful-apply counts `(task, applied)`,
+    /// merged into the shared cost vector's `writes` fields.
+    pub applied: Vec<(u32, u32)>,
+    /// Pull mode: deferred metadata writes (disjoint vertices).
+    pub writebacks: Vec<(VertexId, M)>,
+    /// Ballot-scan partition output.
+    pub warp: WarpScanScratch,
+    /// Degree-sum partial.
+    pub degree_sum: u64,
+}
+
+/// All buffers the engine loop reuses across iterations.
+#[derive(Debug)]
+pub(crate) struct IterScratch<M> {
+    /// The iteration's three worklists.
+    pub lists: Worklists,
+    /// Pull-mode candidate list.
+    pub cands: Vec<VertexId>,
+    /// Shared task-cost vector (push mode and serial pull mode).
+    pub tasks: Vec<Cost>,
+    /// Task-management / candidate-sweep cost vector.
+    pub mgmt_tasks: Vec<Cost>,
+    /// Cached identical-cost vector for the pull-vote candidate scan
+    /// (its length only depends on |V|, so it is built once).
+    pub vote_scan_tasks: Vec<Cost>,
+    /// Vertices whose metadata first changed this iteration.
+    pub changed: Vec<VertexId>,
+    /// Aggregation-pull dirty stamps, sized |V| once per run.
+    pub dirty_stamp: Vec<u32>,
+    /// Merged record list (sort + replay buffer).
+    pub records: Vec<RecordEntry>,
+    /// Online-filter thread bins (persistent, reshaped in place).
+    pub bins: ThreadBins,
+    /// Next-frontier buffer, swapped with the live frontier each
+    /// iteration.
+    pub next: Vec<VertexId>,
+    /// Destination-shard fences for parallel push (computed lazily once
+    /// per run from the pull-orientation degrees).
+    pub push_bounds: Option<Vec<u32>>,
+    /// Per-worker partitions (len = worker count; 1 in serial mode).
+    pub workers: Vec<WorkerScratch<M>>,
+}
+
+impl<M> IterScratch<M> {
+    /// Creates scratch for `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            lists: Worklists::default(),
+            cands: Vec::new(),
+            tasks: Vec::new(),
+            mgmt_tasks: Vec::new(),
+            vote_scan_tasks: Vec::new(),
+            changed: Vec::new(),
+            dirty_stamp: Vec::new(),
+            records: Vec::new(),
+            bins: ThreadBins::new(1, 0),
+            next: Vec::new(),
+            push_bounds: None,
+            workers: (0..threads.max(1))
+                .map(|_| WorkerScratch {
+                    lists: Worklists::default(),
+                    cands: Vec::new(),
+                    tasks: Vec::new(),
+                    changed: Vec::new(),
+                    records: Vec::new(),
+                    applied: Vec::new(),
+                    writebacks: Vec::new(),
+                    warp: WarpScanScratch::default(),
+                    degree_sum: 0,
+                })
+                .collect(),
+        }
+    }
+}

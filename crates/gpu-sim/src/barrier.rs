@@ -201,7 +201,8 @@ mod tests {
         let occ = occupancy(&k40, &kernel);
         let mut b = GlobalBarrier::new(lc, &occ);
         for _ in 0..100 {
-            b.sync().expect("deadlock-free configuration must not deadlock");
+            b.sync()
+                .expect("deadlock-free configuration must not deadlock");
         }
     }
 

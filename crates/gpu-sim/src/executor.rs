@@ -168,20 +168,44 @@ impl GpuExecutor {
         tasks: &[Cost],
         launch: bool,
     ) -> KernelReport {
+        self.run_kernel_parts(kernel, unit, std::iter::once(tasks), launch)
+    }
+
+    /// [`Self::run_kernel`] over a pre-partitioned task list: the
+    /// logical task sequence is the concatenation of `parts` in order.
+    ///
+    /// This is the charging API the engine's parallel backend uses — the
+    /// per-worker partitions of one kernel's tasks are charged directly
+    /// from wherever they live, without copying them into a contiguous
+    /// vector or even collecting the partition list (the iterator is
+    /// cloned for the sizing pre-pass). Task `i` of the concatenation
+    /// lands on slot `i % slots` exactly as in the single-slice form, so
+    /// the report is identical for identical logical sequences
+    /// regardless of partitioning.
+    pub fn run_kernel_parts<'a, I>(
+        &mut self,
+        kernel: &KernelDesc,
+        unit: SchedUnit,
+        parts: I,
+        launch: bool,
+    ) -> KernelReport
+    where
+        I: Iterator<Item = &'a [Cost]> + Clone,
+    {
+        let num_tasks: usize = parts.clone().map(|p| p.len()).sum();
         let slots = self.slots_for(kernel, unit);
         // Bandwidth saturation: a kernel resident below the device's
         // latency-hiding threshold reaches only a fraction of peak.
         let occ = occupancy(&self.device, kernel);
-        let saturation = (occ.resident_threads as f64
-            / self.device.saturation_threads.max(1) as f64)
-            .min(1.0);
+        let saturation =
+            (occ.resident_threads as f64 / self.device.saturation_threads.max(1) as f64).min(1.0);
 
         // Static cyclic assignment: task i runs on slot i % slots.
-        let active_slots = slots.min(tasks.len() as u64).max(1) as usize;
+        let active_slots = slots.min(num_tasks as u64).max(1) as usize;
         let mut slot_cycles = vec![0u64; active_slots];
         let mut traffic = TrafficCounter::default();
         let mut total_bytes = 0u64;
-        for (i, cost) in tasks.iter().enumerate() {
+        for (i, cost) in parts.flat_map(|p| p.iter()).enumerate() {
             slot_cycles[i % active_slots] += self.model.cycles(cost);
             total_bytes += cost.bytes();
             traffic.coalesced_reads += cost.coalesced_reads.div_ceil(32);
@@ -206,7 +230,7 @@ impl GpuExecutor {
         KernelReport {
             name: kernel.name.clone(),
             unit,
-            tasks: tasks.len() as u64,
+            tasks: num_tasks as u64,
             slots,
             makespan_cycles: makespan,
             bandwidth_floor_cycles: bandwidth_floor,
@@ -299,6 +323,22 @@ mod tests {
         let r = ex.run_kernel(&kernel(), SchedUnit::Thread, &tasks, false);
         assert!(r.bandwidth_floor_cycles > 0);
         assert!(r.elapsed_cycles >= r.bandwidth_floor_cycles);
+    }
+
+    #[test]
+    fn partitioned_charge_equals_contiguous_charge() {
+        let tasks: Vec<Cost> = (0..100).map(|i| Cost::compute(i * 7 + 1)).collect();
+        let mut whole = executor();
+        let rw = whole.run_kernel(&kernel(), SchedUnit::Thread, &tasks, true);
+        let mut parts = executor();
+        let rp = parts.run_kernel_parts(
+            &kernel(),
+            SchedUnit::Thread,
+            [&tasks[..13], &tasks[13..13], &tasks[13..64], &tasks[64..]].into_iter(),
+            true,
+        );
+        assert_eq!(rw, rp);
+        assert_eq!(whole.stats(), parts.stats());
     }
 
     #[test]

@@ -55,11 +55,10 @@ pub fn occupancy(device: &DeviceSpec, kernel: &KernelDesc) -> Occupancy {
     };
     let by_threads = device.max_threads_per_sm / kernel.threads_per_cta;
     let by_slots = device.max_ctas_per_sm;
-    let by_shmem = if kernel.shared_mem_per_cta == 0 {
-        device.max_ctas_per_sm
-    } else {
-        device.shared_mem_per_sm / kernel.shared_mem_per_cta
-    };
+    let by_shmem = device
+        .shared_mem_per_sm
+        .checked_div(kernel.shared_mem_per_cta)
+        .unwrap_or(device.max_ctas_per_sm);
 
     let ctas_per_sm = by_regs.min(by_threads).min(by_slots).min(by_shmem);
     assert!(

@@ -160,7 +160,10 @@ impl Csr {
     /// pull-mode SSSP sees the same weight on the reversed edge.
     pub fn transpose(&self) -> Csr {
         let mut edges = Vec::with_capacity(self.targets.len());
-        let mut weights = self.weights.as_ref().map(|_| Vec::with_capacity(self.targets.len()));
+        let mut weights = self
+            .weights
+            .as_ref()
+            .map(|_| Vec::with_capacity(self.targets.len()));
         for v in 0..self.num_vertices() {
             let (lo, hi) = self.range(v);
             for i in lo..hi {
@@ -184,7 +187,10 @@ impl Csr {
 
     /// Maximum out-degree.
     pub fn max_degree(&self) -> u32 {
-        (0..self.num_vertices()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -219,7 +225,10 @@ impl Graph {
     /// Wraps a directed CSR, materializing the transpose for pull mode.
     pub fn directed(out: Csr) -> Self {
         let in_ = out.transpose();
-        Self { out, in_: Some(in_) }
+        Self {
+            out,
+            in_: Some(in_),
+        }
     }
 
     /// Builds an undirected graph from an edge list, symmetrizing and

@@ -101,7 +101,10 @@ impl EdgeList {
     /// edges would break the parallel-vector invariant) or if an endpoint
     /// is out of range.
     pub fn push(&mut self, src: VertexId, dst: VertexId) {
-        assert!(self.weights.is_none(), "edge list is weighted; use push_weighted");
+        assert!(
+            self.weights.is_none(),
+            "edge list is weighted; use push_weighted"
+        );
         assert!(src < self.num_vertices && dst < self.num_vertices);
         self.edges.push((src, dst));
     }
@@ -115,7 +118,10 @@ impl EdgeList {
     pub fn push_weighted(&mut self, src: VertexId, dst: VertexId, w: Weight) {
         assert!(src < self.num_vertices && dst < self.num_vertices);
         if self.weights.is_none() {
-            assert!(self.edges.is_empty(), "edge list already has unweighted edges");
+            assert!(
+                self.edges.is_empty(),
+                "edge list already has unweighted edges"
+            );
             self.weights = Some(Vec::new());
         }
         self.edges.push((src, dst));

@@ -73,7 +73,10 @@ mod tests {
         let max = csr.max_degree();
         // Exactly 16 before dedup; duplicates can only lower it.
         assert!(max <= 16);
-        let min = (0..csr.num_vertices()).map(|v| csr.degree(v)).min().unwrap();
+        let min = (0..csr.num_vertices())
+            .map(|v| csr.degree(v))
+            .min()
+            .unwrap();
         assert!(min >= 12, "uniform degrees should not collapse, min={min}");
     }
 

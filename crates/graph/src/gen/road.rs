@@ -122,16 +122,10 @@ mod tests {
     fn diameter_scales_with_width() {
         let short = Road::strip(32, 4);
         let long = Road::strip(256, 4);
-        let d_short = stats::estimate_diameter(
-            Graph::undirected_from_edges(short.generate(2)).out(),
-            4,
-            7,
-        );
-        let d_long = stats::estimate_diameter(
-            Graph::undirected_from_edges(long.generate(2)).out(),
-            4,
-            7,
-        );
+        let d_short =
+            stats::estimate_diameter(Graph::undirected_from_edges(short.generate(2)).out(), 4, 7);
+        let d_long =
+            stats::estimate_diameter(Graph::undirected_from_edges(long.generate(2)).out(), 4, 7);
         assert!(
             d_long > d_short * 4,
             "diameter must grow with strip length: {d_short} vs {d_long}"

@@ -53,9 +53,8 @@ impl Web {
         }
         let hosts = host_starts.len() - 1;
 
-        let host_of = |v: VertexId| -> usize {
-            host_starts.partition_point(|&s| s <= v).saturating_sub(1)
-        };
+        let host_of =
+            |v: VertexId| -> usize { host_starts.partition_point(|&s| s <= v).saturating_sub(1) };
 
         // Host popularity for cross links: Zipf over host index.
         let host_pop: Vec<f64> = (0..hosts).map(|h| 1.0 / (1.0 + h as f64)).collect();

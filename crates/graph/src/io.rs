@@ -46,7 +46,8 @@ impl std::error::Error for DecodeError {}
 /// Encodes a CSR into the binary format.
 pub fn encode_csr(csr: &Csr) -> Bytes {
     let mut buf = BytesMut::with_capacity(
-        24 + csr.offsets().len() * 8 + csr.targets().len() * 4
+        24 + csr.offsets().len() * 8
+            + csr.targets().len() * 4
             + csr.weights().map_or(0, |w| w.len() * 4),
     );
     buf.put_u32_le(MAGIC);
@@ -121,8 +122,8 @@ pub fn decode_csr(mut data: &[u8]) -> Result<Csr, DecodeError> {
     // Rebuild through the public constructor so internal invariants hold.
     let mut edges = Vec::with_capacity(m);
     for v in 0..n {
-        for i in offsets[v] as usize..offsets[v + 1] as usize {
-            edges.push((v as VertexId, targets[i]));
+        for &t in &targets[offsets[v] as usize..offsets[v + 1] as usize] {
+            edges.push((v as VertexId, t));
         }
     }
     Ok(Csr::build(n as VertexId, &edges, weights.as_deref(), false))
@@ -179,11 +180,7 @@ pub fn parse_edge_list(text: &str) -> Result<EdgeList, DecodeError> {
         edges.push((s, d));
     }
     Ok(if any_weight {
-        let n = edges
-            .iter()
-            .map(|&(s, d)| s.max(d) + 1)
-            .max()
-            .unwrap_or(0);
+        let n = edges.iter().map(|&(s, d)| s.max(d) + 1).max().unwrap_or(0);
         EdgeList::from_weighted(n, edges, weights)
     } else {
         EdgeList::from_pairs(edges)

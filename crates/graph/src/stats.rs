@@ -51,7 +51,11 @@ pub fn estimate_diameter(csr: &Csr, samples: u32, seed: u64) -> u32 {
     // random source frequently has no out-edges at all.
     let hub = (0..n).max_by_key(|&v| csr.degree(v)).unwrap_or(0);
     for sample in 0..samples.max(1) {
-        let src = if sample == 0 { hub } else { rng.gen_range(0..n) };
+        let src = if sample == 0 {
+            hub
+        } else {
+            rng.gen_range(0..n)
+        };
         let dist = bfs_levels(csr, src);
         let (far, ecc) = farthest(&dist);
         best = best.max(ecc);
@@ -95,7 +99,11 @@ pub fn degree_histogram(csr: &Csr) -> DegreeHistogram {
     for v in 0..n {
         let d = csr.degree(v);
         max_degree = max_degree.max(d);
-        let b = if d <= 1 { 0 } else { 32 - (d - 1).leading_zeros() } as usize;
+        let b = if d <= 1 {
+            0
+        } else {
+            32 - (d - 1).leading_zeros()
+        } as usize;
         buckets[b] += 1;
     }
     while buckets.len() > 1 && *buckets.last().expect("non-empty") == 0 {
@@ -119,7 +127,9 @@ pub fn degree_gini(csr: &Csr) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let mut degs: Vec<u64> = (0..csr.num_vertices()).map(|v| csr.degree(v) as u64).collect();
+    let mut degs: Vec<u64> = (0..csr.num_vertices())
+        .map(|v| csr.degree(v) as u64)
+        .collect();
     degs.sort_unstable();
     let total: u64 = degs.iter().sum();
     if total == 0 {

@@ -20,7 +20,10 @@ fn main() {
         graph.out().max_degree()
     );
 
-    println!("\n{:>4}  {:>9}  {:>6}  {:>10}  filter pattern", "k", "survivors", "iters", "sim ms");
+    println!(
+        "\n{:>4}  {:>9}  {:>6}  {:>10}  filter pattern",
+        "k", "survivors", "iters", "sim ms"
+    );
     for k in [4, 8, 16, 32, 64] {
         let r = kcore::run(&graph, k, EngineConfig::default()).expect("kcore");
         let survivors = kcore::survivors(&r.meta).iter().filter(|&&s| s).count();

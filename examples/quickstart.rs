@@ -53,8 +53,5 @@ fn main() {
         r.report.kernel_launches(),
         r.report.barrier_passes()
     );
-    println!(
-        "  filter pattern: {}",
-        r.report.log.pattern_rle()
-    );
+    println!("  filter pattern: {}", r.report.log.pattern_rle());
 }

@@ -90,12 +90,21 @@ fn pagerank_agrees_within_tolerance_across_systems() {
                 );
             }
         };
-        close(&pagerank::run(&g, EngineConfig::default()).expect("simdx").meta, "simdx");
         close(
-            &GunrockEngine::new(simdx::algos::PageRank::new(&g), &g, GunrockConfig::default())
-                .run()
-                .expect("gunrock")
+            &pagerank::run(&g, EngineConfig::default())
+                .expect("simdx")
                 .meta,
+            "simdx",
+        );
+        close(
+            &GunrockEngine::new(
+                simdx::algos::PageRank::new(&g),
+                &g,
+                GunrockConfig::default(),
+            )
+            .run()
+            .expect("gunrock")
+            .meta,
             "gunrock",
         );
         close(
@@ -126,7 +135,11 @@ fn kcore_agrees_between_simdx_and_ligra() {
         for k in [4, 16] {
             let expected = reference::kcore(&g, k);
             let sx = kcore::run(&g, k, EngineConfig::default()).expect("simdx");
-            assert_eq!(kcore::survivors(&sx.meta), expected, "simdx k={k} on {name}");
+            assert_eq!(
+                kcore::survivors(&sx.meta),
+                expected,
+                "simdx k={k} on {name}"
+            );
             let li = ligra::kcore(&g, k, ligra::LigraConfig::default()).expect("ligra");
             let alive: Vec<bool> = li.meta.iter().map(|&d| d != u32::MAX).collect();
             assert_eq!(alive, expected, "ligra k={k} on {name}");
@@ -139,9 +152,15 @@ fn every_config_combination_is_functionally_identical() {
     let g = datasets::dataset("PK").expect("PK").build_scaled(9, 4);
     let src = datasets::default_source(g.out());
     let expected = reference::sssp(g.out(), src);
-    for fusion in [FusionStrategy::None, FusionStrategy::All, FusionStrategy::PushPull] {
+    for fusion in [
+        FusionStrategy::None,
+        FusionStrategy::All,
+        FusionStrategy::PushPull,
+    ] {
         for filter in [FilterPolicy::Jit, FilterPolicy::BallotOnly] {
-            let cfg = EngineConfig::default().with_fusion(fusion).with_filter(filter);
+            let cfg = EngineConfig::default()
+                .with_fusion(fusion)
+                .with_filter(filter);
             let r = sssp::run(&g, src, cfg).expect("sssp");
             assert_eq!(r.meta, expected, "{fusion:?}/{filter:?}");
         }

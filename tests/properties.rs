@@ -10,12 +10,7 @@ use simdx::graph::{io, weights, Csr, EdgeList, Graph};
 
 /// Strategy: an arbitrary directed graph with up to `max_v` vertices.
 fn arb_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
-    (2..max_v).prop_flat_map(move |n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n, 0..n), 0..max_e),
-        )
-    })
+    (2..max_v).prop_flat_map(move |n| (Just(n), proptest::collection::vec((0..n, 0..n), 0..max_e)))
 }
 
 proptest! {
