@@ -11,7 +11,7 @@ use simdx_algos::pagerank::PageRank;
 use simdx_core::acc::{AccProgram, CombineKind};
 use simdx_core::filters::{ballot, online, strided};
 use simdx_core::frontier::ThreadBins;
-use simdx_core::{Engine, EngineConfig, ExecMode};
+use simdx_core::{Engine, EngineConfig, ExecMode, FrontierRepr};
 use simdx_gpu::occupancy::occupancy;
 use simdx_gpu::warp;
 use simdx_gpu::{DeviceSpec, GpuExecutor, KernelDesc};
@@ -166,6 +166,42 @@ fn bench_exec_modes(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_frontier_reprs(c: &mut Criterion) {
+    // A/B of the frontier representations (bit-equal by contract):
+    // BFS is ballot/push heavy, PageRank is pull heavy — the two
+    // regimes where the bitmap's word-skip and bit-test dedup differ
+    // most from the list walks.
+    let g = datasets::dataset("PK").expect("PK").build_scaled(3, 2);
+    let src = datasets::default_source(g.out());
+    let mut group = c.benchmark_group("frontier_repr");
+    group.sample_size(10);
+    for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
+        group.bench_with_input(BenchmarkId::new("bfs", repr.label()), &g, |b, g| {
+            b.iter(|| {
+                Engine::new(
+                    Bfs::new(src),
+                    g,
+                    EngineConfig::default().with_frontier(repr),
+                )
+                .run()
+                .expect("bfs")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pagerank", repr.label()), &g, |b, g| {
+            b.iter(|| {
+                Engine::new(
+                    PageRank::new(g),
+                    g,
+                    EngineConfig::default().with_frontier(repr),
+                )
+                .run()
+                .expect("pagerank")
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_filters,
@@ -173,6 +209,7 @@ criterion_group!(
     bench_occupancy,
     bench_generators,
     bench_engine,
-    bench_exec_modes
+    bench_exec_modes,
+    bench_frontier_reprs
 );
 criterion_main!(benches);

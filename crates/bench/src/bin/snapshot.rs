@@ -1,8 +1,10 @@
 //! Machine-readable host-performance snapshot: writes
 //! `BENCH_engine.json` with *wall-clock* engine runtimes (not simulated
 //! cycles — those are identical by the determinism contract) for every
-//! algorithm × graph × [`ExecMode`], so the repo's perf trajectory is
-//! comparable across commits.
+//! algorithm × graph × [`ExecMode`] × [`FrontierRepr`], so the repo's
+//! perf trajectory is comparable across commits. A dedicated
+//! `frontier_comparison` group pairs each serial List cell with its
+//! Bitmap counterpart so the representation A/B is directly readable.
 //!
 //! Usage:
 //!
@@ -16,7 +18,7 @@
 //! `2,4` plus the machine width; serial is always measured.
 
 use simdx_algos::{bfs::Bfs, kcore::KCore, pagerank::PageRank, sssp::Sssp};
-use simdx_core::{Engine, EngineConfig, ExecMode};
+use simdx_core::{Engine, EngineConfig, ExecMode, FrontierRepr};
 use simdx_graph::gen::{Erdos, Rmat, Road};
 use simdx_graph::{weights, Graph};
 use std::fmt::Write as _;
@@ -76,6 +78,7 @@ struct Sample {
     num_vertices: u32,
     num_edges: u64,
     mode: String,
+    frontier_repr: &'static str,
     /// Best-of-reps wall-clock milliseconds of the host computation.
     wall_ms: f64,
     /// Simulated milliseconds (identical across modes by contract).
@@ -93,31 +96,36 @@ fn measure(
     run: impl Fn(EngineConfig) -> (f64, u32),
 ) {
     for &mode in modes {
-        let mut best_wall = f64::INFINITY;
-        let mut sim = 0.0;
-        let mut iters = 0;
-        for _ in 0..reps {
-            let start = Instant::now();
-            let (simulated_ms, iterations) = run(EngineConfig::default().with_exec(mode));
-            let wall = start.elapsed().as_secs_f64() * 1e3;
-            best_wall = best_wall.min(wall);
-            sim = simulated_ms;
-            iters = iterations;
+        for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
+            let mut best_wall = f64::INFINITY;
+            let mut sim = 0.0;
+            let mut iters = 0;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let (simulated_ms, iterations) =
+                    run(EngineConfig::default().with_exec(mode).with_frontier(repr));
+                let wall = start.elapsed().as_secs_f64() * 1e3;
+                best_wall = best_wall.min(wall);
+                sim = simulated_ms;
+                iters = iterations;
+            }
+            eprintln!(
+                "{algorithm:>8} × {graph_name:<8} × {:<12} × {:<6} {best_wall:>9.2} ms wall",
+                mode.label(),
+                repr.label(),
+            );
+            samples.push(Sample {
+                algorithm,
+                graph: graph_name.to_string(),
+                num_vertices: g.num_vertices(),
+                num_edges: g.num_edges(),
+                mode: mode.label(),
+                frontier_repr: repr.label(),
+                wall_ms: best_wall,
+                simulated_ms: sim,
+                iterations: iters,
+            });
         }
-        eprintln!(
-            "{algorithm:>8} × {graph_name:<8} × {:<12} {best_wall:>9.2} ms wall",
-            mode.label()
-        );
-        samples.push(Sample {
-            algorithm,
-            graph: graph_name.to_string(),
-            num_vertices: g.num_vertices(),
-            num_edges: g.num_edges(),
-            mode: mode.label(),
-            wall_ms: best_wall,
-            simulated_ms: sim,
-            iterations: iters,
-        });
     }
 }
 
@@ -218,7 +226,7 @@ fn main() {
     // Hand-rolled JSON (the workspace builds without a registry; see
     // crates/compat/README.md).
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"simdx-bench-engine/1\",\n");
+    out.push_str("{\n  \"schema\": \"simdx-bench-engine/2\",\n");
     let _ = writeln!(out, "  \"scale\": {},", args.scale);
     let _ = writeln!(out, "  \"reps\": {},", args.reps);
     let _ = writeln!(
@@ -233,18 +241,59 @@ fn main() {
         let _ = write!(
             out,
             "    {{\"algorithm\": \"{}\", \"graph\": \"{}\", \"num_vertices\": {}, \
-             \"num_edges\": {}, \"mode\": \"{}\", \"wall_ms\": {:.3}, \
-             \"simulated_ms\": {:.3}, \"iterations\": {}}}",
+             \"num_edges\": {}, \"mode\": \"{}\", \"frontier_repr\": \"{}\", \
+             \"wall_ms\": {:.3}, \"simulated_ms\": {:.3}, \"iterations\": {}}}",
             json_escape(s.algorithm),
             json_escape(&s.graph),
             s.num_vertices,
             s.num_edges,
             json_escape(&s.mode),
+            s.frontier_repr,
             s.wall_ms,
             s.simulated_ms,
             s.iterations
         );
         out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
+    // The List-vs-Bitmap A/B, paired per (algorithm, graph, mode):
+    // speedup > 1 means the bitmap representation was faster on the
+    // host. Results are bit-equal by contract, so this is pure
+    // representation overhead/win.
+    out.push_str("  \"frontier_comparison\": [\n");
+    let pairs: Vec<(&Sample, &Sample)> = samples
+        .iter()
+        .filter(|s| s.frontier_repr == "list")
+        .filter_map(|list| {
+            samples
+                .iter()
+                .find(|b| {
+                    b.frontier_repr == "bitmap"
+                        && b.algorithm == list.algorithm
+                        && b.graph == list.graph
+                        && b.mode == list.mode
+                })
+                .map(|bitmap| (list, bitmap))
+        })
+        .collect();
+    for (i, (list, bitmap)) in pairs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"algorithm\": \"{}\", \"graph\": \"{}\", \"mode\": \"{}\", \
+             \"list_ms\": {:.3}, \"bitmap_ms\": {:.3}, \"bitmap_speedup\": {:.3}}}",
+            json_escape(list.algorithm),
+            json_escape(&list.graph),
+            json_escape(&list.mode),
+            list.wall_ms,
+            bitmap.wall_ms,
+            if bitmap.wall_ms > 0.0 {
+                list.wall_ms / bitmap.wall_ms
+            } else {
+                0.0
+            }
+        );
+        out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     std::fs::write(&args.out, &out).expect("write snapshot");

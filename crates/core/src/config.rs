@@ -60,6 +60,68 @@ impl ExecMode {
     }
 }
 
+/// How the engine represents set-shaped frontier state.
+///
+/// Orthogonal to [`ExecMode`], and under the same contract: `Bitmap`
+/// is **bit-equal** to `List` — identical metadata, activation logs
+/// and simulated cycle counts (`tests/frontier_equivalence.rs`
+/// enforces the full algorithm × exec-mode matrix). Only host-side
+/// data structures change:
+///
+/// * `List` keeps every frontier artifact as a `Vec<VertexId>`
+///   worklist (the seed behaviour) — cheapest for sparse push
+///   frontiers.
+/// * `Bitmap` uses [`crate::frontier::FrontierBitmap`] (one `u64`
+///   word per 64 vertices, two warp chunks) for the changed-vertex
+///   set, pull-candidate dedup and the ballot scan's occupancy, so
+///   membership tests are single-bit loads and all-zero words are
+///   skipped 64 vertices at a time — wins on dense frontiers and
+///   pull-heavy phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FrontierRepr {
+    /// Sorted/concatenated vertex worklists (seed behaviour).
+    List,
+    /// Word-per-64-vertices bitmaps for set-shaped frontier state.
+    Bitmap,
+}
+
+impl FrontierRepr {
+    /// The representation selected by the `SIMDX_FRONTIER` environment
+    /// variable: `"bitmap"` selects `Bitmap`; `"list"`, empty or unset
+    /// select `List`. Any other value panics so CI typos cannot
+    /// silently fall back to the default representation.
+    pub fn from_env() -> Self {
+        match std::env::var("SIMDX_FRONTIER") {
+            Err(_) => Self::List,
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "" | "list" => Self::List,
+                "bitmap" => Self::Bitmap,
+                other => panic!("SIMDX_FRONTIER must be 'list' or 'bitmap', got '{other}'"),
+            },
+        }
+    }
+
+    /// Short label for reports and bench artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::List => "list",
+            Self::Bitmap => "bitmap",
+        }
+    }
+}
+
+impl Default for FrontierRepr {
+    /// Defers to [`Self::from_env`] so `SIMDX_FRONTIER=bitmap` flips
+    /// the default for a whole test/bench process. The parse is
+    /// cached: benches call `EngineConfig::default()` inside timed
+    /// regions, and an env lookup per construction would leak into
+    /// wall-clock numbers.
+    fn default() -> Self {
+        static DEFAULT: std::sync::OnceLock<FrontierRepr> = std::sync::OnceLock::new();
+        *DEFAULT.get_or_init(Self::from_env)
+    }
+}
+
 /// Push/pull direction selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DirectionPolicy {
@@ -107,6 +169,8 @@ pub struct EngineConfig {
     pub max_iterations: u32,
     /// Host execution backend (serial reference vs worker pool).
     pub exec: ExecMode,
+    /// Frontier representation (vertex worklists vs bitmaps).
+    pub frontier: FrontierRepr,
 }
 
 impl Default for EngineConfig {
@@ -122,6 +186,7 @@ impl Default for EngineConfig {
             direction: DirectionPolicy::default(),
             max_iterations: 100_000,
             exec: ExecMode::Serial,
+            frontier: FrontierRepr::default(),
         }
     }
 }
@@ -178,6 +243,17 @@ impl EngineConfig {
     pub fn parallel(self, threads: usize) -> Self {
         self.with_exec(ExecMode::Parallel { threads })
     }
+
+    /// Builder: set the frontier representation.
+    pub fn with_frontier(mut self, frontier: FrontierRepr) -> Self {
+        self.frontier = frontier;
+        self
+    }
+
+    /// Builder: bitmap frontier representation.
+    pub fn bitmap(self) -> Self {
+        self.with_frontier(FrontierRepr::Bitmap)
+    }
 }
 
 #[cfg(test)]
@@ -218,5 +294,23 @@ mod tests {
         let c = EngineConfig::unscaled().parallel(2);
         assert_eq!(c.exec, ExecMode::Parallel { threads: 2 });
         assert_eq!(EngineConfig::default().exec, ExecMode::Serial);
+    }
+
+    #[test]
+    fn frontier_repr_builders_and_labels() {
+        assert_eq!(FrontierRepr::List.label(), "list");
+        assert_eq!(FrontierRepr::Bitmap.label(), "bitmap");
+        let c = EngineConfig::unscaled().bitmap();
+        assert_eq!(c.frontier, FrontierRepr::Bitmap);
+        let c = c.with_frontier(FrontierRepr::List);
+        assert_eq!(c.frontier, FrontierRepr::List);
+        // Without SIMDX_FRONTIER in the test environment the default
+        // is the list representation; with it, CI flips every default
+        // config to bitmap (both are valid here by the bit-equality
+        // contract).
+        assert!(matches!(
+            EngineConfig::default().frontier,
+            FrontierRepr::List | FrontierRepr::Bitmap
+        ));
     }
 }

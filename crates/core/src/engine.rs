@@ -46,16 +46,34 @@
 //!   in serial order (or charged from per-worker partitions via
 //!   [`GpuExecutor::run_kernel_parts`], which preserves the logical
 //!   sequence), so the simulated device sees the same work either way.
+//!
+//! # Frontier representations
+//!
+//! [`crate::config::FrontierRepr`] selects, orthogonally to the exec
+//! mode, how the host represents set-shaped frontier state — under the
+//! same bit-equality contract (`tests/frontier_equivalence.rs`). In
+//! `Bitmap` mode the changed-vertex set, the aggregation-pull
+//! candidate dedup and push-mode first-change detection live in
+//! [`FrontierBitmap`]s (one word per 64 vertices), the ballot scan
+//! skips all-zero changed words before touching metadata
+//! ([`ballot::scan_range_sparse`]), parallel push records changes as
+//! atomic-free bit sets over word-aligned destination shards, and the
+//! parallel ballot partitions on word boundaries. Worklists themselves
+//! stay materialized in both modes: the online filter's concatenated
+//! bins are duplicate-carrying lists by §4's design, and task order
+//! drives cost charging.
 
 use crate::acc::{AccProgram, CombineKind, DirectionCtx};
-use crate::config::{DirectionPolicy, EngineConfig};
+use crate::config::{DirectionPolicy, EngineConfig, FrontierRepr};
 use crate::filters::{ballot, online, FilterKind};
-use crate::frontier::{ThreadBins, Worklists};
+use crate::frontier::{
+    BitSink, BitmapWordsMut, ChangeSink, FrontierBitmap, ListSink, ThreadBins, Worklists, WORD_BITS,
+};
 use crate::fusion::{FusionPlan, KernelRole};
 use crate::jit::{ActivationLog, EngineError, IterationRecord, JitController};
 use crate::metrics::{RunReport, RunResult};
 use crate::par::{chunk_range, WorkerPool};
-use crate::scratch::{IterScratch, RecordEntry, WorkerScratch};
+use crate::scratch::{IterScratch, PushFences, RecordEntry, WorkerScratch};
 use simdx_gpu::{Cost, GpuExecutor, SchedUnit};
 use simdx_graph::csr::{Csr, Direction};
 use simdx_graph::{Graph, VertexId};
@@ -112,6 +130,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             mgmt_tasks,
             vote_scan_tasks,
             changed,
+            changed_bits,
+            cand_bits,
             dirty_stamp,
             records,
             bins,
@@ -119,6 +139,16 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             push_bounds,
             workers,
         } = &mut scratch;
+
+        // Frontier representation: bitmap mode sizes its reusable
+        // bitmaps once here; both are maintained empty between
+        // iterations (changed bits drain at publication, candidate
+        // bits drain into the sorted candidate list).
+        let repr = self.config.frontier;
+        if repr == FrontierRepr::Bitmap {
+            changed_bits.reset(n);
+            cand_bits.reset(n);
+        }
 
         let (mut curr, mut frontier) = program.init(graph);
         assert_eq!(curr.len(), n, "init must produce one metadata per vertex");
@@ -246,24 +276,51 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                         CombineKind::Aggregation => {
                             match &pool {
                                 None => {
-                                    if dirty_stamp.len() != n {
-                                        dirty_stamp.clear();
-                                        dirty_stamp.resize(n, u32::MAX);
-                                    }
                                     mgmt_tasks.clear();
-                                    for &v in &frontier {
-                                        let nbrs = out_csr.neighbors(v);
-                                        for &u in nbrs {
-                                            if dirty_stamp[u as usize] != iteration
-                                                && program.pull_candidate(u, &curr[u as usize])
-                                            {
-                                                dirty_stamp[u as usize] = iteration;
-                                                cands.push(u);
+                                    match repr {
+                                        FrontierRepr::List => {
+                                            if dirty_stamp.len() != n {
+                                                dirty_stamp.clear();
+                                                dirty_stamp.resize(n, u32::MAX);
                                             }
+                                            for &v in &frontier {
+                                                let nbrs = out_csr.neighbors(v);
+                                                for &u in nbrs {
+                                                    if dirty_stamp[u as usize] != iteration
+                                                        && program
+                                                            .pull_candidate(u, &curr[u as usize])
+                                                    {
+                                                        dirty_stamp[u as usize] = iteration;
+                                                        cands.push(u);
+                                                    }
+                                                }
+                                                mgmt_tasks.push(Self::mark_cost(nbrs.len()));
+                                            }
+                                            cands.sort_unstable();
                                         }
-                                        mgmt_tasks.push(Self::mark_cost(nbrs.len()));
+                                        FrontierRepr::Bitmap => {
+                                            // Candidate dedup is a bit
+                                            // test, and draining the
+                                            // bitmap yields the sorted
+                                            // candidate list with no
+                                            // sort — same set, same
+                                            // ascending order as the
+                                            // stamp + sort path.
+                                            for &v in &frontier {
+                                                let nbrs = out_csr.neighbors(v);
+                                                for &u in nbrs {
+                                                    if !cand_bits.test(u)
+                                                        && program
+                                                            .pull_candidate(u, &curr[u as usize])
+                                                    {
+                                                        cand_bits.set(u);
+                                                    }
+                                                }
+                                                mgmt_tasks.push(Self::mark_cost(nbrs.len()));
+                                            }
+                                            cand_bits.drain_into(cands);
+                                        }
                                     }
-                                    cands.sort_unstable();
                                     let k = plan.kernel(dir, KernelRole::TaskMgmt);
                                     executor.run_kernel(&k, SchedUnit::Warp, mgmt_tasks, false);
                                 }
@@ -286,14 +343,29 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                     });
                                     // Workers may discover the same
                                     // candidate from different frontier
-                                    // chunks; sort + dedup reproduces the
-                                    // serial stamp-deduplicated sorted
-                                    // list exactly.
-                                    for ws in workers.iter() {
-                                        cands.extend_from_slice(&ws.cands);
+                                    // chunks. List mode sorts + dedups;
+                                    // bitmap mode merges through the
+                                    // candidate bitmap instead — both
+                                    // reproduce the serial
+                                    // stamp-deduplicated sorted list
+                                    // exactly.
+                                    match repr {
+                                        FrontierRepr::List => {
+                                            for ws in workers.iter() {
+                                                cands.extend_from_slice(&ws.cands);
+                                            }
+                                            cands.sort_unstable();
+                                            cands.dedup();
+                                        }
+                                        FrontierRepr::Bitmap => {
+                                            for ws in workers.iter() {
+                                                for &u in &ws.cands {
+                                                    cand_bits.set(u);
+                                                }
+                                            }
+                                            cand_bits.drain_into(cands);
+                                        }
                                     }
-                                    cands.sort_unstable();
-                                    cands.dedup();
                                     let k = plan.kernel(dir, KernelRole::TaskMgmt);
                                     executor.run_kernel_parts(
                                         &k,
@@ -337,68 +409,101 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 let width = unit.threads(self.config.threads_per_cta) as u64;
                 match (&pool, dir) {
                     (None, _) => {
-                        tasks.clear();
-                        for (t, &v) in list.iter().enumerate() {
-                            let task_counter = task_base + t as u64;
-                            let cost = match dir {
-                                Direction::Push => Self::push_task(
-                                    program,
-                                    v,
-                                    scan_csr,
-                                    &prev,
-                                    &mut curr,
-                                    bins,
-                                    changed,
-                                    record,
-                                    width,
-                                    task_counter,
-                                    frontier_sorted,
-                                ),
-                                Direction::Pull => Self::pull_task(
-                                    program,
-                                    v,
-                                    scan_csr,
-                                    &prev,
-                                    &mut curr,
-                                    bins,
-                                    changed,
-                                    record,
-                                    width,
-                                    task_counter,
-                                ),
-                            };
-                            tasks.push(cost);
+                        match repr {
+                            FrontierRepr::List => Self::serial_unit(
+                                program,
+                                dir,
+                                list,
+                                scan_csr,
+                                &prev,
+                                &mut curr,
+                                bins,
+                                &mut ListSink(changed),
+                                tasks,
+                                record,
+                                width,
+                                task_base,
+                                frontier_sorted,
+                            ),
+                            FrontierRepr::Bitmap => Self::serial_unit(
+                                program,
+                                dir,
+                                list,
+                                scan_csr,
+                                &prev,
+                                &mut curr,
+                                bins,
+                                &mut BitSink(changed_bits.view_mut()),
+                                tasks,
+                                record,
+                                width,
+                                task_base,
+                                frontier_sorted,
+                            ),
                         }
                         executor.run_kernel(&kernel, unit, tasks, launch);
                     }
                     (Some(pool), Direction::Push) => {
-                        let bounds = push_bounds.get_or_insert_with(|| {
-                            Self::dest_fences(graph.csr(Direction::Pull), threads)
+                        let fences = push_bounds.get_or_insert_with(|| {
+                            Self::dest_fences(graph.csr(Direction::Pull), threads, repr)
                         });
-                        Self::push_unit_parallel(
+                        match repr {
+                            FrontierRepr::List => Self::push_unit_parallel(
+                                program,
+                                pool,
+                                workers,
+                                list,
+                                scan_csr,
+                                &prev,
+                                &mut curr,
+                                &fences.verts,
+                                tasks,
+                                changed,
+                                records,
+                                bins,
+                                record,
+                                width,
+                                task_base,
+                                frontier_sorted,
+                            ),
+                            FrontierRepr::Bitmap => Self::push_unit_parallel_bits(
+                                program,
+                                pool,
+                                workers,
+                                list,
+                                scan_csr,
+                                &prev,
+                                &mut curr,
+                                fences,
+                                changed_bits,
+                                tasks,
+                                records,
+                                bins,
+                                record,
+                                width,
+                                task_base,
+                                frontier_sorted,
+                            ),
+                        }
+                        executor.run_kernel(&kernel, unit, tasks, launch);
+                    }
+                    (Some(pool), Direction::Pull) => {
+                        Self::pull_unit_parallel(
                             program,
                             pool,
+                            threads,
                             workers,
                             list,
                             scan_csr,
                             &prev,
                             &mut curr,
-                            bounds,
-                            tasks,
+                            repr,
                             changed,
-                            records,
+                            changed_bits,
                             bins,
                             record,
                             width,
                             task_base,
-                            frontier_sorted,
-                        );
-                        executor.run_kernel(&kernel, unit, tasks, launch);
-                    }
-                    (Some(pool), Direction::Pull) => {
-                        Self::pull_unit_parallel(
-                            program, pool, threads, workers, list, scan_csr, &prev, &mut curr,
-                            changed, bins, record, width, task_base,
                         );
                         executor.run_kernel_parts(
                             &kernel,
@@ -433,26 +538,71 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     None => {
                         let ws = &mut workers[0].warp;
                         ws.clear();
-                        ballot::scan_range(program, &curr, &prev, 0, n, ws);
+                        match repr {
+                            FrontierRepr::List => {
+                                ballot::scan_range(program, &curr, &prev, 0, n, ws);
+                            }
+                            FrontierRepr::Bitmap => {
+                                // The changed bitmap is the scan's
+                                // occupancy: all-zero words (64
+                                // untouched vertices) are charged
+                                // without loading metadata.
+                                ballot::scan_range_sparse(
+                                    program,
+                                    &curr,
+                                    &prev,
+                                    0,
+                                    n,
+                                    changed_bits.words(),
+                                    ws,
+                                );
+                            }
+                        }
                         executor.run_kernel(&tm_kernel, SchedUnit::Warp, &ws.tasks, tm_launch);
                         std::mem::swap(next, &mut ws.active);
                     }
                     Some(pool) => {
-                        let total_chunks = n.div_ceil(32);
                         let curr = &curr;
                         let prev = &prev;
-                        pool.for_each_worker(workers, |w, ws| {
-                            ws.warp.clear();
-                            let (c0, c1) = chunk_range(total_chunks, threads, w);
-                            ballot::scan_range(
-                                program,
-                                curr,
-                                prev,
-                                c0 * 32,
-                                (c1 * 32).min(n),
-                                &mut ws.warp,
-                            );
-                        });
+                        match repr {
+                            FrontierRepr::List => {
+                                let total_chunks = n.div_ceil(32);
+                                pool.for_each_worker(workers, |w, ws| {
+                                    ws.warp.clear();
+                                    let (c0, c1) = chunk_range(total_chunks, threads, w);
+                                    ballot::scan_range(
+                                        program,
+                                        curr,
+                                        prev,
+                                        c0 * 32,
+                                        (c1 * 32).min(n),
+                                        &mut ws.warp,
+                                    );
+                                });
+                            }
+                            FrontierRepr::Bitmap => {
+                                // Partition on occupancy-word (64)
+                                // boundaries — the word-level analogue
+                                // of the list scan's warp alignment —
+                                // so every worker's range covers whole
+                                // bitmap words.
+                                let total_words = n.div_ceil(WORD_BITS);
+                                let occ = changed_bits.words();
+                                pool.for_each_worker(workers, |w, ws| {
+                                    ws.warp.clear();
+                                    let (w0, w1) = chunk_range(total_words, threads, w);
+                                    ballot::scan_range_sparse(
+                                        program,
+                                        curr,
+                                        prev,
+                                        w0 * WORD_BITS,
+                                        (w1 * WORD_BITS).min(n),
+                                        occ,
+                                        &mut ws.warp,
+                                    );
+                                });
+                            }
+                        }
                         next.clear();
                         for ws in workers.iter() {
                             next.extend_from_slice(&ws.warp.active);
@@ -471,10 +621,20 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             }
 
             // 6. Publish metadata_prev for the changed vertices.
-            for &v in changed.iter() {
-                prev[v as usize] = curr[v as usize];
+            match repr {
+                FrontierRepr::List => {
+                    for &v in changed.iter() {
+                        prev[v as usize] = curr[v as usize];
+                    }
+                    changed.clear();
+                }
+                FrontierRepr::Bitmap => {
+                    // One sweep publishes and resets: non-zero words
+                    // carry the changed vertices, zero words are
+                    // skipped 64 vertices at a time.
+                    changed_bits.drain_for_each(|v| prev[v as usize] = curr[v as usize]);
+                }
             }
-            changed.clear();
 
             log.records.push(IterationRecord {
                 iteration,
@@ -530,6 +690,60 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         }
     }
 
+    /// The serial compute-kernel loop over one worklist, generic over
+    /// the first-change representation (`ListSink` compares metadata,
+    /// `BitSink` tests the changed bitmap — see
+    /// [`crate::frontier::ChangeSink`]).
+    #[allow(clippy::too_many_arguments)]
+    fn serial_unit<C: ChangeSink<P::Meta>>(
+        program: &P,
+        dir: Direction,
+        list: &[VertexId],
+        csr: &Csr,
+        prev: &[P::Meta],
+        curr: &mut [P::Meta],
+        bins: &mut ThreadBins,
+        chg: &mut C,
+        tasks: &mut Vec<Cost>,
+        record: bool,
+        width: u64,
+        task_base: u64,
+        frontier_sorted: bool,
+    ) {
+        tasks.clear();
+        for (t, &v) in list.iter().enumerate() {
+            let task_counter = task_base + t as u64;
+            let cost = match dir {
+                Direction::Push => Self::push_task(
+                    program,
+                    v,
+                    csr,
+                    prev,
+                    curr,
+                    bins,
+                    chg,
+                    record,
+                    width,
+                    task_counter,
+                    frontier_sorted,
+                ),
+                Direction::Pull => Self::pull_task(
+                    program,
+                    v,
+                    csr,
+                    prev,
+                    curr,
+                    bins,
+                    chg,
+                    record,
+                    width,
+                    task_counter,
+                ),
+            };
+            tasks.push(cost);
+        }
+    }
+
     /// One push-mode compute-kernel loop, destination-sharded (see the
     /// module docs): every worker replays the whole task list but
     /// applies only the edges landing in its contiguous vertex shard of
@@ -554,71 +768,191 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         task_base: u64,
         frontier_sorted: bool,
     ) {
-        // Degree-dependent cost fields are destination-independent;
-        // build them up front (writes filled in from the merge below).
+        Self::push_cost_prefill(tasks, list, csr, width, frontier_sorted);
+        pool.for_each_worker_sharded(workers, curr, bounds, |_w, ws, off, curr_shard| {
+            ws.changed.clear();
+            let WorkerScratch {
+                changed,
+                records,
+                applied,
+                ..
+            } = ws;
+            Self::push_replay_shard(
+                program,
+                list,
+                csr,
+                prev,
+                off,
+                curr_shard,
+                records,
+                applied,
+                &mut ListSink(changed),
+                record,
+                width,
+                task_base,
+            );
+        });
+        Self::push_merge(workers, tasks, records, bins, |ws, recs| {
+            changed.extend_from_slice(&ws.changed);
+            recs.extend_from_slice(&ws.records);
+        });
+    }
+
+    /// The bitmap-mode variant of [`Self::push_unit_parallel`]: the
+    /// destination fences are word-aligned, so each worker receives a
+    /// disjoint window of the changed bitmap's words alongside its
+    /// metadata shard and records first changes as **atomic-free bit
+    /// sets** — no per-worker changed list and no merge for the changed
+    /// set.
+    #[allow(clippy::too_many_arguments)]
+    fn push_unit_parallel_bits(
+        program: &P,
+        pool: &WorkerPool,
+        workers: &mut [WorkerScratch<P::Meta>],
+        list: &[VertexId],
+        csr: &Csr,
+        prev: &[P::Meta],
+        curr: &mut [P::Meta],
+        fences: &PushFences,
+        changed_bits: &mut FrontierBitmap,
+        tasks: &mut Vec<Cost>,
+        records: &mut Vec<RecordEntry>,
+        bins: &mut ThreadBins,
+        record: bool,
+        width: u64,
+        task_base: u64,
+        frontier_sorted: bool,
+    ) {
+        Self::push_cost_prefill(tasks, list, csr, width, frontier_sorted);
+        pool.for_each_worker_sharded2(
+            workers,
+            curr,
+            &fences.verts,
+            changed_bits.words_mut(),
+            &fences.words,
+            |_w, ws, off, curr_shard, word_off, word_shard| {
+                let WorkerScratch {
+                    records, applied, ..
+                } = ws;
+                Self::push_replay_shard(
+                    program,
+                    list,
+                    csr,
+                    prev,
+                    off,
+                    curr_shard,
+                    records,
+                    applied,
+                    &mut BitSink(BitmapWordsMut::new(word_off, word_shard)),
+                    record,
+                    width,
+                    task_base,
+                );
+            },
+        );
+        Self::push_merge(workers, tasks, records, bins, |ws, recs| {
+            recs.extend_from_slice(&ws.records);
+        });
+    }
+
+    /// Pre-fills the push cost vector with the destination-independent
+    /// degree terms (`writes` summed in from the shard merge).
+    fn push_cost_prefill(
+        tasks: &mut Vec<Cost>,
+        list: &[VertexId],
+        csr: &Csr,
+        width: u64,
+        frontier_sorted: bool,
+    ) {
         tasks.clear();
         for &v in list {
             let (lo, hi) = csr.range(v);
             tasks.push(Self::push_cost((hi - lo) as u64, 0, width, frontier_sorted));
         }
+    }
 
-        pool.for_each_worker_sharded(workers, curr, bounds, |_w, ws, off, curr_shard| {
-            ws.changed.clear();
-            ws.records.clear();
-            ws.applied.clear();
-            let end = off + curr_shard.len();
-            for (t, &v) in list.iter().enumerate() {
-                let task_counter = task_base + t as u64;
-                let (lo, hi) = csr.range(v);
-                let m_src = prev[v as usize];
-                let bin_base = (task_counter * width) as usize;
-                let mut applied = 0u32;
-                for i in lo..hi {
-                    let u = csr.targets()[i];
-                    let ui = u as usize;
-                    if ui < off || ui >= end {
-                        continue;
-                    }
-                    let w = csr.weights().map_or(1, |ws| ws[i]);
-                    let m_dst = &curr_shard[ui - off];
-                    if let Some(up) = program.compute(v, u, w, &m_src, m_dst) {
-                        // First-change detection: a vertex is enqueued
-                        // exactly once per iteration even when several
-                        // sources update it (duplicate frontier entries
-                        // would double-apply non-idempotent aggregations
-                        // like k-Core's decrements).
-                        let first_change = curr_shard[ui - off] == prev[ui];
-                        if let Some(new) = program.apply(u, &curr_shard[ui - off], up) {
-                            curr_shard[ui - off] = new;
-                            applied += 1;
-                            if first_change {
-                                ws.changed.push(u);
-                                if record && program.activates(u, &new) {
-                                    ws.records.push(RecordEntry {
-                                        key: (task_counter, (i - lo) as u32),
-                                        slot: bin_base + (i - lo) % width as usize,
-                                        v: u,
-                                    });
-                                }
+    /// One worker's destination shard of the push task-list replay,
+    /// shared by both frontier representations through the
+    /// [`ChangeSink`] first-change test.
+    #[allow(clippy::too_many_arguments)]
+    fn push_replay_shard<C: ChangeSink<P::Meta>>(
+        program: &P,
+        list: &[VertexId],
+        csr: &Csr,
+        prev: &[P::Meta],
+        off: usize,
+        curr_shard: &mut [P::Meta],
+        records: &mut Vec<RecordEntry>,
+        applied_out: &mut Vec<(u32, u32)>,
+        chg: &mut C,
+        record: bool,
+        width: u64,
+        task_base: u64,
+    ) {
+        records.clear();
+        applied_out.clear();
+        let end = off + curr_shard.len();
+        for (t, &v) in list.iter().enumerate() {
+            let task_counter = task_base + t as u64;
+            let (lo, hi) = csr.range(v);
+            let m_src = prev[v as usize];
+            let bin_base = (task_counter * width) as usize;
+            let mut applied = 0u32;
+            for i in lo..hi {
+                let u = csr.targets()[i];
+                let ui = u as usize;
+                if ui < off || ui >= end {
+                    continue;
+                }
+                let w = csr.weights().map_or(1, |ws| ws[i]);
+                let m_dst = &curr_shard[ui - off];
+                if let Some(up) = program.compute(v, u, w, &m_src, m_dst) {
+                    // First-change detection: a vertex is enqueued
+                    // exactly once per iteration even when several
+                    // sources update it (duplicate frontier entries
+                    // would double-apply non-idempotent aggregations
+                    // like k-Core's decrements).
+                    let first_change = chg.is_first(u, &curr_shard[ui - off], &prev[ui]);
+                    if let Some(new) = program.apply(u, &curr_shard[ui - off], up) {
+                        curr_shard[ui - off] = new;
+                        applied += 1;
+                        if first_change {
+                            chg.mark(u);
+                            if record && program.activates(u, &new) {
+                                records.push(RecordEntry {
+                                    key: (task_counter, (i - lo) as u32),
+                                    slot: bin_base + (i - lo) % width as usize,
+                                    v: u,
+                                });
                             }
                         }
                     }
                 }
-                if applied > 0 {
-                    ws.applied.push((t as u32, applied));
-                }
             }
-        });
+            if applied > 0 {
+                applied_out.push((t as u32, applied));
+            }
+        }
+    }
 
-        // Merge: writes per task sum over shards; the record replay
-        // sorts by (task, edge) so the bins see the serial sequence.
+    /// The deterministic push merge: writes per task sum over shards;
+    /// `collect` gathers each worker's deferred state (changed lists
+    /// and/or records, depending on the representation); the record
+    /// replay sorts by (task, edge) so the bins see the serial
+    /// sequence.
+    fn push_merge(
+        workers: &mut [WorkerScratch<P::Meta>],
+        tasks: &mut [Cost],
+        records: &mut Vec<RecordEntry>,
+        bins: &mut ThreadBins,
+        mut collect: impl FnMut(&WorkerScratch<P::Meta>, &mut Vec<RecordEntry>),
+    ) {
         records.clear();
         for ws in workers.iter_mut() {
             for &(t, a) in &ws.applied {
                 tasks[t as usize].writes += a as u64;
             }
-            changed.extend_from_slice(&ws.changed);
-            records.extend_from_slice(&ws.records);
+            collect(ws, records);
         }
         records.sort_unstable_by_key(|r| r.key);
         for r in records.iter() {
@@ -641,7 +975,9 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         csr: &Csr,
         prev: &[P::Meta],
         curr: &mut [P::Meta],
+        repr: FrontierRepr,
         changed: &mut Vec<VertexId>,
+        changed_bits: &mut FrontierBitmap,
         bins: &mut ThreadBins,
         record: bool,
         width: u64,
@@ -676,7 +1012,17 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             for &(v, new) in &ws.writebacks {
                 curr[v as usize] = new;
             }
-            changed.extend_from_slice(&ws.changed);
+            // Pull tasks touch disjoint candidate vertices, so the
+            // deferred changed entries merge into either representation
+            // without dedup.
+            match repr {
+                FrontierRepr::List => changed.extend_from_slice(&ws.changed),
+                FrontierRepr::Bitmap => {
+                    for &v in &ws.changed {
+                        changed_bits.set(v);
+                    }
+                }
+            }
             for r in &ws.records {
                 bins.record(r.slot, r.v);
             }
@@ -713,13 +1059,21 @@ impl<'g, P: AccProgram> Engine<'g, P> {
     /// Destination-shard fences over `rev_csr` (the transpose of the
     /// push scan direction): contiguous vertex ranges balanced by
     /// incoming-edge volume, so push workers see comparable apply load.
-    fn dest_fences(rev_csr: &Csr, parts: usize) -> Vec<u32> {
+    ///
+    /// In bitmap mode the inner fences are rounded down to word (64)
+    /// multiples — like the ballot scan's warp alignment, one level up
+    /// — so every shard owns whole words of the changed bitmap and the
+    /// matching word fences are emitted alongside. Destination sharding
+    /// is exact for *any* fence positions (each destination's update
+    /// sequence is independent of them), so the rounding cannot affect
+    /// results.
+    fn dest_fences(rev_csr: &Csr, parts: usize, repr: FrontierRepr) -> PushFences {
         let n = rev_csr.num_vertices();
         // +1 per vertex keeps zero-degree stretches from collapsing
         // every shard boundary onto the hubs.
         let total: u64 = rev_csr.num_edges() + n as u64;
-        let mut fences = Vec::with_capacity(parts + 1);
-        fences.push(0u32);
+        let mut verts = Vec::with_capacity(parts + 1);
+        verts.push(0u32);
         let mut acc = 0u64;
         let mut v = 0u32;
         for p in 1..parts as u64 {
@@ -728,10 +1082,22 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 acc += rev_csr.degree(v) as u64 + 1;
                 v += 1;
             }
-            fences.push(v);
+            verts.push(v);
         }
-        fences.push(n);
-        fences
+        verts.push(n);
+        let words = match repr {
+            FrontierRepr::List => Vec::new(),
+            FrontierRepr::Bitmap => {
+                let num_words = (n as usize).div_ceil(WORD_BITS) as u32;
+                for f in &mut verts[1..parts] {
+                    *f -= *f % WORD_BITS as u32;
+                }
+                let mut words: Vec<u32> = verts.iter().map(|&f| f / WORD_BITS as u32).collect();
+                words[parts] = num_words;
+                words
+            }
+        };
+        PushFences { verts, words }
     }
 
     /// Cost of the aggregation-pull dirty-marking task for a frontier
@@ -779,14 +1145,14 @@ impl<'g, P: AccProgram> Engine<'g, P> {
     /// never propagate transitively within an iteration, matching the
     /// synchronization of Fig. 4(b).
     #[allow(clippy::too_many_arguments)]
-    fn push_task(
+    fn push_task<C: ChangeSink<P::Meta>>(
         program: &P,
         v: VertexId,
         csr: &Csr,
         prev: &[P::Meta],
         curr: &mut [P::Meta],
         bins: &mut ThreadBins,
-        changed: &mut Vec<VertexId>,
+        chg: &mut C,
         record: bool,
         width: u64,
         task_counter: u64,
@@ -805,12 +1171,13 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 // once per iteration even when several sources update it
                 // (duplicate frontier entries would double-apply
                 // non-idempotent aggregations like k-Core's decrements).
-                let first_change = curr[u as usize] == prev[u as usize];
+                // List mode compares metadata; bitmap mode tests a bit.
+                let first_change = chg.is_first(u, &curr[u as usize], &prev[u as usize]);
                 if let Some(new) = program.apply(u, &curr[u as usize], up) {
                     curr[u as usize] = new;
                     applied += 1;
                     if first_change {
-                        changed.push(u);
+                        chg.mark(u);
                         if record && program.activates(u, &new) {
                             bins.record(bin_base + (i - lo) % width as usize, u);
                         }
@@ -825,14 +1192,14 @@ impl<'g, P: AccProgram> Engine<'g, P> {
     /// its in-edges, combining updates warp-locally before a single
     /// non-atomic write — Fig. 4(b) lines 1-8).
     #[allow(clippy::too_many_arguments)]
-    fn pull_task(
+    fn pull_task<C: ChangeSink<P::Meta>>(
         program: &P,
         v: VertexId,
         csr: &Csr,
         prev: &[P::Meta],
         curr: &mut [P::Meta],
         bins: &mut ThreadBins,
-        changed: &mut Vec<VertexId>,
+        chg: &mut C,
         record: bool,
         width: u64,
         task_counter: u64,
@@ -840,12 +1207,12 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         let (scanned, acc) = Self::pull_gather(program, v, csr, prev, curr);
         let mut applied = 0u64;
         if let Some(up) = acc {
-            let first_change = curr[v as usize] == prev[v as usize];
+            let first_change = chg.is_first(v, &curr[v as usize], &prev[v as usize]);
             if let Some(new) = program.apply(v, &curr[v as usize], up) {
                 curr[v as usize] = new;
                 applied = 1;
                 if first_change {
-                    changed.push(v);
+                    chg.mark(v);
                     if record && program.activates(v, &new) {
                         bins.record((task_counter * width) as usize, v);
                     }
@@ -1271,5 +1638,85 @@ mod tests {
         let auto = run_levels(&g, EngineConfig::unscaled().parallel(0));
         assert_eq!(serial.meta, auto.meta);
         assert_eq!(serial.report.stats, auto.report.stats);
+    }
+
+    /// Asserts bitmap mode is bit-equal to list mode in both exec
+    /// modes: same metadata, same log, same simulated cycles.
+    fn assert_bitmap_matches(g: &Graph, cfg: EngineConfig) {
+        use crate::config::FrontierRepr;
+        let base = run_levels(g, cfg.clone().with_frontier(FrontierRepr::List));
+        for threads in [1usize, 3] {
+            let cfg = if threads > 1 {
+                cfg.clone().parallel(threads)
+            } else {
+                cfg.clone().with_exec(ExecMode::Serial)
+            };
+            let bm = run_levels(g, cfg.bitmap());
+            assert_eq!(bm.meta, base.meta, "{threads} threads: metadata");
+            assert_eq!(
+                bm.report.log, base.report.log,
+                "{threads} threads: iteration log"
+            );
+            assert_eq!(
+                bm.report.stats, base.report.stats,
+                "{threads} threads: executor stats"
+            );
+        }
+    }
+
+    #[test]
+    fn bitmap_is_bit_equal_on_path() {
+        assert_bitmap_matches(&path_graph(300), EngineConfig::unscaled());
+    }
+
+    #[test]
+    fn bitmap_is_bit_equal_with_direction_switches() {
+        let mut edges = Vec::new();
+        let n = 256u32;
+        for v in 0..n {
+            for k in 1..=8 {
+                edges.push((v, (v * 7 + k * 13) % n));
+            }
+        }
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(edges));
+        assert_bitmap_matches(&g, EngineConfig::unscaled());
+        assert_bitmap_matches(
+            &g,
+            EngineConfig::default().with_frontier(FrontierRepr::List),
+        );
+    }
+
+    #[test]
+    fn bitmap_is_bit_equal_on_hub_overflow() {
+        // Ballot switching + bin overflow: the sparse scan and the
+        // bit-set dedup must reproduce the overflow behaviour exactly.
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(
+            (1..=5000u32).map(|i| (0, i)).collect(),
+        ));
+        assert_bitmap_matches(
+            &g,
+            EngineConfig::unscaled().with_direction(DirectionPolicy::FixedPush),
+        );
+    }
+
+    #[test]
+    fn bitmap_word_aligned_fences_cover_all_vertices() {
+        let g = path_graph(1000);
+        let fences = Engine::<Levels>::dest_fences(g.in_(), 4, FrontierRepr::Bitmap);
+        assert_eq!(fences.verts[0], 0);
+        assert_eq!(*fences.verts.last().unwrap(), 1000);
+        assert!(fences.verts.windows(2).all(|w| w[0] <= w[1]));
+        // Inner fences land on word boundaries; word fences mirror them.
+        for (i, &f) in fences.verts.iter().enumerate().take(4).skip(1) {
+            assert_eq!(f % 64, 0, "fence {i} not word-aligned");
+            assert_eq!(fences.words[i], f / 64);
+        }
+        assert_eq!(
+            *fences.words.last().unwrap() as usize,
+            1000usize.div_ceil(64)
+        );
+        // List mode leaves the word fences empty.
+        let list = Engine::<Levels>::dest_fences(g.in_(), 4, FrontierRepr::List);
+        assert!(list.words.is_empty());
     }
 }

@@ -64,9 +64,10 @@ pub mod par;
 mod scratch;
 
 pub use acc::{AccProgram, CombineKind, DirectionCtx};
-pub use config::{DirectionPolicy, EngineConfig, ExecMode, FilterPolicy};
+pub use config::{DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr};
 pub use engine::Engine;
 pub use filters::FilterKind;
+pub use frontier::FrontierBitmap;
 pub use fusion::FusionStrategy;
 pub use jit::{ActivationLog, EngineError};
 pub use metrics::{RunReport, RunResult};
@@ -74,8 +75,9 @@ pub use metrics::{RunReport, RunResult};
 /// Convenience re-exports for programs and harnesses.
 pub mod prelude {
     pub use crate::acc::{AccProgram, CombineKind, DirectionCtx};
-    pub use crate::config::{DirectionPolicy, EngineConfig, ExecMode, FilterPolicy};
+    pub use crate::config::{DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr};
     pub use crate::engine::Engine;
+    pub use crate::frontier::FrontierBitmap;
     pub use crate::fusion::FusionStrategy;
     pub use crate::jit::EngineError;
     pub use crate::metrics::{RunReport, RunResult};

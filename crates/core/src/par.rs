@@ -135,6 +135,36 @@ impl WorkerPool {
         });
     }
 
+    /// The two-slice form of [`Self::for_each_worker_sharded`]: worker
+    /// `w` additionally receives the `[bounds2[w], bounds2[w+1])` range
+    /// of `data2`. The engine's bitmap push mode uses this to hand each
+    /// destination shard its word-aligned window of the changed-vertex
+    /// bitmap, so first-change dedup is an atomic-free bit set.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_each_worker_sharded2<T: Send, U: Send, V: Send>(
+        &self,
+        workers: &mut [T],
+        data: &mut [U],
+        bounds: &[u32],
+        data2: &mut [V],
+        bounds2: &[u32],
+        f: impl Fn(usize, &mut T, usize, &mut [U], usize, &mut [V]) + Sync,
+    ) {
+        assert_eq!(workers.len(), self.threads, "one scratch slot per worker");
+        assert_eq!(bounds.len(), self.threads + 1, "one shard per worker");
+        assert_eq!(bounds2.len(), self.threads + 1, "one shard per worker");
+        let slots = SliceShards::new(workers, &self.unit_fences);
+        let shards = SliceShards::new(data, bounds);
+        let shards2 = SliceShards::new(data2, bounds2);
+        self.run(&|w| {
+            // SAFETY: each worker index runs exactly once per region.
+            let (_, slot) = unsafe { slots.shard(w) };
+            let (off, shard) = unsafe { shards.shard(w) };
+            let (off2, shard2) = unsafe { shards2.shard(w) };
+            f(w, &mut slot[0], off, shard, off2, shard2);
+        });
+    }
+
     /// Number of workers (including the submitting thread).
     pub fn threads(&self) -> usize {
         self.threads
@@ -341,6 +371,35 @@ mod tests {
         assert!(result.is_err());
         // The pool survives a panicked region.
         pool.run(&|_| {});
+    }
+
+    #[test]
+    fn sharded2_hands_out_both_slices() {
+        let pool = WorkerPool::new(2);
+        let mut scratch = vec![0usize; 2];
+        let mut verts = vec![0u32; 10];
+        let vbounds = [0u32, 6, 10];
+        let mut words = vec![0u64; 3];
+        let wbounds = [0u32, 1, 3];
+        pool.for_each_worker_sharded2(
+            &mut scratch,
+            &mut verts,
+            &vbounds,
+            &mut words,
+            &wbounds,
+            |w, slot, off, shard, woff, wshard| {
+                *slot = w + 1;
+                for (i, x) in shard.iter_mut().enumerate() {
+                    *x = (off + i) as u32;
+                }
+                for word in wshard.iter_mut() {
+                    *word = woff as u64 + 1;
+                }
+            },
+        );
+        assert_eq!(scratch, vec![1, 2]);
+        assert_eq!(verts, (0..10).collect::<Vec<u32>>());
+        assert_eq!(words, vec![1, 2, 2]);
     }
 
     #[test]

@@ -10,9 +10,22 @@
 //! path performs no allocation in steady state in either exec mode.
 
 use crate::filters::ballot::WarpScanScratch;
-use crate::frontier::{ThreadBins, Worklists};
+use crate::frontier::{FrontierBitmap, ThreadBins, Worklists};
 use simdx_gpu::Cost;
 use simdx_graph::VertexId;
+
+/// Destination-shard fences for parallel push, computed lazily once
+/// per run from the pull-orientation degrees.
+#[derive(Clone, Debug)]
+pub(crate) struct PushFences {
+    /// Vertex fences over `metadata_curr` (`threads + 1` entries). In
+    /// bitmap mode the inner fences are rounded down to word (64)
+    /// multiples so every shard covers whole bitmap words.
+    pub verts: Vec<u32>,
+    /// The matching word fences over the changed-bitmap's backing
+    /// words (empty in list mode).
+    pub words: Vec<u32>,
+}
 
 /// One online-filter activation record, deferred by a parallel worker
 /// and replayed into [`ThreadBins`] in deterministic order.
@@ -71,9 +84,20 @@ pub(crate) struct IterScratch<M> {
     /// Cached identical-cost vector for the pull-vote candidate scan
     /// (its length only depends on |V|, so it is built once).
     pub vote_scan_tasks: Vec<Cost>,
-    /// Vertices whose metadata first changed this iteration.
+    /// Vertices whose metadata first changed this iteration (list
+    /// mode).
     pub changed: Vec<VertexId>,
-    /// Aggregation-pull dirty stamps, sized |V| once per run.
+    /// Bitmap-mode changed set: bit `v` set iff `curr[v] != prev[v]`
+    /// this iteration. Doubles as the ballot scan's occupancy and the
+    /// push first-change dedup; drained (publish + clear) at the end
+    /// of every iteration.
+    pub changed_bits: FrontierBitmap,
+    /// Bitmap-mode pull-candidate dedup (replaces the dirty stamps);
+    /// drained into the sorted candidate list each aggregation-pull
+    /// iteration.
+    pub cand_bits: FrontierBitmap,
+    /// Aggregation-pull dirty stamps, sized |V| once per run (list
+    /// mode).
     pub dirty_stamp: Vec<u32>,
     /// Merged record list (sort + replay buffer).
     pub records: Vec<RecordEntry>,
@@ -84,7 +108,7 @@ pub(crate) struct IterScratch<M> {
     pub next: Vec<VertexId>,
     /// Destination-shard fences for parallel push (computed lazily once
     /// per run from the pull-orientation degrees).
-    pub push_bounds: Option<Vec<u32>>,
+    pub push_bounds: Option<PushFences>,
     /// Per-worker partitions (len = worker count; 1 in serial mode).
     pub workers: Vec<WorkerScratch<M>>,
 }
@@ -99,6 +123,8 @@ impl<M> IterScratch<M> {
             mgmt_tasks: Vec::new(),
             vote_scan_tasks: Vec::new(),
             changed: Vec::new(),
+            changed_bits: FrontierBitmap::default(),
+            cand_bits: FrontierBitmap::default(),
             dirty_stamp: Vec::new(),
             records: Vec::new(),
             bins: ThreadBins::new(1, 0),

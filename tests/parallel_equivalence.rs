@@ -41,19 +41,29 @@ fn fingerprint<M: PartialEq + std::fmt::Debug>(r: RunResult<M>) -> Fingerprint<M
 }
 
 /// Runs `run` under serial and parallel modes and asserts equality.
+/// The thread-count sweep runs in both frontier representations —
+/// bitmap mode partitions the ballot scan and the push destination
+/// shards on 64-vertex word boundaries (the word-level analogue of the
+/// list scan's warp alignment), and that partitioning must be just as
+/// thread-count-independent as the list one.
 fn assert_equivalent<M, F>(what: &str, run: F)
 where
     M: PartialEq + std::fmt::Debug,
     F: Fn(EngineConfig) -> RunResult<M>,
 {
-    let serial = fingerprint(run(EngineConfig::default()));
+    let base = EngineConfig::default().with_frontier(FrontierRepr::List);
+    let serial = fingerprint(run(base.clone()));
     assert!(serial.iterations > 0, "{what}: trivial run proves nothing");
     for threads in THREAD_COUNTS {
-        let par = fingerprint(run(EngineConfig::default().parallel(threads)));
-        assert_eq!(
-            par, serial,
-            "{what} with {threads} threads diverged from serial"
-        );
+        for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
+            let par = fingerprint(run(base.clone().parallel(threads).with_frontier(repr)));
+            assert_eq!(
+                par,
+                serial,
+                "{what} with {threads} threads ({}) diverged from serial",
+                repr.label()
+            );
+        }
     }
 }
 

@@ -5,12 +5,24 @@
 use proptest::prelude::*;
 use simdx::algos::{bfs, kcore, reference, sssp, wcc};
 use simdx::core::prelude::*;
-use simdx::core::FilterPolicy;
+use simdx::core::{FilterPolicy, FrontierBitmap};
 use simdx::graph::{io, weights, Csr, EdgeList, Graph};
+use std::collections::BTreeSet;
 
 /// Strategy: an arbitrary directed graph with up to `max_v` vertices.
 fn arb_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
     (2..max_v).prop_flat_map(move |n| (Just(n), proptest::collection::vec((0..n, 0..n), 0..max_e)))
+}
+
+/// Strategy: a bitmap size (deliberately word- and warp-misaligned most
+/// of the time) plus an arbitrary set/clear/test op sequence over it.
+fn arb_bitmap_ops(max_v: u32, max_ops: usize) -> impl Strategy<Value = (u32, Vec<(u8, u32)>)> {
+    (2..max_v).prop_flat_map(move |n| {
+        (
+            Just(n),
+            proptest::collection::vec((0u8..3, 0..n), 0..max_ops),
+        )
+    })
 }
 
 proptest! {
@@ -57,8 +69,55 @@ proptest! {
         prop_assert_eq!(csr.transpose().transpose(), csr);
     }
 
+    /// [`FrontierBitmap`] agrees with a `BTreeSet` model under
+    /// arbitrary set/clear/test sequences: same membership, same
+    /// popcount cardinality, same ascending iteration and drain order.
+    #[test]
+    fn bitmap_matches_btreeset_model((n, ops) in arb_bitmap_ops(300, 120)) {
+        let mut bm = FrontierBitmap::new(n as usize);
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for (op, v) in ops {
+            match op {
+                0 => {
+                    bm.set(v);
+                    model.insert(v);
+                }
+                1 => {
+                    bm.unset(v);
+                    model.remove(&v);
+                }
+                _ => prop_assert_eq!(bm.test(v), model.contains(&v)),
+            }
+        }
+        let expected: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(bm.count(), expected.len() as u64);
+        prop_assert_eq!(bm.is_empty(), expected.is_empty());
+        prop_assert_eq!(bm.iter().collect::<Vec<_>>(), expected.clone());
+        let mut drained = Vec::new();
+        bm.drain_into(&mut drained);
+        prop_assert_eq!(drained, expected);
+        prop_assert!(bm.is_empty());
+    }
+
+    /// A sorted, duplicate-free worklist round-trips through the
+    /// bitmap representation unchanged, including at warp-misaligned
+    /// lengths (partial tail words).
+    #[test]
+    fn bitmap_roundtrips_sorted_worklists((n, raw) in arb_bitmap_ops(200, 80)) {
+        let mut list: Vec<u32> = raw.into_iter().map(|(_, v)| v).collect();
+        list.sort_unstable();
+        list.dedup();
+        let mut bm = FrontierBitmap::default();
+        bm.fill_from_list(n as usize, &list);
+        prop_assert_eq!(bm.num_words(), (n as usize).div_ceil(64));
+        prop_assert_eq!(bm.count(), list.len() as u64);
+        let mut out = Vec::new();
+        bm.collect_into(&mut out);
+        prop_assert_eq!(out, list);
+    }
+
     /// The engine's BFS equals the sequential reference on arbitrary
-    /// graphs under every filter policy.
+    /// graphs under every filter policy and frontier representation.
     #[test]
     fn engine_bfs_equals_reference((n, edges) in arb_edges(48, 150)) {
         let g = Graph::directed_from_edges(EdgeList::from_pairs(
@@ -69,9 +128,15 @@ proptest! {
         }
         let expected = reference::bfs(g.out(), 0);
         for policy in [FilterPolicy::Jit, FilterPolicy::BallotOnly] {
-            let r = bfs::run(&g, 0, EngineConfig::unscaled().with_filter(policy))
+            for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
+                let r = bfs::run(
+                    &g,
+                    0,
+                    EngineConfig::unscaled().with_filter(policy).with_frontier(repr),
+                )
                 .expect("bfs");
-            prop_assert_eq!(&r.meta, &expected);
+                prop_assert_eq!(&r.meta, &expected);
+            }
         }
     }
 
