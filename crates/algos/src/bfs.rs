@@ -112,6 +112,26 @@ mod tests {
     }
 
     #[test]
+    fn chunked_layout_is_bit_equal_on_dataset_twin() {
+        // The skewed PK twin drives ballot switches and pull phases —
+        // the sweeps the chunked layout rewrites into fixed-width
+        // chunk loops; levels, logs and cycles must not move.
+        use simdx_core::MetadataLayout;
+        let g = datasets::dataset("PK").unwrap().build_scaled(3, 5);
+        let src = datasets::default_source(g.out());
+        let flat = run(
+            &g,
+            src,
+            EngineConfig::default().with_layout(MetadataLayout::Flat),
+        )
+        .expect("bfs flat");
+        let chunked = run(&g, src, EngineConfig::default().chunked()).expect("bfs chunked");
+        assert_eq!(chunked.meta, flat.meta);
+        assert_eq!(chunked.report.log, flat.report.log);
+        assert_eq!(chunked.report.stats, flat.report.stats);
+    }
+
+    #[test]
     fn unreachable_stays_unvisited() {
         let mut el = EdgeList::new(3);
         el.push(0, 1);

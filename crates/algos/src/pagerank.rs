@@ -162,6 +162,24 @@ mod tests {
     }
 
     #[test]
+    fn chunked_layout_preserves_float_bit_patterns() {
+        // PageRank's f32 accumulation order is the sharpest layout
+        // probe: any chunk-induced reordering of the sums would move
+        // rank bits. Compare exactly, not within tolerance.
+        use simdx_core::MetadataLayout;
+        let g = datasets::dataset("PK").unwrap().build_scaled(4, 5);
+        let flat = run(
+            &g,
+            EngineConfig::default().with_layout(MetadataLayout::Flat),
+        )
+        .expect("pr flat");
+        let chunked = run(&g, EngineConfig::default().chunked()).expect("pr chunked");
+        assert_eq!(chunked.meta, flat.meta);
+        assert_eq!(chunked.report.log, flat.report.log);
+        assert_eq!(chunked.report.stats, flat.report.stats);
+    }
+
+    #[test]
     fn hub_outranks_leaf() {
         let g =
             Graph::directed_from_edges(EdgeList::from_pairs(vec![(1, 0), (2, 0), (3, 0), (0, 1)]));

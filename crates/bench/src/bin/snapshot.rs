@@ -1,10 +1,12 @@
 //! Machine-readable host-performance snapshot: writes
 //! `BENCH_engine.json` with *wall-clock* engine runtimes (not simulated
 //! cycles — those are identical by the determinism contract) for every
-//! algorithm × graph × [`ExecMode`] × [`FrontierRepr`], so the repo's
-//! perf trajectory is comparable across commits. A dedicated
-//! `frontier_comparison` group pairs each serial List cell with its
-//! Bitmap counterpart so the representation A/B is directly readable.
+//! algorithm × graph × [`ExecMode`] × [`FrontierRepr`] ×
+//! [`MetadataLayout`], so the repo's perf trajectory is comparable
+//! across commits. Two dedicated groups make the A/Bs directly
+//! readable: `frontier_comparison` pairs each List cell with its
+//! Bitmap counterpart (same layout), and `layout_comparison` pairs
+//! each Flat cell with its Chunked counterpart (same representation).
 //!
 //! Usage:
 //!
@@ -18,7 +20,7 @@
 //! `2,4` plus the machine width; serial is always measured.
 
 use simdx_algos::{bfs::Bfs, kcore::KCore, pagerank::PageRank, sssp::Sssp};
-use simdx_core::{Engine, EngineConfig, ExecMode, FrontierRepr};
+use simdx_core::{Engine, EngineConfig, ExecMode, FrontierRepr, MetadataLayout};
 use simdx_graph::gen::{Erdos, Rmat, Road};
 use simdx_graph::{weights, Graph};
 use std::fmt::Write as _;
@@ -79,6 +81,7 @@ struct Sample {
     num_edges: u64,
     mode: String,
     frontier_repr: &'static str,
+    metadata_layout: &'static str,
     /// Best-of-reps wall-clock milliseconds of the host computation.
     wall_ms: f64,
     /// Simulated milliseconds (identical across modes by contract).
@@ -97,34 +100,40 @@ fn measure(
 ) {
     for &mode in modes {
         for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
-            let mut best_wall = f64::INFINITY;
-            let mut sim = 0.0;
-            let mut iters = 0;
-            for _ in 0..reps {
-                let start = Instant::now();
-                let (simulated_ms, iterations) =
-                    run(EngineConfig::default().with_exec(mode).with_frontier(repr));
-                let wall = start.elapsed().as_secs_f64() * 1e3;
-                best_wall = best_wall.min(wall);
-                sim = simulated_ms;
-                iters = iterations;
+            for layout in [MetadataLayout::Flat, MetadataLayout::Chunked] {
+                let mut best_wall = f64::INFINITY;
+                let mut sim = 0.0;
+                let mut iters = 0;
+                for _ in 0..reps {
+                    let start = Instant::now();
+                    let (simulated_ms, iterations) = run(EngineConfig::default()
+                        .with_exec(mode)
+                        .with_frontier(repr)
+                        .with_layout(layout));
+                    let wall = start.elapsed().as_secs_f64() * 1e3;
+                    best_wall = best_wall.min(wall);
+                    sim = simulated_ms;
+                    iters = iterations;
+                }
+                eprintln!(
+                    "{algorithm:>8} × {graph_name:<8} × {:<12} × {:<6} × {:<7} {best_wall:>9.2} ms wall",
+                    mode.label(),
+                    repr.label(),
+                    layout.label(),
+                );
+                samples.push(Sample {
+                    algorithm,
+                    graph: graph_name.to_string(),
+                    num_vertices: g.num_vertices(),
+                    num_edges: g.num_edges(),
+                    mode: mode.label(),
+                    frontier_repr: repr.label(),
+                    metadata_layout: layout.label(),
+                    wall_ms: best_wall,
+                    simulated_ms: sim,
+                    iterations: iters,
+                });
             }
-            eprintln!(
-                "{algorithm:>8} × {graph_name:<8} × {:<12} × {:<6} {best_wall:>9.2} ms wall",
-                mode.label(),
-                repr.label(),
-            );
-            samples.push(Sample {
-                algorithm,
-                graph: graph_name.to_string(),
-                num_vertices: g.num_vertices(),
-                num_edges: g.num_edges(),
-                mode: mode.label(),
-                frontier_repr: repr.label(),
-                wall_ms: best_wall,
-                simulated_ms: sim,
-                iterations: iters,
-            });
         }
     }
 }
@@ -226,7 +235,7 @@ fn main() {
     // Hand-rolled JSON (the workspace builds without a registry; see
     // crates/compat/README.md).
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"simdx-bench-engine/2\",\n");
+    out.push_str("{\n  \"schema\": \"simdx-bench-engine/3\",\n");
     let _ = writeln!(out, "  \"scale\": {},", args.scale);
     let _ = writeln!(out, "  \"reps\": {},", args.reps);
     let _ = writeln!(
@@ -242,13 +251,15 @@ fn main() {
             out,
             "    {{\"algorithm\": \"{}\", \"graph\": \"{}\", \"num_vertices\": {}, \
              \"num_edges\": {}, \"mode\": \"{}\", \"frontier_repr\": \"{}\", \
-             \"wall_ms\": {:.3}, \"simulated_ms\": {:.3}, \"iterations\": {}}}",
+             \"metadata_layout\": \"{}\", \"wall_ms\": {:.3}, \"simulated_ms\": {:.3}, \
+             \"iterations\": {}}}",
             json_escape(s.algorithm),
             json_escape(&s.graph),
             s.num_vertices,
             s.num_edges,
             json_escape(&s.mode),
             s.frontier_repr,
+            s.metadata_layout,
             s.wall_ms,
             s.simulated_ms,
             s.iterations
@@ -257,9 +268,9 @@ fn main() {
     }
     out.push_str("  ],\n");
 
-    // The List-vs-Bitmap A/B, paired per (algorithm, graph, mode):
-    // speedup > 1 means the bitmap representation was faster on the
-    // host. Results are bit-equal by contract, so this is pure
+    // The List-vs-Bitmap A/B, paired per (algorithm, graph, mode,
+    // layout): speedup > 1 means the bitmap representation was faster
+    // on the host. Results are bit-equal by contract, so this is pure
     // representation overhead/win.
     out.push_str("  \"frontier_comparison\": [\n");
     let pairs: Vec<(&Sample, &Sample)> = samples
@@ -273,6 +284,7 @@ fn main() {
                         && b.algorithm == list.algorithm
                         && b.graph == list.graph
                         && b.mode == list.mode
+                        && b.metadata_layout == list.metadata_layout
                 })
                 .map(|bitmap| (list, bitmap))
         })
@@ -281,14 +293,59 @@ fn main() {
         let _ = write!(
             out,
             "    {{\"algorithm\": \"{}\", \"graph\": \"{}\", \"mode\": \"{}\", \
-             \"list_ms\": {:.3}, \"bitmap_ms\": {:.3}, \"bitmap_speedup\": {:.3}}}",
+             \"metadata_layout\": \"{}\", \"list_ms\": {:.3}, \"bitmap_ms\": {:.3}, \
+             \"bitmap_speedup\": {:.3}}}",
             json_escape(list.algorithm),
             json_escape(&list.graph),
             json_escape(&list.mode),
+            list.metadata_layout,
             list.wall_ms,
             bitmap.wall_ms,
             if bitmap.wall_ms > 0.0 {
                 list.wall_ms / bitmap.wall_ms
+            } else {
+                0.0
+            }
+        );
+        out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
+    // The Flat-vs-Chunked A/B, paired per (algorithm, graph, mode,
+    // repr): speedup > 1 means the warp-chunked metadata layout was
+    // faster on the host — again pure layout overhead/win under the
+    // bit-equality contract.
+    out.push_str("  \"layout_comparison\": [\n");
+    let pairs: Vec<(&Sample, &Sample)> = samples
+        .iter()
+        .filter(|s| s.metadata_layout == "flat")
+        .filter_map(|flat| {
+            samples
+                .iter()
+                .find(|c| {
+                    c.metadata_layout == "chunked"
+                        && c.algorithm == flat.algorithm
+                        && c.graph == flat.graph
+                        && c.mode == flat.mode
+                        && c.frontier_repr == flat.frontier_repr
+                })
+                .map(|chunked| (flat, chunked))
+        })
+        .collect();
+    for (i, (flat, chunked)) in pairs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"algorithm\": \"{}\", \"graph\": \"{}\", \"mode\": \"{}\", \
+             \"frontier_repr\": \"{}\", \"flat_ms\": {:.3}, \"chunked_ms\": {:.3}, \
+             \"chunked_speedup\": {:.3}}}",
+            json_escape(flat.algorithm),
+            json_escape(&flat.graph),
+            json_escape(&flat.mode),
+            flat.frontier_repr,
+            flat.wall_ms,
+            chunked.wall_ms,
+            if chunked.wall_ms > 0.0 {
+                flat.wall_ms / chunked.wall_ms
             } else {
                 0.0
             }

@@ -4,6 +4,26 @@ use crate::frontier::ClassifyThresholds;
 use crate::fusion::FusionStrategy;
 use simdx_gpu::DeviceSpec;
 
+/// Parses an engine knob from the environment.
+///
+/// All `SIMDX_*` knobs share the same contract: unset or empty selects
+/// `default`; values are matched case-insensitively; anything
+/// unrecognized panics with a uniform message, so a CI typo can never
+/// silently fall back to the default configuration.
+fn env_knob<T>(var: &str, expected: &str, default: T, parse: impl FnOnce(&str) -> Option<T>) -> T {
+    match std::env::var(var) {
+        Err(_) => default,
+        Ok(raw) => {
+            let v = raw.to_ascii_lowercase();
+            if v.is_empty() {
+                default
+            } else {
+                parse(&v).unwrap_or_else(|| panic!("{var} must be {expected}, got '{raw}'"))
+            }
+        }
+    }
+}
+
 /// Which frontier-filter strategy the engine uses each iteration (§4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FilterPolicy {
@@ -24,10 +44,9 @@ pub enum FilterPolicy {
 /// identical iteration logs and identical simulated cycle counts (the
 /// determinism contract in `crates/core/README.md`). `Parallel` only
 /// changes how fast the host computes them.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecMode {
     /// Single-threaded reference path.
-    #[default]
     Serial,
     /// Multi-threaded path over a persistent worker pool.
     Parallel {
@@ -38,6 +57,25 @@ pub enum ExecMode {
 }
 
 impl ExecMode {
+    /// The backend selected by the `SIMDX_EXEC` environment variable:
+    /// `"parallel"` selects `Parallel { threads: 0 }` (auto width),
+    /// `"parallel:N"` selects `N` workers; `"serial"`, empty or unset
+    /// select `Serial`. Any other value panics (see [`env_knob`]).
+    pub fn from_env() -> Self {
+        env_knob(
+            "SIMDX_EXEC",
+            "'serial', 'parallel' or 'parallel:N'",
+            Self::Serial,
+            |v| match v {
+                "serial" => Some(Self::Serial),
+                "parallel" => Some(Self::Parallel { threads: 0 }),
+                other => other
+                    .strip_prefix("parallel:")
+                    .and_then(|n| n.parse().ok())
+                    .map(|threads| Self::Parallel { threads }),
+            },
+        )
+    }
     /// Resolved worker count: `Serial` is 1, `Parallel { threads: 0 }`
     /// asks the OS.
     pub fn worker_count(&self) -> usize {
@@ -57,6 +95,16 @@ impl ExecMode {
             Self::Parallel { threads: 0 } => "parallel/auto".to_string(),
             Self::Parallel { threads } => format!("parallel/{threads}"),
         }
+    }
+}
+
+impl Default for ExecMode {
+    /// Defers to [`Self::from_env`] so `SIMDX_EXEC=parallel` flips the
+    /// default for a whole test/bench process, cached like the other
+    /// knob defaults.
+    fn default() -> Self {
+        static DEFAULT: std::sync::OnceLock<ExecMode> = std::sync::OnceLock::new();
+        *DEFAULT.get_or_init(Self::from_env)
     }
 }
 
@@ -88,17 +136,18 @@ pub enum FrontierRepr {
 impl FrontierRepr {
     /// The representation selected by the `SIMDX_FRONTIER` environment
     /// variable: `"bitmap"` selects `Bitmap`; `"list"`, empty or unset
-    /// select `List`. Any other value panics so CI typos cannot
-    /// silently fall back to the default representation.
+    /// select `List`. Any other value panics (see [`env_knob`]).
     pub fn from_env() -> Self {
-        match std::env::var("SIMDX_FRONTIER") {
-            Err(_) => Self::List,
-            Ok(v) => match v.to_ascii_lowercase().as_str() {
-                "" | "list" => Self::List,
-                "bitmap" => Self::Bitmap,
-                other => panic!("SIMDX_FRONTIER must be 'list' or 'bitmap', got '{other}'"),
+        env_knob(
+            "SIMDX_FRONTIER",
+            "'list' or 'bitmap'",
+            Self::List,
+            |v| match v {
+                "list" => Some(Self::List),
+                "bitmap" => Some(Self::Bitmap),
+                _ => None,
             },
-        }
+        )
     }
 
     /// Short label for reports and bench artifacts.
@@ -118,6 +167,71 @@ impl Default for FrontierRepr {
     /// wall-clock numbers.
     fn default() -> Self {
         static DEFAULT: std::sync::OnceLock<FrontierRepr> = std::sync::OnceLock::new();
+        *DEFAULT.get_or_init(Self::from_env)
+    }
+}
+
+/// How the engine lays out the per-vertex metadata pair in host
+/// memory.
+///
+/// Orthogonal to [`ExecMode`] and [`FrontierRepr`], and under the same
+/// contract: `Chunked` is **bit-equal** to `Flat` — identical
+/// metadata, activation logs and simulated cycle counts
+/// (`tests/frontier_equivalence.rs` enforces the full
+/// algorithm × exec × repr × layout matrix). Only the host-side
+/// storage and loop shapes change:
+///
+/// * `Flat` keeps `metadata_prev`/`metadata_curr` as plain `Vec<M>`s
+///   (the seed behaviour) and sweeps them with scalar per-vertex
+///   indexing.
+/// * `Chunked` stores them in
+///   [`crate::metadata::MetadataStore::Chunked`] — a 64-byte-aligned
+///   buffer padded to whole 32-vertex chunks (one chunk = one warp of
+///   ballot lanes; two chunks = one
+///   [`crate::frontier::FrontierBitmap`] word). The ballot scan, the
+///   pull-vote candidate sweep and the bitmap publish step walk it
+///   chunk-at-a-time with fixed-width inner loops the compiler can
+///   vectorize, and parallel partitions never split a chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MetadataLayout {
+    /// Plain `Vec<M>` metadata arrays (seed behaviour).
+    Flat,
+    /// Warp-chunked, cache-line-aligned metadata storage.
+    Chunked,
+}
+
+impl MetadataLayout {
+    /// The layout selected by the `SIMDX_LAYOUT` environment variable:
+    /// `"chunked"` selects `Chunked`; `"flat"`, empty or unset select
+    /// `Flat`. Any other value panics (see [`env_knob`]).
+    pub fn from_env() -> Self {
+        env_knob(
+            "SIMDX_LAYOUT",
+            "'flat' or 'chunked'",
+            Self::Flat,
+            |v| match v {
+                "flat" => Some(Self::Flat),
+                "chunked" => Some(Self::Chunked),
+                _ => None,
+            },
+        )
+    }
+
+    /// Short label for reports and bench artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Flat => "flat",
+            Self::Chunked => "chunked",
+        }
+    }
+}
+
+impl Default for MetadataLayout {
+    /// Defers to [`Self::from_env`] so `SIMDX_LAYOUT=chunked` flips
+    /// the default for a whole test/bench process, cached like
+    /// [`FrontierRepr`]'s default.
+    fn default() -> Self {
+        static DEFAULT: std::sync::OnceLock<MetadataLayout> = std::sync::OnceLock::new();
         *DEFAULT.get_or_init(Self::from_env)
     }
 }
@@ -171,6 +285,8 @@ pub struct EngineConfig {
     pub exec: ExecMode,
     /// Frontier representation (vertex worklists vs bitmaps).
     pub frontier: FrontierRepr,
+    /// Metadata memory layout (flat vectors vs warp-chunked storage).
+    pub layout: MetadataLayout,
 }
 
 impl Default for EngineConfig {
@@ -185,8 +301,9 @@ impl Default for EngineConfig {
             parallelism_scale: 64,
             direction: DirectionPolicy::default(),
             max_iterations: 100_000,
-            exec: ExecMode::Serial,
+            exec: ExecMode::default(),
             frontier: FrontierRepr::default(),
+            layout: MetadataLayout::default(),
         }
     }
 }
@@ -254,6 +371,17 @@ impl EngineConfig {
     pub fn bitmap(self) -> Self {
         self.with_frontier(FrontierRepr::Bitmap)
     }
+
+    /// Builder: set the metadata layout.
+    pub fn with_layout(mut self, layout: MetadataLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Builder: warp-chunked metadata layout.
+    pub fn chunked(self) -> Self {
+        self.with_layout(MetadataLayout::Chunked)
+    }
 }
 
 #[cfg(test)]
@@ -293,7 +421,41 @@ mod tests {
         assert_eq!(ExecMode::Parallel { threads: 4 }.label(), "parallel/4");
         let c = EngineConfig::unscaled().parallel(2);
         assert_eq!(c.exec, ExecMode::Parallel { threads: 2 });
-        assert_eq!(EngineConfig::default().exec, ExecMode::Serial);
+        // Without SIMDX_EXEC the default backend is serial; with it,
+        // the whole process flips (both are bit-equal by contract).
+        assert!(matches!(
+            EngineConfig::default().exec,
+            ExecMode::Serial | ExecMode::Parallel { .. }
+        ));
+    }
+
+    #[test]
+    fn metadata_layout_builders_and_labels() {
+        assert_eq!(MetadataLayout::Flat.label(), "flat");
+        assert_eq!(MetadataLayout::Chunked.label(), "chunked");
+        let c = EngineConfig::unscaled().chunked();
+        assert_eq!(c.layout, MetadataLayout::Chunked);
+        let c = c.with_layout(MetadataLayout::Flat);
+        assert_eq!(c.layout, MetadataLayout::Flat);
+        // Without SIMDX_LAYOUT in the test environment the default is
+        // flat; with it, CI flips every default config to chunked
+        // (both are valid here by the bit-equality contract).
+        assert!(matches!(
+            EngineConfig::default().layout,
+            MetadataLayout::Flat | MetadataLayout::Chunked
+        ));
+    }
+
+    #[test]
+    fn env_knob_contract() {
+        // Unset and empty fall back to the default; matching is
+        // case-insensitive.
+        assert_eq!(env_knob("SIMDX_NO_SUCH_KNOB", "anything", 7, |_| None), 7);
+        assert_eq!(
+            env_knob("SIMDX_NO_SUCH_KNOB", "x", 0, |v| (v == "set").then_some(1)),
+            0,
+            "parser only runs on present, non-empty values"
+        );
     }
 
     #[test]

@@ -58,21 +58,41 @@
 //! skips all-zero changed words before touching metadata
 //! ([`ballot::scan_range_sparse`]), parallel push records changes as
 //! atomic-free bit sets over word-aligned destination shards, and the
-//! parallel ballot partitions on word boundaries. Worklists themselves
-//! stay materialized in both modes: the online filter's concatenated
-//! bins are duplicate-carrying lists by §4's design, and task order
-//! drives cost charging.
+//! parallel ballot partitions on word boundaries. In bitmap mode the
+//! serial engine additionally drains the online filter's thread bins
+//! *directly* — degree sums, classification and aggregation-pull
+//! marking read the duplicate-carrying record sequence straight out of
+//! [`ThreadBins::for_each_entry`], so the concatenated worklist is
+//! never materialized (the parallel backend still materializes it,
+//! because its workers index the frontier by position).
+//!
+//! # Metadata layouts
+//!
+//! [`crate::config::MetadataLayout`] selects, orthogonally to both
+//! knobs above, how the host lays out the `metadata_prev`/
+//! `metadata_curr` pair — again under the bit-equality contract. In
+//! `Chunked` mode the pair lives in
+//! [`MetadataStore::Chunked`] (64-byte-aligned, padded
+//! to whole 32-vertex warp chunks; two chunks = one bitmap word), the
+//! ballot scan and the pull-vote candidate sweep run fixed-width
+//! per-chunk lane loops ([`ballot::scan_range_chunked`],
+//! [`Engine::vote_candidates`]), the bitmap publish step copies whole
+//! chunks gated by the changed-word bitmap, and every parallel
+//! partition over metadata (ballot ranges, candidate sweeps, push
+//! destination fences) falls on chunk boundaries so no worker ever
+//! splits a chunk.
 
 use crate::acc::{AccProgram, CombineKind, DirectionCtx};
-use crate::config::{DirectionPolicy, EngineConfig, FrontierRepr};
+use crate::config::{DirectionPolicy, EngineConfig, FrontierRepr, MetadataLayout};
 use crate::filters::{ballot, online, FilterKind};
 use crate::frontier::{
     BitSink, BitmapWordsMut, ChangeSink, FrontierBitmap, ListSink, ThreadBins, Worklists, WORD_BITS,
 };
 use crate::fusion::{FusionPlan, KernelRole};
 use crate::jit::{ActivationLog, EngineError, IterationRecord, JitController};
+use crate::metadata::{MetadataStore, CHUNK_LANES};
 use crate::metrics::{RunReport, RunResult};
-use crate::par::{chunk_range, WorkerPool};
+use crate::par::{chunk_range, chunk_range_aligned, WorkerPool};
 use crate::scratch::{IterScratch, PushFences, RecordEntry, WorkerScratch};
 use simdx_gpu::{Cost, GpuExecutor, SchedUnit};
 use simdx_graph::csr::{Csr, Direction};
@@ -149,16 +169,32 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             changed_bits.reset(n);
             cand_bits.reset(n);
         }
+        let layout = self.config.layout;
 
-        let (mut curr, mut frontier) = program.init(graph);
-        assert_eq!(curr.len(), n, "init must produce one metadata per vertex");
+        let (init_meta, mut frontier) = program.init(graph);
+        assert_eq!(
+            init_meta.len(),
+            n,
+            "init must produce one metadata per vertex"
+        );
+        let mut curr = MetadataStore::from_vec(layout, init_meta);
         let mut prev = curr.clone();
         let mut log = ActivationLog::default();
         let mut prev_dir = Direction::Push;
         let mut iteration = 0u32;
+        // Bitmap mode's worklist drain: when the previous iteration's
+        // online filter left the next frontier in the thread bins
+        // (serial path only), this flag redirects every frontier
+        // consumer to `ThreadBins::for_each_entry`.
+        let mut frontier_in_bins = false;
 
         loop {
-            if frontier.is_empty() || program.converged(iteration, frontier.len() as u64, &curr) {
+            let frontier_len = if frontier_in_bins {
+                bins.total_recorded()
+            } else {
+                frontier.len() as u64
+            };
+            if frontier_len == 0 || program.converged(iteration, frontier_len, curr.as_slice()) {
                 break;
             }
             if iteration >= self.config.max_iterations {
@@ -170,23 +206,29 @@ impl<'g, P: AccProgram> Engine<'g, P> {
 
             // 1. Direction.
             let out_csr = graph.out();
-            let degree_sum: u64 = match &pool {
-                None => frontier.iter().map(|&v| out_csr.degree(v) as u64).sum(),
-                Some(pool) => {
-                    let frontier = &frontier;
-                    pool.for_each_worker(workers, |w, ws| {
-                        let (lo, hi) = chunk_range(frontier.len(), threads, w);
-                        ws.degree_sum = frontier[lo..hi]
-                            .iter()
-                            .map(|&v| out_csr.degree(v) as u64)
-                            .sum();
-                    });
-                    workers.iter().map(|ws| ws.degree_sum).sum()
+            let degree_sum: u64 = if frontier_in_bins {
+                let mut sum = 0u64;
+                bins.for_each_entry(|v| sum += out_csr.degree(v) as u64);
+                sum
+            } else {
+                match &pool {
+                    None => frontier.iter().map(|&v| out_csr.degree(v) as u64).sum(),
+                    Some(pool) => {
+                        let frontier = &frontier;
+                        pool.for_each_worker(workers, |w, ws| {
+                            let (lo, hi) = chunk_range(frontier.len(), threads, w);
+                            ws.degree_sum = frontier[lo..hi]
+                                .iter()
+                                .map(|&v| out_csr.degree(v) as u64)
+                                .sum();
+                        });
+                        workers.iter().map(|ws| ws.degree_sum).sum()
+                    }
                 }
             };
             let ctx = DirectionCtx {
                 iteration,
-                frontier_len: frontier.len() as u64,
+                frontier_len,
                 frontier_degree_sum: degree_sum,
                 num_vertices: n as u64,
                 num_edges,
@@ -204,18 +246,32 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 .last()
                 .is_none_or(|r| r.filter == FilterKind::Ballot);
             match dir {
-                Direction::Push => match &pool {
-                    None => lists.classify_into(&frontier, scan_csr, self.config.thresholds),
-                    Some(pool) => Self::classify_parallel(
-                        pool,
-                        threads,
-                        workers,
-                        lists,
-                        &frontier,
-                        scan_csr,
-                        &self.config,
-                    ),
-                },
+                Direction::Push => {
+                    if frontier_in_bins {
+                        // Bitmap worklist drain: classify straight out
+                        // of the bins in concatenation order — same
+                        // entries, same duplicates, same order as the
+                        // materialized list would give.
+                        let thresholds = self.config.thresholds;
+                        lists.clear();
+                        bins.for_each_entry(|v| lists.classify_one(v, scan_csr, thresholds));
+                    } else {
+                        match &pool {
+                            None => {
+                                lists.classify_into(&frontier, scan_csr, self.config.thresholds)
+                            }
+                            Some(pool) => Self::classify_parallel(
+                                pool,
+                                threads,
+                                workers,
+                                lists,
+                                &frontier,
+                                scan_csr,
+                                &self.config,
+                            ),
+                        }
+                    }
+                }
                 Direction::Pull => {
                     // Voting programs sweep every candidate (bottom-up
                     // BFS scans all unvisited vertices and terminates
@@ -229,23 +285,38 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                         CombineKind::Vote => {
                             match &pool {
                                 None => {
-                                    for v in 0..n as VertexId {
-                                        if program.pull_candidate(v, &curr[v as usize]) {
-                                            cands.push(v);
-                                        }
-                                    }
+                                    Self::vote_candidates(
+                                        program,
+                                        curr.as_slice(),
+                                        0,
+                                        n,
+                                        layout,
+                                        cands,
+                                    );
                                 }
                                 Some(pool) => {
-                                    let curr = &curr;
+                                    // Chunked layout: partition on
+                                    // chunk boundaries so no worker's
+                                    // fixed-width sweep splits a chunk
+                                    // (merged chunks in worker order
+                                    // are the serial order either
+                                    // way).
+                                    let align = match layout {
+                                        MetadataLayout::Flat => 1,
+                                        MetadataLayout::Chunked => CHUNK_LANES,
+                                    };
+                                    let curr = curr.as_slice();
                                     pool.for_each_worker(workers, |w, ws| {
                                         ws.cands.clear();
-                                        let (lo, hi) = chunk_range(n, threads, w);
-                                        for (i, m) in curr[lo..hi].iter().enumerate() {
-                                            let v = (lo + i) as VertexId;
-                                            if program.pull_candidate(v, m) {
-                                                ws.cands.push(v);
-                                            }
-                                        }
+                                        let (lo, hi) = chunk_range_aligned(n, threads, w, align);
+                                        Self::vote_candidates(
+                                            program,
+                                            curr,
+                                            lo,
+                                            hi,
+                                            layout,
+                                            &mut ws.cands,
+                                        );
                                     });
                                     for ws in workers.iter() {
                                         cands.extend_from_slice(&ws.cands);
@@ -277,6 +348,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                             match &pool {
                                 None => {
                                     mgmt_tasks.clear();
+                                    let curr_s = curr.as_slice();
                                     match repr {
                                         FrontierRepr::List => {
                                             if dirty_stamp.len() != n {
@@ -288,7 +360,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                                 for &u in nbrs {
                                                     if dirty_stamp[u as usize] != iteration
                                                         && program
-                                                            .pull_candidate(u, &curr[u as usize])
+                                                            .pull_candidate(u, &curr_s[u as usize])
                                                     {
                                                         dirty_stamp[u as usize] = iteration;
                                                         cands.push(u);
@@ -305,18 +377,30 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                             // candidate list with no
                                             // sort — same set, same
                                             // ascending order as the
-                                            // stamp + sort path.
-                                            for &v in &frontier {
+                                            // stamp + sort path. The
+                                            // frontier itself may still
+                                            // live in the thread bins
+                                            // (worklist drain), whose
+                                            // entry order matches the
+                                            // materialized list.
+                                            let mut mark = |v: VertexId| {
                                                 let nbrs = out_csr.neighbors(v);
                                                 for &u in nbrs {
                                                     if !cand_bits.test(u)
                                                         && program
-                                                            .pull_candidate(u, &curr[u as usize])
+                                                            .pull_candidate(u, &curr_s[u as usize])
                                                     {
                                                         cand_bits.set(u);
                                                     }
                                                 }
                                                 mgmt_tasks.push(Self::mark_cost(nbrs.len()));
+                                            };
+                                            if frontier_in_bins {
+                                                bins.for_each_entry(&mut mark);
+                                            } else {
+                                                for &v in frontier.iter() {
+                                                    mark(v);
+                                                }
                                             }
                                             cand_bits.drain_into(cands);
                                         }
@@ -325,7 +409,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                     executor.run_kernel(&k, SchedUnit::Warp, mgmt_tasks, false);
                                 }
                                 Some(pool) => {
-                                    let curr = &curr;
+                                    let curr = curr.as_slice();
                                     let frontier = &frontier;
                                     pool.for_each_worker(workers, |w, ws| {
                                         ws.cands.clear();
@@ -415,8 +499,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                 dir,
                                 list,
                                 scan_csr,
-                                &prev,
-                                &mut curr,
+                                prev.as_slice(),
+                                curr.as_mut_slice(),
                                 bins,
                                 &mut ListSink(changed),
                                 tasks,
@@ -430,8 +514,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                 dir,
                                 list,
                                 scan_csr,
-                                &prev,
-                                &mut curr,
+                                prev.as_slice(),
+                                curr.as_mut_slice(),
                                 bins,
                                 &mut BitSink(changed_bits.view_mut()),
                                 tasks,
@@ -445,7 +529,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     }
                     (Some(pool), Direction::Push) => {
                         let fences = push_bounds.get_or_insert_with(|| {
-                            Self::dest_fences(graph.csr(Direction::Pull), threads, repr)
+                            Self::dest_fences(graph.csr(Direction::Pull), threads, repr, layout)
                         });
                         match repr {
                             FrontierRepr::List => Self::push_unit_parallel(
@@ -454,8 +538,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                 workers,
                                 list,
                                 scan_csr,
-                                &prev,
-                                &mut curr,
+                                prev.as_slice(),
+                                curr.as_mut_slice(),
                                 &fences.verts,
                                 tasks,
                                 changed,
@@ -472,8 +556,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                 workers,
                                 list,
                                 scan_csr,
-                                &prev,
-                                &mut curr,
+                                prev.as_slice(),
+                                curr.as_mut_slice(),
                                 fences,
                                 changed_bits,
                                 tasks,
@@ -495,8 +579,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                             workers,
                             list,
                             scan_csr,
-                            &prev,
-                            &mut curr,
+                            prev.as_slice(),
+                            curr.as_mut_slice(),
                             repr,
                             changed,
                             changed_bits,
@@ -523,16 +607,34 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             let decision = jit.decide(bins, iteration)?;
             let tm_kernel = plan.kernel(dir, KernelRole::TaskMgmt);
             let tm_launch = plan.needs_launch(dir);
+            // Bitmap worklist drain (serial path): leave the online
+            // filter's next frontier in the bins and only charge the
+            // concatenation kernel — identical costs, no materialized
+            // list. The parallel path materializes as before, because
+            // its frontier consumers index by position.
+            let drain_bins_next =
+                decision == FilterKind::Online && repr == FrontierRepr::Bitmap && pool.is_none();
             match decision {
                 FilterKind::Online => {
-                    online::concatenate_into(
-                        bins,
-                        &mut executor,
-                        &tm_kernel,
-                        tm_launch,
-                        mgmt_tasks,
-                        next,
-                    );
+                    if drain_bins_next {
+                        online::charge_concatenation(
+                            bins,
+                            &mut executor,
+                            &tm_kernel,
+                            tm_launch,
+                            mgmt_tasks,
+                        );
+                        next.clear();
+                    } else {
+                        online::concatenate_into(
+                            bins,
+                            &mut executor,
+                            &tm_kernel,
+                            tm_launch,
+                            mgmt_tasks,
+                            next,
+                        );
+                    }
                 }
                 FilterKind::Ballot => match &pool {
                     None => {
@@ -540,20 +642,29 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                         ws.clear();
                         match repr {
                             FrontierRepr::List => {
-                                ballot::scan_range(program, &curr, &prev, 0, n, ws);
+                                ballot::scan_range_layout(
+                                    program,
+                                    curr.as_slice(),
+                                    prev.as_slice(),
+                                    0,
+                                    n,
+                                    layout,
+                                    ws,
+                                );
                             }
                             FrontierRepr::Bitmap => {
                                 // The changed bitmap is the scan's
                                 // occupancy: all-zero words (64
                                 // untouched vertices) are charged
                                 // without loading metadata.
-                                ballot::scan_range_sparse(
+                                ballot::scan_range_sparse_layout(
                                     program,
-                                    &curr,
-                                    &prev,
+                                    curr.as_slice(),
+                                    prev.as_slice(),
                                     0,
                                     n,
                                     changed_bits.words(),
+                                    layout,
                                     ws,
                                 );
                             }
@@ -562,20 +673,24 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                         std::mem::swap(next, &mut ws.active);
                     }
                     Some(pool) => {
-                        let curr = &curr;
-                        let prev = &prev;
+                        let curr = curr.as_slice();
+                        let prev = prev.as_slice();
                         match repr {
                             FrontierRepr::List => {
-                                let total_chunks = n.div_ceil(32);
+                                // Partition on warp-chunk (32)
+                                // boundaries, which are also metadata
+                                // chunk boundaries in the chunked
+                                // layout.
                                 pool.for_each_worker(workers, |w, ws| {
                                     ws.warp.clear();
-                                    let (c0, c1) = chunk_range(total_chunks, threads, w);
-                                    ballot::scan_range(
+                                    let (lo, hi) = chunk_range_aligned(n, threads, w, 32);
+                                    ballot::scan_range_layout(
                                         program,
                                         curr,
                                         prev,
-                                        c0 * 32,
-                                        (c1 * 32).min(n),
+                                        lo,
+                                        hi,
+                                        layout,
                                         &mut ws.warp,
                                     );
                                 });
@@ -583,21 +698,22 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                             FrontierRepr::Bitmap => {
                                 // Partition on occupancy-word (64)
                                 // boundaries — the word-level analogue
-                                // of the list scan's warp alignment —
-                                // so every worker's range covers whole
-                                // bitmap words.
-                                let total_words = n.div_ceil(WORD_BITS);
+                                // of the list scan's warp alignment
+                                // (and two metadata chunks) — so every
+                                // worker's range covers whole bitmap
+                                // words.
                                 let occ = changed_bits.words();
                                 pool.for_each_worker(workers, |w, ws| {
                                     ws.warp.clear();
-                                    let (w0, w1) = chunk_range(total_words, threads, w);
-                                    ballot::scan_range_sparse(
+                                    let (lo, hi) = chunk_range_aligned(n, threads, w, WORD_BITS);
+                                    ballot::scan_range_sparse_layout(
                                         program,
                                         curr,
                                         prev,
-                                        w0 * WORD_BITS,
-                                        (w1 * WORD_BITS).min(n),
+                                        lo,
+                                        hi,
                                         occ,
+                                        layout,
                                         &mut ws.warp,
                                     );
                                 });
@@ -616,6 +732,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     }
                 },
             };
+            frontier_in_bins = drain_bins_next;
             if plan.uses_global_barrier() {
                 executor.charge_barrier();
             }
@@ -623,8 +740,10 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             // 6. Publish metadata_prev for the changed vertices.
             match repr {
                 FrontierRepr::List => {
+                    let prev_s = prev.as_mut_slice();
+                    let curr_s = curr.as_slice();
                     for &v in changed.iter() {
-                        prev[v as usize] = curr[v as usize];
+                        prev_s[v as usize] = curr_s[v as usize];
                     }
                     changed.clear();
                 }
@@ -632,7 +751,27 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     // One sweep publishes and resets: non-zero words
                     // carry the changed vertices, zero words are
                     // skipped 64 vertices at a time.
-                    changed_bits.drain_for_each(|v| prev[v as usize] = curr[v as usize]);
+                    let prev_s = prev.as_mut_slice();
+                    let curr_s = curr.as_slice();
+                    match layout {
+                        MetadataLayout::Flat => {
+                            changed_bits.drain_for_each(|v| prev_s[v as usize] = curr_s[v as usize])
+                        }
+                        MetadataLayout::Chunked => {
+                            // Chunked layout: any set bit publishes
+                            // its word's two 32-vertex chunks
+                            // wholesale — a straight-line block copy
+                            // instead of a per-bit scatter.
+                            // Value-equal because an unchanged lane
+                            // already satisfies `prev == curr`, so
+                            // copying it is a no-op.
+                            changed_bits.drain_nonzero_words(|word| {
+                                let lo = word * WORD_BITS;
+                                let hi = (lo + WORD_BITS).min(n);
+                                prev_s[lo..hi].copy_from_slice(&curr_s[lo..hi]);
+                            });
+                        }
+                    }
                 }
             }
 
@@ -656,7 +795,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
 
         let elapsed_ms = executor.elapsed_ms();
         Ok(RunResult {
-            meta: curr,
+            meta: curr.into_vec(),
             report: RunReport {
                 algorithm: program.name().to_string(),
                 device: executor.device().name,
@@ -666,6 +805,53 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 log,
             },
         })
+    }
+
+    /// Appends the pull-vote candidates in `[lo, hi)` of the metadata
+    /// sweep to `out`. The flat layout walks vertex by vertex; the
+    /// chunked layout sweeps full 32-vertex chunks through `[M; 32]`
+    /// windows with a fixed-width lane loop (the candidate-scan
+    /// analogue of [`ballot::scan_range_chunked`]) and finishes the
+    /// partial tail scalar — identical candidates in identical
+    /// ascending order either way, so the layouts stay bit-equal.
+    fn vote_candidates(
+        program: &P,
+        curr: &[P::Meta],
+        lo: usize,
+        hi: usize,
+        layout: MetadataLayout,
+        out: &mut Vec<VertexId>,
+    ) {
+        match layout {
+            MetadataLayout::Flat => {
+                for (i, m) in curr[lo..hi].iter().enumerate() {
+                    let v = (lo + i) as VertexId;
+                    if program.pull_candidate(v, m) {
+                        out.push(v);
+                    }
+                }
+            }
+            MetadataLayout::Chunked => {
+                let mut base = lo;
+                while base + CHUNK_LANES <= hi {
+                    let c: &[P::Meta; CHUNK_LANES] =
+                        curr[base..base + CHUNK_LANES].try_into().expect("chunk");
+                    for (lane, m) in c.iter().enumerate() {
+                        let v = (base + lane) as VertexId;
+                        if program.pull_candidate(v, m) {
+                            out.push(v);
+                        }
+                    }
+                    base += CHUNK_LANES;
+                }
+                for (i, m) in curr[base..hi].iter().enumerate() {
+                    let v = (base + i) as VertexId;
+                    if program.pull_candidate(v, m) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
     }
 
     /// Parallel worklist classification: contiguous chunks per worker,
@@ -1063,11 +1249,19 @@ impl<'g, P: AccProgram> Engine<'g, P> {
     /// In bitmap mode the inner fences are rounded down to word (64)
     /// multiples — like the ballot scan's warp alignment, one level up
     /// — so every shard owns whole words of the changed bitmap and the
-    /// matching word fences are emitted alongside. Destination sharding
-    /// is exact for *any* fence positions (each destination's update
-    /// sequence is independent of them), so the rounding cannot affect
-    /// results.
-    fn dest_fences(rev_csr: &Csr, parts: usize, repr: FrontierRepr) -> PushFences {
+    /// matching word fences are emitted alongside. In the chunked
+    /// metadata layout the fences are additionally rounded to 32-vertex
+    /// chunk multiples, so no destination shard splits a metadata chunk
+    /// (word alignment already implies it in bitmap mode — one word is
+    /// exactly two chunks). Destination sharding is exact for *any*
+    /// fence positions (each destination's update sequence is
+    /// independent of them), so the rounding cannot affect results.
+    fn dest_fences(
+        rev_csr: &Csr,
+        parts: usize,
+        repr: FrontierRepr,
+        layout: MetadataLayout,
+    ) -> PushFences {
         let n = rev_csr.num_vertices();
         // +1 per vertex keeps zero-degree stretches from collapsing
         // every shard boundary onto the hubs.
@@ -1085,6 +1279,11 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             verts.push(v);
         }
         verts.push(n);
+        if repr == FrontierRepr::List && layout == MetadataLayout::Chunked {
+            for f in &mut verts[1..parts] {
+                *f -= *f % CHUNK_LANES as u32;
+            }
+        }
         let words = match repr {
             FrontierRepr::List => Vec::new(),
             FrontierRepr::Bitmap => {
@@ -1702,7 +1901,8 @@ mod tests {
     #[test]
     fn bitmap_word_aligned_fences_cover_all_vertices() {
         let g = path_graph(1000);
-        let fences = Engine::<Levels>::dest_fences(g.in_(), 4, FrontierRepr::Bitmap);
+        let fences =
+            Engine::<Levels>::dest_fences(g.in_(), 4, FrontierRepr::Bitmap, MetadataLayout::Flat);
         assert_eq!(fences.verts[0], 0);
         assert_eq!(*fences.verts.last().unwrap(), 1000);
         assert!(fences.verts.windows(2).all(|w| w[0] <= w[1]));
@@ -1716,7 +1916,89 @@ mod tests {
             1000usize.div_ceil(64)
         );
         // List mode leaves the word fences empty.
-        let list = Engine::<Levels>::dest_fences(g.in_(), 4, FrontierRepr::List);
+        let list =
+            Engine::<Levels>::dest_fences(g.in_(), 4, FrontierRepr::List, MetadataLayout::Flat);
         assert!(list.words.is_empty());
+    }
+
+    #[test]
+    fn chunked_fences_never_split_a_metadata_chunk() {
+        let g = path_graph(1000);
+        let fences =
+            Engine::<Levels>::dest_fences(g.in_(), 4, FrontierRepr::List, MetadataLayout::Chunked);
+        assert_eq!(fences.verts[0], 0);
+        assert_eq!(*fences.verts.last().unwrap(), 1000);
+        for (i, &f) in fences.verts.iter().enumerate().take(4).skip(1) {
+            assert_eq!(f % 32, 0, "fence {i} splits a chunk");
+        }
+        // Bitmap word fences (64) already satisfy chunk (32) alignment.
+        let bm = Engine::<Levels>::dest_fences(
+            g.in_(),
+            4,
+            FrontierRepr::Bitmap,
+            MetadataLayout::Chunked,
+        );
+        for &f in bm.verts.iter().take(4).skip(1) {
+            assert_eq!(f % 32, 0);
+        }
+    }
+
+    /// Asserts the chunked metadata layout is bit-equal to flat across
+    /// exec modes and frontier representations.
+    fn assert_chunked_matches(g: &Graph, cfg: EngineConfig) {
+        let base = run_levels(g, cfg.clone().with_layout(MetadataLayout::Flat));
+        for threads in [1usize, 3] {
+            for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
+                let cfg = if threads > 1 {
+                    cfg.clone().parallel(threads)
+                } else {
+                    cfg.clone().with_exec(ExecMode::Serial)
+                };
+                let ch = run_levels(g, cfg.with_frontier(repr).chunked());
+                let label = format!("{threads} threads / {}", repr.label());
+                assert_eq!(ch.meta, base.meta, "{label}: metadata");
+                assert_eq!(ch.report.log, base.report.log, "{label}: iteration log");
+                assert_eq!(
+                    ch.report.stats, base.report.stats,
+                    "{label}: executor stats"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_is_bit_equal_on_path() {
+        // 300 % 32 != 0: the tail chunk is partial.
+        assert_chunked_matches(&path_graph(300), EngineConfig::unscaled());
+    }
+
+    #[test]
+    fn chunked_is_bit_equal_with_direction_switches() {
+        let mut edges = Vec::new();
+        let n = 256u32;
+        for v in 0..n {
+            for k in 1..=8 {
+                edges.push((v, (v * 7 + k * 13) % n));
+            }
+        }
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(edges));
+        assert_chunked_matches(&g, EngineConfig::unscaled());
+        assert_chunked_matches(
+            &g,
+            EngineConfig::default()
+                .with_frontier(FrontierRepr::List)
+                .with_layout(MetadataLayout::Flat),
+        );
+    }
+
+    #[test]
+    fn chunked_is_bit_equal_on_hub_overflow() {
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(
+            (1..=5000u32).map(|i| (0, i)).collect(),
+        ));
+        assert_chunked_matches(
+            &g,
+            EngineConfig::unscaled().with_direction(DirectionPolicy::FixedPush),
+        );
     }
 }

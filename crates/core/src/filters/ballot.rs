@@ -9,6 +9,7 @@
 //! coalesced scan and sorted active vertices").
 
 use crate::acc::AccProgram;
+use crate::config::MetadataLayout;
 use crate::frontier::WORD_BITS;
 use simdx_gpu::warp::{ballot, popc};
 use simdx_gpu::{Cost, GpuExecutor, KernelDesc, SchedUnit, WARP_SIZE};
@@ -89,6 +90,76 @@ pub fn scan_range<P: AccProgram>(
     }
 }
 
+/// The chunked-layout form of [`scan_range`]: full 32-vertex chunks
+/// are swept through `[M; 32]` array windows with a fixed-width lane
+/// loop, so the compiler can unroll/vectorize the Active compares into
+/// a mask (the host analogue of `__ballot`); the partial tail chunk
+/// (when `end % 32 != 0`) falls back to the scalar loop and never
+/// reads the chunked buffer's padding lanes.
+///
+/// The output — actives *and* per-chunk cost sequence — is
+/// bit-identical to [`scan_range`] over the same range: same lane
+/// order inside each chunk (ascending, the bit order `ballot` packs),
+/// same `chunk_cost` per chunk.
+pub fn scan_range_chunked<P: AccProgram>(
+    program: &P,
+    curr: &[P::Meta],
+    prev: &[P::Meta],
+    start: usize,
+    end: usize,
+    out: &mut WarpScanScratch,
+) {
+    assert_eq!(curr.len(), prev.len(), "metadata arrays must be parallel");
+    assert!(
+        start.is_multiple_of(WARP_SIZE),
+        "partition start must be warp-aligned"
+    );
+    let mut base = start;
+    while base + WARP_SIZE <= end {
+        let c: &[P::Meta; WARP_SIZE] = curr[base..base + WARP_SIZE]
+            .try_into()
+            .expect("exact chunk");
+        let p: &[P::Meta; WARP_SIZE] = prev[base..base + WARP_SIZE]
+            .try_into()
+            .expect("exact chunk");
+        let mut mask = 0u32;
+        for lane in 0..WARP_SIZE {
+            mask |= (program.active((base + lane) as VertexId, &c[lane], &p[lane]) as u32) << lane;
+        }
+        let votes = popc(mask);
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            out.active.push((base + lane) as VertexId);
+            m &= m - 1;
+        }
+        out.tasks.push(chunk_cost(WARP_SIZE, votes));
+        base += WARP_SIZE;
+    }
+    if base < end {
+        scan_range(program, curr, prev, base, end, out);
+    }
+}
+
+/// Layout dispatch for the dense scan: `Chunked` takes the fixed-width
+/// chunk sweep, `Flat` the scalar reference loop. Both are
+/// bit-identical; only the loop shape (and therefore what the host
+/// compiler can vectorize) differs.
+pub fn scan_range_layout<P: AccProgram>(
+    program: &P,
+    curr: &[P::Meta],
+    prev: &[P::Meta],
+    start: usize,
+    end: usize,
+    layout: MetadataLayout,
+    out: &mut WarpScanScratch,
+) {
+    match layout {
+        MetadataLayout::Flat => scan_range(program, curr, prev, start, end, out),
+        MetadataLayout::Chunked => scan_range_chunked(program, curr, prev, start, end, out),
+    }
+}
+
 /// [`scan_range`] with a word-level occupancy skip: `occupancy` is the
 /// changed-vertex bitmap's backing words (bit `v % 64` of word
 /// `v / 64`), and any all-zero word — 64 vertices, two warp chunks —
@@ -110,6 +181,35 @@ pub fn scan_range_sparse<P: AccProgram>(
     start: usize,
     end: usize,
     occupancy: &[u64],
+    out: &mut WarpScanScratch,
+) {
+    scan_range_sparse_layout(
+        program,
+        curr,
+        prev,
+        start,
+        end,
+        occupancy,
+        MetadataLayout::Flat,
+        out,
+    );
+}
+
+/// [`scan_range_sparse`] with the metadata-layout dispatch of
+/// [`scan_range_layout`]: occupied words (two warp chunks — a bitmap
+/// word is exactly two metadata chunks) are swept with the fixed-width
+/// chunked loop when `layout` is `Chunked`. All-zero-word charging is
+/// shared, so the dense and sparse, flat and chunked scans can never
+/// drift apart in cost.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_range_sparse_layout<P: AccProgram>(
+    program: &P,
+    curr: &[P::Meta],
+    prev: &[P::Meta],
+    start: usize,
+    end: usize,
+    occupancy: &[u64],
+    layout: MetadataLayout,
     out: &mut WarpScanScratch,
 ) {
     assert_eq!(curr.len(), prev.len(), "metadata arrays must be parallel");
@@ -135,7 +235,7 @@ pub fn scan_range_sparse<P: AccProgram>(
                 base += chunk;
             }
         } else {
-            scan_range(program, curr, prev, base, word_end, out);
+            scan_range_layout(program, curr, prev, base, word_end, layout, out);
             base = word_end;
         }
     }
@@ -344,6 +444,81 @@ mod tests {
         // the same V-proportional kernel either way.
         assert_eq!(out.tasks.len(), n.div_ceil(WARP_SIZE));
         assert!(out.tasks.iter().all(|t| t.writes == 0));
+    }
+
+    #[test]
+    fn chunked_scan_is_bit_identical_to_scalar() {
+        // Warp-misaligned length: 40 full chunks plus a 13-vertex tail.
+        let n = 32 * 40 + 13;
+        let prev = vec![0u32; n];
+        let mut curr = prev.clone();
+        for v in [0usize, 31, 32, 33, 500, 1000, n - 1] {
+            curr[v] = 1;
+        }
+        let mut scalar = WarpScanScratch::default();
+        scan_range(&Diff, &curr, &prev, 0, n, &mut scalar);
+        let mut chunked = WarpScanScratch::default();
+        scan_range_chunked(&Diff, &curr, &prev, 0, n, &mut chunked);
+        assert_eq!(chunked.active, scalar.active);
+        assert_eq!(chunked.tasks, scalar.tasks);
+        // Layout dispatch reaches the same two paths.
+        for layout in [MetadataLayout::Flat, MetadataLayout::Chunked] {
+            let mut out = WarpScanScratch::default();
+            scan_range_layout(&Diff, &curr, &prev, 0, n, layout, &mut out);
+            assert_eq!(out.active, scalar.active, "{layout:?}");
+            assert_eq!(out.tasks, scalar.tasks, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_scan_partitions_concatenate() {
+        let n = 32 * 9 + 7;
+        let prev = vec![0u32; n];
+        let mut curr = prev.clone();
+        curr[5] = 1;
+        curr[200] = 2;
+        curr[n - 1] = 3;
+        let mut whole = WarpScanScratch::default();
+        scan_range_chunked(&Diff, &curr, &prev, 0, n, &mut whole);
+        let mut parts = WarpScanScratch::default();
+        scan_range_chunked(&Diff, &curr, &prev, 0, 96, &mut parts);
+        scan_range_chunked(&Diff, &curr, &prev, 96, n, &mut parts);
+        assert_eq!(parts.active, whole.active);
+        assert_eq!(parts.tasks, whole.tasks);
+    }
+
+    #[test]
+    fn sparse_chunked_scan_is_bit_identical_to_sparse() {
+        let n = 64 * 21 + 39;
+        let prev = vec![0u32; n];
+        let mut curr = prev.clone();
+        for v in [1usize, 64, 65, 127, 700, n - 2] {
+            curr[v] = 9;
+        }
+        let occ = occupancy(&curr, &prev);
+        let mut flat = WarpScanScratch::default();
+        scan_range_sparse(&Diff, &curr, &prev, 0, n, &occ, &mut flat);
+        let mut chunked = WarpScanScratch::default();
+        scan_range_sparse_layout(
+            &Diff,
+            &curr,
+            &prev,
+            0,
+            n,
+            &occ,
+            MetadataLayout::Chunked,
+            &mut chunked,
+        );
+        assert_eq!(chunked.active, flat.active);
+        assert_eq!(chunked.tasks, flat.tasks);
+    }
+
+    #[test]
+    #[should_panic(expected = "warp-aligned")]
+    fn chunked_scan_rejects_misaligned_start() {
+        let meta = vec![0u32; 64];
+        let mut out = WarpScanScratch::default();
+        scan_range_chunked(&Diff, &meta, &meta, 5, 64, &mut out);
     }
 
     #[test]

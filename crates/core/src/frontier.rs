@@ -171,6 +171,20 @@ impl FrontierBitmap {
     pub fn drain_into(&mut self, out: &mut Vec<VertexId>) {
         self.drain_for_each(|v| out.push(v));
     }
+
+    /// Visits the index of every non-zero word in ascending order,
+    /// clearing each as it is consumed — the word-granular form of
+    /// [`Self::drain_for_each`] used by the chunked-layout publish
+    /// sweep, which copies whole 32-vertex metadata chunks per
+    /// occupied word instead of scattering bit by bit.
+    pub fn drain_nonzero_words(&mut self, mut f: impl FnMut(usize)) {
+        for (i, word) in self.words.iter_mut().enumerate() {
+            if *word != 0 {
+                f(i);
+                *word = 0;
+            }
+        }
+    }
 }
 
 /// A word-aligned mutable window of a [`FrontierBitmap`] covering
@@ -323,11 +337,20 @@ impl Worklists {
     ) {
         self.clear();
         for &v in active {
-            match thresholds.classify(csr.degree(v)) {
-                SchedUnit::Thread => self.small.push(v),
-                SchedUnit::Warp => self.med.push(v),
-                SchedUnit::Cta => self.large.push(v),
-            }
+            self.classify_one(v, csr, thresholds);
+        }
+    }
+
+    /// Classifies a single vertex into its list without clearing — the
+    /// streaming form backing both [`Self::classify_into`] and the
+    /// bitmap-mode drain that classifies straight out of
+    /// [`ThreadBins`] without materializing the concatenated worklist.
+    #[inline]
+    pub fn classify_one(&mut self, v: VertexId, csr: &Csr, thresholds: ClassifyThresholds) {
+        match thresholds.classify(csr.degree(v)) {
+            SchedUnit::Thread => self.small.push(v),
+            SchedUnit::Warp => self.med.push(v),
+            SchedUnit::Cta => self.large.push(v),
         }
     }
 
@@ -472,6 +495,23 @@ impl ThreadBins {
         }
     }
 
+    /// Visits every recorded vertex in concatenation order (bin by
+    /// bin, entries in record order — exactly the sequence
+    /// [`Self::concatenate`] would produce, duplicates included).
+    ///
+    /// This is the bitmap-native worklist drain: the engine's bitmap
+    /// mode feeds the next iteration's degree sum, classification and
+    /// aggregation-pull marking straight from the bins, so the
+    /// duplicate-carrying online worklist need never be materialized
+    /// as a flat list.
+    pub fn for_each_entry(&self, mut f: impl FnMut(VertexId)) {
+        for bin in &self.bins {
+            for &v in bin {
+                f(v);
+            }
+        }
+    }
+
     /// Clears all bins and the overflow flag for the next iteration.
     pub fn clear(&mut self) {
         for bin in &mut self.bins {
@@ -574,6 +614,46 @@ mod tests {
         assert!(!bins.overflowed());
         assert_eq!(bins.total_recorded(), 0);
         assert_eq!(bins.dropped(), 0);
+    }
+
+    #[test]
+    fn for_each_entry_matches_concatenation_order() {
+        let mut bins = ThreadBins::new(3, 8);
+        bins.record(1, 4);
+        bins.record(0, 7);
+        bins.record(2, 9);
+        bins.record(0, 7); // duplicate kept, in record order
+        let mut seen = Vec::new();
+        bins.for_each_entry(|v| seen.push(v));
+        assert_eq!(seen, bins.concatenate());
+        assert_eq!(seen, vec![7, 7, 4, 9]);
+    }
+
+    #[test]
+    fn classify_one_streams_like_classify_into() {
+        let csr = star_csr(200);
+        let active = [0u32, 1, 2];
+        let mut batch = Worklists::default();
+        batch.classify_into(&active, &csr, ClassifyThresholds::default());
+        let mut streamed = Worklists::default();
+        streamed.clear();
+        for &v in &active {
+            streamed.classify_one(v, &csr, ClassifyThresholds::default());
+        }
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn drain_nonzero_words_visits_and_clears() {
+        let mut b = FrontierBitmap::new(200);
+        b.set(3);
+        b.set(64);
+        b.set(65);
+        b.set(199);
+        let mut words = Vec::new();
+        b.drain_nonzero_words(|w| words.push(w));
+        assert_eq!(words, vec![0, 1, 3]);
+        assert!(b.is_empty());
     }
 
     #[test]

@@ -59,26 +59,33 @@ pub mod filters;
 pub mod frontier;
 pub mod fusion;
 pub mod jit;
+pub mod metadata;
 pub mod metrics;
 pub mod par;
 mod scratch;
 
 pub use acc::{AccProgram, CombineKind, DirectionCtx};
-pub use config::{DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr};
+pub use config::{
+    DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr, MetadataLayout,
+};
 pub use engine::Engine;
 pub use filters::FilterKind;
 pub use frontier::FrontierBitmap;
 pub use fusion::FusionStrategy;
 pub use jit::{ActivationLog, EngineError};
+pub use metadata::MetadataStore;
 pub use metrics::{RunReport, RunResult};
 
 /// Convenience re-exports for programs and harnesses.
 pub mod prelude {
     pub use crate::acc::{AccProgram, CombineKind, DirectionCtx};
-    pub use crate::config::{DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr};
+    pub use crate::config::{
+        DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr, MetadataLayout,
+    };
     pub use crate::engine::Engine;
     pub use crate::frontier::FrontierBitmap;
     pub use crate::fusion::FusionStrategy;
     pub use crate::jit::EngineError;
+    pub use crate::metadata::MetadataStore;
     pub use crate::metrics::{RunReport, RunResult};
 }

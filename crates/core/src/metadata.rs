@@ -1,0 +1,341 @@
+//! Warp-chunked metadata storage ([`MetadataStore`]).
+//!
+//! The engine keeps per-vertex metadata in a current/previous pair and
+//! sweeps it constantly: the ballot filter compares every vertex each
+//! scan, the pull-vote candidate sweep tests every vertex, and the
+//! publish step copies changed entries. The seed stored both arrays as
+//! plain `Vec<M>` and indexed them scalar-by-scalar — the top open
+//! ROADMAP item since PR 1, because those sweeps are exactly the loops
+//! a SIMD host can vectorize *if* the layout cooperates.
+//!
+//! [`MetadataStore`] makes the layout a knob
+//! ([`MetadataLayout`], env `SIMDX_LAYOUT`):
+//!
+//! * `Flat` — a plain `Vec<M>`, the seed behaviour and the reference.
+//! * `Chunked` — one contiguous buffer whose first element sits on a
+//!   64-byte (cache-line) boundary and whose length is padded up to a
+//!   multiple of [`CHUNK_LANES`] = 32 vertices. One chunk = 32 vertices
+//!   = one warp of the ballot filter's lane granularity; two chunks =
+//!   one [`crate::frontier::FrontierBitmap`] word. The hot sweeps walk
+//!   the store chunk-by-chunk with fixed-width inner loops
+//!   ([`crate::filters::ballot::scan_range_chunked`] and the engine's
+//!   candidate/publish sweeps), which the compiler can unroll and
+//!   vectorize because the trip count is a constant 32.
+//!
+//! Element order is identical in both layouts (vertex `v` is element
+//! `v`), so `Chunked` is **bit-equal** to `Flat` by construction — the
+//! layout changes alignment, padding and the shape of the loops that
+//! walk it, never the values or the order they are combined in.
+//!
+//! # Tail handling
+//!
+//! When `n % 32 != 0` the last chunk is partial. The padding lanes are
+//! initialized (with a copy of the last real element, so whole-chunk
+//! reads are always defined behaviour) but **never exposed**:
+//! [`MetadataStore::as_slice`] has length `n`, and every chunked sweep
+//! processes the tail with a partial loop rather than trusting padding
+//! semantics.
+
+use crate::config::MetadataLayout;
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+
+/// Vertices per chunk: one warp of ballot-filter lanes.
+pub const CHUNK_LANES: usize = 32;
+
+/// Byte alignment of the chunked buffer: one cache line.
+pub const CHUNK_ALIGN: usize = 64;
+
+// The layout leans on "one chunk = one warp = half a bitmap word"
+// everywhere (chunk-aligned partitions, word-gated whole-chunk
+// publish, warp-aligned scan starts); lock the constants together so
+// no one can move one without the others.
+const _: () = assert!(CHUNK_LANES == simdx_gpu::WARP_SIZE);
+const _: () = assert!(2 * CHUNK_LANES == crate::frontier::WORD_BITS);
+
+/// A 64-byte-aligned, chunk-padded metadata buffer (the `Chunked`
+/// storage of [`MetadataStore`]).
+///
+/// Invariants: the allocation holds `padded = ceil(len / 32) * 32`
+/// elements, all initialized; element `i < len` is vertex `i`'s
+/// metadata; elements `len..padded` are padding (copies of the last
+/// real element) that no accessor exposes.
+pub struct ChunkedBuf<M> {
+    ptr: NonNull<M>,
+    len: usize,
+    padded: usize,
+}
+
+// SAFETY: ChunkedBuf owns its allocation exclusively; it is a Vec-like
+// container, so Send/Sync follow the element type.
+unsafe impl<M: Send> Send for ChunkedBuf<M> {}
+unsafe impl<M: Sync> Sync for ChunkedBuf<M> {}
+
+impl<M: Copy> ChunkedBuf<M> {
+    /// Copies `src` into a fresh aligned, padded buffer.
+    pub fn from_slice(src: &[M]) -> Self {
+        let len = src.len();
+        let padded = len.div_ceil(CHUNK_LANES) * CHUNK_LANES;
+        if padded == 0 || std::mem::size_of::<M>() == 0 {
+            // Empty or zero-sized metadata: no allocation needed; a
+            // dangling (aligned) pointer is valid for len-0 / ZST
+            // slices.
+            return Self {
+                ptr: NonNull::dangling(),
+                len,
+                padded,
+            };
+        }
+        let layout = Self::alloc_layout(padded);
+        // SAFETY: layout has non-zero size (padded > 0, size_of > 0).
+        let raw = unsafe { alloc(layout) } as *mut M;
+        let Some(ptr) = NonNull::new(raw) else {
+            handle_alloc_error(layout)
+        };
+        // SAFETY: the allocation holds `padded >= len` elements; `src`
+        // cannot overlap a fresh allocation. Padding lanes are
+        // initialized from the last real element (len > 0 because
+        // padded > 0), so the whole buffer is defined.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), raw, len);
+            let pad = src[len - 1];
+            for i in len..padded {
+                raw.add(i).write(pad);
+            }
+        }
+        Self { ptr, len, padded }
+    }
+
+    fn alloc_layout(padded: usize) -> Layout {
+        Layout::from_size_align(
+            padded * std::mem::size_of::<M>(),
+            CHUNK_ALIGN.max(std::mem::align_of::<M>()),
+        )
+        .expect("metadata buffer layout")
+    }
+
+    /// Logical length (vertices), excluding padding.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Physical length including the tail padding
+    /// (`ceil(len / 32) * 32`).
+    pub fn padded_len(&self) -> usize {
+        self.padded
+    }
+
+    /// The metadata as a slice of the `len` real elements.
+    pub fn as_slice(&self) -> &[M] {
+        // SAFETY: `ptr` is valid for `padded >= len` initialized
+        // elements (or dangling with len 0 / ZST, both valid).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Mutable view of the `len` real elements.
+    pub fn as_mut_slice(&mut self) -> &mut [M] {
+        // SAFETY: as `as_slice`, plus `&mut self` guarantees
+        // exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<M: Copy> Clone for ChunkedBuf<M> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl<M> Drop for ChunkedBuf<M> {
+    fn drop(&mut self) {
+        if self.padded > 0 && std::mem::size_of::<M>() > 0 {
+            // SAFETY: allocated in `from_slice` with this exact layout;
+            // M: Copy elements need no drop.
+            unsafe {
+                dealloc(
+                    self.ptr.as_ptr() as *mut u8,
+                    Layout::from_size_align_unchecked(
+                        self.padded * std::mem::size_of::<M>(),
+                        CHUNK_ALIGN.max(std::mem::align_of::<M>()),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+impl<M: Copy + std::fmt::Debug> std::fmt::Debug for ChunkedBuf<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkedBuf")
+            .field("len", &self.len)
+            .field("padded", &self.padded)
+            .field("data", &self.as_slice())
+            .finish()
+    }
+}
+
+/// Per-vertex metadata in the layout selected by
+/// [`MetadataLayout`] — see the module docs.
+#[derive(Clone, Debug)]
+pub enum MetadataStore<M: Copy> {
+    /// Plain `Vec<M>` (the seed layout).
+    Flat(Vec<M>),
+    /// Warp-chunked, cache-line-aligned buffer.
+    Chunked(ChunkedBuf<M>),
+}
+
+impl<M: Copy> MetadataStore<M> {
+    /// Wraps an initial metadata vector in the requested layout.
+    /// `Flat` takes ownership without copying; `Chunked` copies once
+    /// into the aligned buffer (once per run, off the hot path).
+    pub fn from_vec(layout: MetadataLayout, meta: Vec<M>) -> Self {
+        match layout {
+            MetadataLayout::Flat => Self::Flat(meta),
+            MetadataLayout::Chunked => Self::Chunked(ChunkedBuf::from_slice(&meta)),
+        }
+    }
+
+    /// The layout this store uses.
+    pub fn layout(&self) -> MetadataLayout {
+        match self {
+            Self::Flat(_) => MetadataLayout::Flat,
+            Self::Chunked(_) => MetadataLayout::Chunked,
+        }
+    }
+
+    /// Number of vertices (padding excluded).
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Flat(v) => v.len(),
+            Self::Chunked(b) => b.len(),
+        }
+    }
+
+    /// Whether the store holds no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of 32-vertex chunks (`ceil(len / 32)`).
+    pub fn num_chunks(&self) -> usize {
+        self.len().div_ceil(CHUNK_LANES)
+    }
+
+    /// The metadata as one contiguous slice, vertex `v` at index `v`
+    /// in **both** layouts — the accessor every engine loop reads
+    /// through, so the layouts cannot diverge in values.
+    pub fn as_slice(&self) -> &[M] {
+        match self {
+            Self::Flat(v) => v,
+            Self::Chunked(b) => b.as_slice(),
+        }
+    }
+
+    /// Mutable counterpart of [`Self::as_slice`].
+    pub fn as_mut_slice(&mut self) -> &mut [M] {
+        match self {
+            Self::Flat(v) => v,
+            Self::Chunked(b) => b.as_mut_slice(),
+        }
+    }
+
+    /// Unwraps into a plain vector (for [`crate::metrics::RunResult`]);
+    /// `Flat` is free, `Chunked` copies out of the aligned buffer.
+    pub fn into_vec(self) -> Vec<M> {
+        match self {
+            Self::Flat(v) => v,
+            Self::Chunked(b) => b.as_slice().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_buf_is_cache_line_aligned() {
+        for n in [1usize, 31, 32, 33, 97, 4096] {
+            let buf = ChunkedBuf::from_slice(&vec![7u32; n]);
+            assert_eq!(buf.as_slice().as_ptr() as usize % CHUNK_ALIGN, 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn chunked_buf_pads_to_whole_chunks() {
+        let buf = ChunkedBuf::from_slice(&[1u32, 2, 3]);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.padded_len(), CHUNK_LANES);
+        assert_eq!(buf.as_slice(), &[1, 2, 3]);
+        let aligned = ChunkedBuf::from_slice(&vec![9u64; 64]);
+        assert_eq!(aligned.padded_len(), 64);
+    }
+
+    #[test]
+    fn chunked_buf_roundtrips_and_mutates() {
+        let src: Vec<u32> = (0..97).collect();
+        let mut buf = ChunkedBuf::from_slice(&src);
+        assert_eq!(buf.as_slice(), src.as_slice());
+        buf.as_mut_slice()[96] = 1000;
+        assert_eq!(buf.as_slice()[96], 1000);
+        assert_eq!(buf.as_slice()[..96], src[..96]);
+        let clone = buf.clone();
+        assert_eq!(clone.as_slice(), buf.as_slice());
+    }
+
+    #[test]
+    fn empty_buf_needs_no_allocation() {
+        let buf = ChunkedBuf::from_slice(&[] as &[u32]);
+        assert!(buf.is_empty());
+        assert_eq!(buf.padded_len(), 0);
+        assert!(buf.as_slice().is_empty());
+        let _clone = buf.clone();
+    }
+
+    #[test]
+    fn store_layouts_agree_element_for_element() {
+        let src: Vec<u32> = (0..131).map(|i| i * 3 + 1).collect();
+        let flat = MetadataStore::from_vec(MetadataLayout::Flat, src.clone());
+        let chunked = MetadataStore::from_vec(MetadataLayout::Chunked, src.clone());
+        assert_eq!(flat.layout(), MetadataLayout::Flat);
+        assert_eq!(chunked.layout(), MetadataLayout::Chunked);
+        assert_eq!(flat.as_slice(), chunked.as_slice());
+        assert_eq!(flat.len(), chunked.len());
+        assert_eq!(chunked.num_chunks(), 131usize.div_ceil(32));
+        assert_eq!(flat.into_vec(), src);
+        assert_eq!(chunked.into_vec(), src);
+    }
+
+    #[test]
+    fn store_mutation_through_slice_matches() {
+        let src = vec![0u32; 70];
+        let mut flat = MetadataStore::from_vec(MetadataLayout::Flat, src.clone());
+        let mut chunked = MetadataStore::from_vec(MetadataLayout::Chunked, src);
+        for v in [0usize, 31, 32, 69] {
+            flat.as_mut_slice()[v] = v as u32 + 1;
+            chunked.as_mut_slice()[v] = v as u32 + 1;
+        }
+        assert_eq!(flat.as_slice(), chunked.as_slice());
+        let cloned = chunked.clone();
+        assert_eq!(cloned.as_slice(), chunked.as_slice());
+    }
+
+    #[test]
+    fn wide_metadata_stays_aligned() {
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        struct Wide {
+            a: u64,
+            b: f64,
+        }
+        let src = vec![Wide { a: 1, b: 2.0 }; 33];
+        let buf = ChunkedBuf::from_slice(&src);
+        assert_eq!(buf.as_slice().as_ptr() as usize % CHUNK_ALIGN, 0);
+        assert_eq!(buf.padded_len(), 64);
+        assert_eq!(buf.as_slice(), src.as_slice());
+    }
+}

@@ -36,6 +36,28 @@ pub fn chunk_range(len: usize, parts: usize, w: usize) -> (usize, usize) {
     ((w * chunk).min(len), ((w + 1) * chunk).min(len))
 }
 
+/// [`chunk_range`] with boundaries rounded to `align` multiples (the
+/// final fence clamps to `len`): partitions `ceil(len / align)` whole
+/// units, so no worker range ever splits a unit. The engine uses this
+/// to keep ballot-scan partitions on 32-vertex warp chunks, bitmap
+/// partitions on 64-vertex words and chunked-layout metadata sweeps on
+/// [`crate::metadata::CHUNK_LANES`] boundaries.
+pub fn chunk_range_aligned(len: usize, parts: usize, w: usize, align: usize) -> (usize, usize) {
+    debug_assert!(align > 0);
+    let (u0, u1) = chunk_range(len.div_ceil(align), parts, w);
+    let lo = u0 * align;
+    let hi = (u1 * align).min(len);
+    if lo >= hi {
+        // Worker past the end of a short range: canonicalize to an
+        // empty range whose bound is still aligned *and* in bounds, so
+        // callers can both slice it and assert alignment.
+        let floor = len - len % align;
+        (floor, floor)
+    } else {
+        (lo, hi)
+    }
+}
+
 type Job<'a> = &'a (dyn Fn(usize) + Sync);
 
 struct PoolState {
@@ -315,6 +337,29 @@ mod tests {
                     got.extend(lo..hi);
                 }
                 assert_eq!(got, (0..len).collect::<Vec<_>>(), "len={len} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_chunk_ranges_cover_without_splitting_units() {
+        for len in [0usize, 1, 31, 32, 97, 1000] {
+            for parts in [1usize, 2, 3, 8] {
+                for align in [1usize, 32, 64] {
+                    let mut got = Vec::new();
+                    for w in 0..parts {
+                        let (lo, hi) = chunk_range_aligned(len, parts, w, align);
+                        assert!(lo <= hi && hi <= len, "range out of bounds");
+                        assert!(lo % align == 0, "lo splits a unit");
+                        assert!(hi % align == 0 || hi == len, "hi splits a unit");
+                        got.extend(lo..hi);
+                    }
+                    assert_eq!(
+                        got,
+                        (0..len).collect::<Vec<_>>(),
+                        "len={len} parts={parts} align={align}"
+                    );
+                }
             }
         }
     }

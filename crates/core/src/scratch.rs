@@ -20,7 +20,10 @@ use simdx_graph::VertexId;
 pub(crate) struct PushFences {
     /// Vertex fences over `metadata_curr` (`threads + 1` entries). In
     /// bitmap mode the inner fences are rounded down to word (64)
-    /// multiples so every shard covers whole bitmap words.
+    /// multiples so every shard covers whole bitmap words; in the
+    /// chunked metadata layout they are rounded to 32-vertex chunk
+    /// multiples so no shard splits a chunk (word alignment already
+    /// implies chunk alignment).
     pub verts: Vec<u32>,
     /// The matching word fences over the changed-bitmap's backing
     /// words (empty in list mode).

@@ -1,23 +1,25 @@
-//! The frontier-representation half of the determinism contract
+//! The representation-and-layout half of the determinism contract
 //! (`crates/core/README.md`): for every algorithm, graph class, exec
 //! mode and thread count, `FrontierRepr::Bitmap` must be **bit-equal**
-//! to `FrontierRepr::List` — identical final metadata (float bit
+//! to `FrontierRepr::List` and `MetadataLayout::Chunked` bit-equal to
+//! `MetadataLayout::Flat` — identical final metadata (float bit
 //! patterns included), identical per-iteration activation logs
 //! (directions, filters, frontier sizes, per-iteration cycles) and
 //! identical executor statistics.
 //!
 //! The harness is differential: every cell of the
 //! {BFS, SSSP, PageRank, k-Core, WCC} × {Serial, Parallel} ×
-//! {List, Bitmap} matrix runs against the same graph and is compared
-//! to the List + Serial baseline, so a divergence pinpoints both the
-//! representation and the exec mode that broke. The graph classes
-//! stress different engine paths: RMAT (skewed degrees → CTA
-//! worklists, ballot switches, hub overflow), road strips (tiny
-//! frontiers over many online-filter iterations) and Erdős–Rényi
-//! (push/pull direction flips). Together the five algorithms cover
-//! both Combine kinds, the aggregation-pull candidate sweep, the
-//! non-idempotent decrement path (k-Core) and float accumulation
-//! order (PageRank).
+//! {List, Bitmap} × {Flat, Chunked} matrix runs against the same
+//! graph and is compared to the Flat + List + Serial baseline, so a
+//! divergence pinpoints the representation, layout and exec mode that
+//! broke. The graph classes stress different engine paths: RMAT
+//! (skewed degrees → CTA worklists, ballot switches, hub overflow),
+//! road strips (tiny frontiers over many online-filter iterations;
+//! their vertex counts are warp-misaligned, so chunked tail handling
+//! is always exercised) and Erdős–Rényi (push/pull direction flips).
+//! Together the five algorithms cover both Combine kinds, the
+//! aggregation-pull candidate sweep, the non-idempotent decrement
+//! path (k-Core) and float accumulation order (PageRank).
 
 use simdx::algos::{bfs, kcore, pagerank, sssp, wcc};
 use simdx::core::jit::ActivationLog;
@@ -53,8 +55,9 @@ fn exec_modes() -> [ExecMode; 3] {
     ]
 }
 
-/// Runs one algorithm over the full {exec mode} × {repr} matrix and
-/// asserts every cell is bit-equal to the List + Serial baseline.
+/// Runs one algorithm over the full {exec mode} × {repr} × {layout}
+/// matrix and asserts every cell is bit-equal to the
+/// Flat + List + Serial baseline.
 fn assert_matrix<M, F>(what: &str, run: F)
 where
     M: PartialEq + std::fmt::Debug,
@@ -62,7 +65,8 @@ where
 {
     let base_cfg = EngineConfig::default()
         .with_exec(ExecMode::Serial)
-        .with_frontier(FrontierRepr::List);
+        .with_frontier(FrontierRepr::List)
+        .with_layout(MetadataLayout::Flat);
     let baseline = fingerprint(run(base_cfg));
     assert!(
         baseline.iterations > 0,
@@ -70,16 +74,20 @@ where
     );
     for exec in exec_modes() {
         for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
-            let cell = fingerprint(run(EngineConfig::default()
-                .with_exec(exec)
-                .with_frontier(repr)));
-            assert_eq!(
-                cell,
-                baseline,
-                "{what}: {}/{} diverged from list/serial",
-                exec.label(),
-                repr.label(),
-            );
+            for layout in [MetadataLayout::Flat, MetadataLayout::Chunked] {
+                let cell = fingerprint(run(EngineConfig::default()
+                    .with_exec(exec)
+                    .with_frontier(repr)
+                    .with_layout(layout)));
+                assert_eq!(
+                    cell,
+                    baseline,
+                    "{what}: {}/{}/{} diverged from serial/list/flat",
+                    exec.label(),
+                    repr.label(),
+                    layout.label(),
+                );
+            }
         }
     }
 }
@@ -186,23 +194,33 @@ fn filter_policies_stay_equivalent_in_bitmap_mode() {
                 0,
                 EngineConfig::default()
                     .with_filter(policy)
-                    .with_frontier(FrontierRepr::List),
+                    .with_frontier(FrontierRepr::List)
+                    .with_layout(MetadataLayout::Flat),
             )
             .expect("bfs"),
         );
         for exec in exec_modes() {
-            let bm = fingerprint(
-                bfs::run(
-                    &g,
-                    0,
-                    EngineConfig::default()
-                        .with_filter(policy)
-                        .with_exec(exec)
-                        .bitmap(),
-                )
-                .expect("bfs"),
-            );
-            assert_eq!(bm, base, "{policy:?}/{} diverged", exec.label());
+            for layout in [MetadataLayout::Flat, MetadataLayout::Chunked] {
+                let bm = fingerprint(
+                    bfs::run(
+                        &g,
+                        0,
+                        EngineConfig::default()
+                            .with_filter(policy)
+                            .with_exec(exec)
+                            .with_layout(layout)
+                            .bitmap(),
+                    )
+                    .expect("bfs"),
+                );
+                assert_eq!(
+                    bm,
+                    base,
+                    "{policy:?}/{}/{} diverged",
+                    exec.label(),
+                    layout.label()
+                );
+            }
         }
     }
 }
@@ -216,14 +234,32 @@ fn unscaled_device_stays_equivalent_in_bitmap_mode() {
         bfs::run(
             &g,
             0,
-            EngineConfig::unscaled().with_frontier(FrontierRepr::List),
+            EngineConfig::unscaled()
+                .with_frontier(FrontierRepr::List)
+                .with_layout(MetadataLayout::Flat),
         )
         .expect("bfs"),
     );
     for exec in exec_modes() {
-        let bm = fingerprint(
-            bfs::run(&g, 0, EngineConfig::unscaled().with_exec(exec).bitmap()).expect("bfs"),
-        );
-        assert_eq!(bm, base, "unscaled/{} diverged", exec.label());
+        for layout in [MetadataLayout::Flat, MetadataLayout::Chunked] {
+            let bm = fingerprint(
+                bfs::run(
+                    &g,
+                    0,
+                    EngineConfig::unscaled()
+                        .with_exec(exec)
+                        .with_layout(layout)
+                        .bitmap(),
+                )
+                .expect("bfs"),
+            );
+            assert_eq!(
+                bm,
+                base,
+                "unscaled/{}/{} diverged",
+                exec.label(),
+                layout.label()
+            );
+        }
     }
 }

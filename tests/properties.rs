@@ -4,8 +4,9 @@
 
 use proptest::prelude::*;
 use simdx::algos::{bfs, kcore, reference, sssp, wcc};
+use simdx::core::metadata::{CHUNK_ALIGN, CHUNK_LANES};
 use simdx::core::prelude::*;
-use simdx::core::{FilterPolicy, FrontierBitmap};
+use simdx::core::{FilterPolicy, FrontierBitmap, MetadataStore};
 use simdx::graph::{io, weights, Csr, EdgeList, Graph};
 use std::collections::BTreeSet;
 
@@ -99,6 +100,44 @@ proptest! {
         prop_assert!(bm.is_empty());
     }
 
+    /// [`MetadataStore`] agrees with a plain `Vec` model in both
+    /// layouts under arbitrary construction + point-write sequences:
+    /// same elements at same indices, same length, same round-trip
+    /// through `clone` and `into_vec`. Lengths are deliberately
+    /// warp-misaligned most of the time, so the chunked layout's
+    /// partial tail chunk (n % 32 != 0) is exercised constantly, and
+    /// the chunked buffer must start on a cache-line boundary.
+    #[test]
+    fn metadata_store_matches_vec_model(
+        (n, writes) in (1u32..200).prop_flat_map(|n| {
+            (Just(n), proptest::collection::vec((0..n, 0..u32::MAX), 0..64))
+        }),
+    ) {
+        let init: Vec<u32> = (0..n).map(|i: u32| i.wrapping_mul(2_654_435_761)).collect();
+        let mut model = init.clone();
+        let mut flat = MetadataStore::from_vec(MetadataLayout::Flat, init.clone());
+        let mut chunked = MetadataStore::from_vec(MetadataLayout::Chunked, init);
+        prop_assert_eq!(
+            chunked.as_slice().as_ptr() as usize % CHUNK_ALIGN,
+            0,
+            "chunked buffer must be cache-line aligned"
+        );
+        prop_assert_eq!(chunked.num_chunks(), (n as usize).div_ceil(CHUNK_LANES));
+        for (v, x) in writes {
+            model[v as usize] = x;
+            flat.as_mut_slice()[v as usize] = x;
+            chunked.as_mut_slice()[v as usize] = x;
+        }
+        prop_assert_eq!(flat.as_slice(), model.as_slice());
+        prop_assert_eq!(chunked.as_slice(), model.as_slice());
+        prop_assert_eq!(flat.len(), model.len());
+        prop_assert_eq!(chunked.len(), model.len());
+        let cloned = chunked.clone();
+        prop_assert_eq!(cloned.as_slice(), model.as_slice());
+        prop_assert_eq!(flat.into_vec(), model.clone());
+        prop_assert_eq!(chunked.into_vec(), model);
+    }
+
     /// A sorted, duplicate-free worklist round-trips through the
     /// bitmap representation unchanged, including at warp-misaligned
     /// lengths (partial tail words).
@@ -117,7 +156,8 @@ proptest! {
     }
 
     /// The engine's BFS equals the sequential reference on arbitrary
-    /// graphs under every filter policy and frontier representation.
+    /// graphs under every filter policy, frontier representation and
+    /// metadata layout.
     #[test]
     fn engine_bfs_equals_reference((n, edges) in arb_edges(48, 150)) {
         let g = Graph::directed_from_edges(EdgeList::from_pairs(
@@ -129,13 +169,18 @@ proptest! {
         let expected = reference::bfs(g.out(), 0);
         for policy in [FilterPolicy::Jit, FilterPolicy::BallotOnly] {
             for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
-                let r = bfs::run(
-                    &g,
-                    0,
-                    EngineConfig::unscaled().with_filter(policy).with_frontier(repr),
-                )
-                .expect("bfs");
-                prop_assert_eq!(&r.meta, &expected);
+                for layout in [MetadataLayout::Flat, MetadataLayout::Chunked] {
+                    let r = bfs::run(
+                        &g,
+                        0,
+                        EngineConfig::unscaled()
+                            .with_filter(policy)
+                            .with_frontier(repr)
+                            .with_layout(layout),
+                    )
+                    .expect("bfs");
+                    prop_assert_eq!(&r.meta, &expected);
+                }
             }
         }
     }
