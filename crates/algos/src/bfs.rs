@@ -7,8 +7,8 @@
 //! the collaborative-early-termination hook (in pull mode the engine
 //! stops scanning a vertex's in-edges at the first visited parent).
 
-use simdx_core::acc::{AccProgram, CombineKind};
-use simdx_core::{Engine, EngineConfig, EngineError, RunResult};
+use simdx_core::acc::{AccProgram, CombineKind, SourcedProgram};
+use simdx_core::{EngineConfig, RunResult, Runtime, SimdxError};
 use simdx_graph::{Graph, VertexId, Weight};
 
 /// Level metadata for unvisited vertices.
@@ -75,13 +75,38 @@ impl AccProgram for Bfs {
     }
 }
 
+impl SourcedProgram for Bfs {
+    fn with_source(mut self, src: VertexId) -> Self {
+        self.src = src;
+        self
+    }
+}
+
 /// Runs BFS and returns levels plus the run report.
+///
+/// One-shot convenience over the session API; services running many
+/// BFS queries should hold a [`Runtime`], bind the graph once and use
+/// the run builder (or [`run_batch`]) to amortize setup.
 pub fn run(
     graph: &Graph,
     src: VertexId,
     config: EngineConfig,
-) -> Result<RunResult<u32>, EngineError> {
-    Engine::new(Bfs::new(src), graph, config).run()
+) -> Result<RunResult<u32>, SimdxError> {
+    let runtime = Runtime::new(config)?;
+    // `.source()` (not `Bfs::new(src)` directly) so an out-of-range
+    // source is a typed InvalidQuery, like the batch path.
+    runtime.bind(graph).run(Bfs::new(0)).source(src).execute()
+}
+
+/// Runs BFS from every source over one bound session — one result per
+/// source, every allocation and the worker pool reused across queries.
+pub fn run_batch(
+    graph: &Graph,
+    sources: &[VertexId],
+    config: EngineConfig,
+) -> Result<Vec<RunResult<u32>>, SimdxError> {
+    let runtime = Runtime::new(config)?;
+    runtime.bind(graph).run_batch(Bfs::new(0), sources)
 }
 
 #[cfg(test)]
@@ -129,6 +154,14 @@ mod tests {
         assert_eq!(chunked.meta, flat.meta);
         assert_eq!(chunked.report.log, flat.report.log);
         assert_eq!(chunked.report.stats, flat.report.stats);
+    }
+
+    #[test]
+    fn out_of_range_source_is_a_typed_error() {
+        use simdx_core::SimdxError;
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(vec![(0, 1)]));
+        let err = run(&g, 99, EngineConfig::unscaled()).expect_err("oob source");
+        assert!(matches!(err, SimdxError::InvalidQuery { .. }));
     }
 
     #[test]

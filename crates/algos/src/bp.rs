@@ -16,7 +16,7 @@
 //! filter at the first iteration.
 
 use simdx_core::acc::{AccProgram, CombineKind, DirectionCtx};
-use simdx_core::{Engine, EngineConfig, EngineError, RunResult};
+use simdx_core::{EngineConfig, RunResult, Runtime, SimdxError};
 use simdx_graph::csr::Direction;
 use simdx_graph::{Graph, VertexId, Weight};
 
@@ -124,13 +124,25 @@ impl AccProgram for BeliefPropagation {
     }
 }
 
-/// Runs BP and returns beliefs plus the run report.
+/// Runs BP and returns beliefs plus the run report. A prior vector
+/// that does not match the graph is a typed
+/// [`SimdxError::InvalidQuery`].
 pub fn run(
     graph: &Graph,
     program: BeliefPropagation,
     config: EngineConfig,
-) -> Result<RunResult<f32>, EngineError> {
-    Engine::new(program, graph, config).run()
+) -> Result<RunResult<f32>, SimdxError> {
+    let n = graph.num_vertices() as usize;
+    if program.priors.len() != n {
+        return Err(SimdxError::InvalidQuery {
+            reason: format!(
+                "bp prior vector has {} entries for a graph with {n} vertices",
+                program.priors.len()
+            ),
+        });
+    }
+    let runtime = Runtime::new(config)?;
+    runtime.bind(graph).run(program).execute()
 }
 
 #[cfg(test)]

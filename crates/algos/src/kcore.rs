@@ -19,7 +19,7 @@
 //! "typically the first two iterations" (Fig. 8).
 
 use simdx_core::acc::{AccProgram, CombineKind, DirectionCtx};
-use simdx_core::{Engine, EngineConfig, EngineError, RunResult};
+use simdx_core::{EngineConfig, RunResult, Runtime, SimdxError};
 use simdx_graph::csr::Direction;
 use simdx_graph::{Graph, VertexId, Weight};
 
@@ -108,8 +108,9 @@ impl AccProgram for KCore {
 
 /// Runs k-Core; returns per-vertex remaining degree (`DELETED` for
 /// peeled vertices) plus the run report.
-pub fn run(graph: &Graph, k: u32, config: EngineConfig) -> Result<RunResult<u32>, EngineError> {
-    Engine::new(KCore::new(k), graph, config).run()
+pub fn run(graph: &Graph, k: u32, config: EngineConfig) -> Result<RunResult<u32>, SimdxError> {
+    let runtime = Runtime::new(config)?;
+    runtime.bind(graph).run(KCore::new(k)).execute()
 }
 
 /// Extracts the survivor bitmap from a k-Core result.

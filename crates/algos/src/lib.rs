@@ -10,15 +10,29 @@
 //!
 //! # Quick example
 //!
+//! One-shot helpers (`bfs::run`, `sssp::run`, ...) cover single
+//! queries; repeated queries should go through the session API
+//! (`simdx_core::session::Runtime`) or the `run_batch` helpers, which
+//! amortize the engine's pool and scratch across a whole seed batch.
+//!
 //! ```
-//! use simdx_algos::{bfs, reference};
-//! use simdx_core::EngineConfig;
+//! use simdx_algos::{bfs, reference, Bfs};
+//! use simdx_core::{EngineConfig, Runtime};
+//!
 //! use simdx_graph::{EdgeList, Graph};
 //!
 //! let g = Graph::undirected_from_edges(
 //!     EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 3)]));
 //! let result = bfs::run(&g, 0, EngineConfig::unscaled()).unwrap();
 //! assert_eq!(result.meta, reference::bfs(g.out(), 0));
+//!
+//! // Amortized multi-source form: one bound session, three queries.
+//! let runtime = Runtime::new(EngineConfig::unscaled()).unwrap();
+//! let batch = runtime
+//!     .bind(&g)
+//!     .run_batch(Bfs::new(0), &[0, 1, 2])
+//!     .unwrap();
+//! assert_eq!(batch[0].meta, result.meta);
 //! ```
 
 pub mod bfs;

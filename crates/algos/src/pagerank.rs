@@ -14,7 +14,7 @@
 //! Fig. 8 filter pattern (ballot at the first iteration, online later).
 
 use simdx_core::acc::{AccProgram, CombineKind, DirectionCtx};
-use simdx_core::{Engine, EngineConfig, EngineError, RunResult};
+use simdx_core::{EngineConfig, RunResult, Runtime, SimdxError};
 use simdx_graph::csr::Direction;
 use simdx_graph::{Graph, VertexId, Weight};
 
@@ -119,8 +119,9 @@ impl AccProgram for PageRank {
 }
 
 /// Runs PageRank and returns ranks plus the run report.
-pub fn run(graph: &Graph, config: EngineConfig) -> Result<RunResult<f32>, EngineError> {
-    Engine::new(PageRank::new(graph), graph, config).run()
+pub fn run(graph: &Graph, config: EngineConfig) -> Result<RunResult<f32>, SimdxError> {
+    let runtime = Runtime::new(config)?;
+    runtime.bind(graph).run(PageRank::new(graph)).execute()
 }
 
 #[cfg(test)]

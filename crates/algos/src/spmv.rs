@@ -8,7 +8,7 @@
 //! first iteration) in a single round.
 
 use simdx_core::acc::{AccProgram, CombineKind, DirectionCtx};
-use simdx_core::{Engine, EngineConfig, EngineError, RunResult};
+use simdx_core::{EngineConfig, RunResult, Runtime, SimdxError};
 use simdx_graph::csr::Direction;
 use simdx_graph::{Graph, VertexId, Weight};
 
@@ -77,13 +77,20 @@ impl AccProgram for Spmv {
     }
 }
 
-/// Runs one SpMV round; returns `y` plus the run report.
-pub fn run(
-    graph: &Graph,
-    x: Vec<f32>,
-    config: EngineConfig,
-) -> Result<RunResult<f32>, EngineError> {
-    Engine::new(Spmv::new(x), graph, config).run()
+/// Runs one SpMV round; returns `y` plus the run report. A mis-sized
+/// input vector is a typed [`SimdxError::InvalidQuery`].
+pub fn run(graph: &Graph, x: Vec<f32>, config: EngineConfig) -> Result<RunResult<f32>, SimdxError> {
+    let n = graph.num_vertices() as usize;
+    if x.len() != n {
+        return Err(SimdxError::InvalidQuery {
+            reason: format!(
+                "spmv input vector has {} entries for a graph with {n} vertices",
+                x.len()
+            ),
+        });
+    }
+    let runtime = Runtime::new(config)?;
+    runtime.bind(graph).run(Spmv::new(x)).execute()
 }
 
 #[cfg(test)]
@@ -122,9 +129,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one entry per vertex")]
-    fn wrong_x_length_rejected() {
+    fn wrong_x_length_rejected_with_typed_error() {
         let g = Graph::directed_from_edges(EdgeList::from_pairs(vec![(0, 1)]));
-        let _ = run(&g, vec![1.0], EngineConfig::unscaled());
+        let err = run(&g, vec![1.0], EngineConfig::unscaled()).expect_err("bad x");
+        assert!(matches!(err, SimdxError::InvalidQuery { .. }));
     }
 }

@@ -7,8 +7,8 @@
 //! relaxes simultaneously, without atomics thanks to Combine-then-apply.
 //! Positive edge weights are assumed (§3.3).
 
-use simdx_core::acc::{AccProgram, CombineKind};
-use simdx_core::{Engine, EngineConfig, EngineError, RunResult};
+use simdx_core::acc::{AccProgram, CombineKind, SourcedProgram};
+use simdx_core::{EngineConfig, RunResult, Runtime, SimdxError};
 use simdx_graph::{Graph, VertexId, Weight};
 
 /// Distance metadata for unreached vertices.
@@ -74,23 +74,57 @@ impl AccProgram for Sssp {
     }
 }
 
+impl SourcedProgram for Sssp {
+    fn with_source(mut self, src: VertexId) -> Self {
+        self.src = src;
+        self
+    }
+}
+
+/// Checks the SSSP precondition: the paper assigns random weights to
+/// unweighted inputs before running SSSP (§6); do the same via
+/// [`simdx_graph::weights`]. An unweighted graph is a typed
+/// [`SimdxError::InvalidQuery`], not a panic.
+fn require_weights(graph: &Graph) -> Result<(), SimdxError> {
+    if graph.out().is_weighted() {
+        Ok(())
+    } else {
+        Err(SimdxError::InvalidQuery {
+            reason: "sssp needs edge weights; \
+                     use simdx_graph::weights::assign_default_weights"
+                .to_string(),
+        })
+    }
+}
+
 /// Runs SSSP and returns distances plus the run report.
 ///
-/// # Panics
-///
-/// Panics if the graph is unweighted — the paper assigns random weights
-/// to unweighted inputs before running SSSP (§6); do the same via
-/// [`simdx_graph::weights`].
+/// One-shot convenience over the session API; multi-source workloads
+/// should hold a [`Runtime`], bind the graph once and use
+/// [`run_batch`].
 pub fn run(
     graph: &Graph,
     src: VertexId,
     config: EngineConfig,
-) -> Result<RunResult<u32>, EngineError> {
-    assert!(
-        graph.out().is_weighted(),
-        "SSSP needs edge weights; use simdx_graph::weights::assign_default_weights"
-    );
-    Engine::new(Sssp::new(src), graph, config).run()
+) -> Result<RunResult<u32>, SimdxError> {
+    require_weights(graph)?;
+    let runtime = Runtime::new(config)?;
+    // `.source()` (not `Sssp::new(src)` directly) so an out-of-range
+    // source is a typed InvalidQuery, like the batch path.
+    runtime.bind(graph).run(Sssp::new(0)).source(src).execute()
+}
+
+/// Runs SSSP from every source over one bound session — one distance
+/// array per source, with the pool, scratch arenas and push shards
+/// amortized across the whole batch.
+pub fn run_batch(
+    graph: &Graph,
+    sources: &[VertexId],
+    config: EngineConfig,
+) -> Result<Vec<RunResult<u32>>, SimdxError> {
+    require_weights(graph)?;
+    let runtime = Runtime::new(config)?;
+    runtime.bind(graph).run_batch(Sssp::new(0), sources)
 }
 
 #[cfg(test)]
@@ -152,9 +186,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "needs edge weights")]
-    fn unweighted_graph_rejected() {
+    fn out_of_range_source_is_a_typed_error() {
+        let g = weighted_diamond();
+        let err = run(&g, 99, EngineConfig::unscaled()).expect_err("oob source");
+        assert!(matches!(err, SimdxError::InvalidQuery { .. }));
+    }
+
+    #[test]
+    fn unweighted_graph_rejected_with_typed_error() {
         let g = Graph::directed_from_edges(EdgeList::from_pairs(vec![(0, 1)]));
-        let _ = run(&g, 0, EngineConfig::unscaled());
+        let err = run(&g, 0, EngineConfig::unscaled()).expect_err("unweighted");
+        assert!(matches!(err, SimdxError::InvalidQuery { .. }));
+        assert!(err.to_string().contains("needs edge weights"));
+    }
+
+    #[test]
+    fn batch_matches_single_runs() {
+        let g = weighted_diamond();
+        let sources = [0u32, 1, 0];
+        let batch = run_batch(&g, &sources, EngineConfig::unscaled()).expect("batch");
+        for (src, got) in sources.iter().zip(&batch) {
+            let single = run(&g, *src, EngineConfig::unscaled()).expect("single");
+            assert_eq!(got.meta, single.meta, "src {src}");
+            assert_eq!(got.report.stats, single.report.stats, "src {src}");
+        }
     }
 }

@@ -9,7 +9,7 @@
 //! in a later iteration).
 
 use simdx_core::acc::{AccProgram, CombineKind};
-use simdx_core::{Engine, EngineConfig, EngineError, RunResult};
+use simdx_core::{EngineConfig, RunResult, Runtime, SimdxError};
 use simdx_graph::{Graph, VertexId, Weight};
 
 /// Connected components via min-label propagation.
@@ -58,8 +58,9 @@ impl AccProgram for Wcc {
 /// On an undirected graph the labels are the weakly connected
 /// components; on a directed graph they are the fixpoint of min-label
 /// flooding along edge direction.
-pub fn run(graph: &Graph, config: EngineConfig) -> Result<RunResult<u32>, EngineError> {
-    Engine::new(Wcc, graph, config).run()
+pub fn run(graph: &Graph, config: EngineConfig) -> Result<RunResult<u32>, SimdxError> {
+    let runtime = Runtime::new(config)?;
+    runtime.bind(graph).run(Wcc).execute()
 }
 
 /// Number of distinct labels in a WCC result.

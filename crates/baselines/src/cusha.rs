@@ -190,8 +190,8 @@ impl<'g, P: AccProgram> CushaEngine<'g, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simdx_algos::{bfs::Bfs, pagerank::PageRank, reference, sssp::Sssp};
-    use simdx_core::{Engine, EngineConfig};
+    use simdx_algos::{bfs::Bfs, pagerank::PageRank, reference, sssp, sssp::Sssp};
+    use simdx_core::EngineConfig;
     use simdx_graph::datasets;
 
     fn unscaled() -> CushaConfig {
@@ -297,9 +297,7 @@ mod tests {
         // tiny frontier.
         let g = datasets::dataset("ER").unwrap().build_scaled(3, 1);
         let src = datasets::default_source(g.out());
-        let sx = Engine::new(Sssp::new(src), &g, EngineConfig::default())
-            .run()
-            .expect("simdx");
+        let sx = sssp::run(&g, src, EngineConfig::default()).expect("simdx");
         let cu = CushaEngine::new(Sssp::new(src), &g, CushaConfig::default())
             .run()
             .expect("cusha");

@@ -230,8 +230,8 @@ impl<'g, P: AccProgram> GunrockEngine<'g, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simdx_algos::{bfs::Bfs, pagerank::PageRank, reference, sssp::Sssp};
-    use simdx_core::{Engine, EngineConfig};
+    use simdx_algos::{bfs::Bfs, pagerank::PageRank, reference, sssp, sssp::Sssp};
+    use simdx_core::EngineConfig;
     use simdx_graph::datasets;
 
     fn unscaled() -> GunrockConfig {
@@ -290,9 +290,7 @@ mod tests {
         // same SSSP on the same simulated K40 must favor SIMD-X.
         let g = datasets::dataset("RC").unwrap().build(3);
         let src = datasets::default_source(g.out());
-        let sx = Engine::new(Sssp::new(src), &g, EngineConfig::default())
-            .run()
-            .expect("simdx");
+        let sx = sssp::run(&g, src, EngineConfig::default()).expect("simdx");
         let gr = GunrockEngine::new(Sssp::new(src), &g, GunrockConfig::default())
             .run()
             .expect("gunrock");

@@ -8,11 +8,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simdx_algos::bfs::Bfs;
 use simdx_algos::pagerank::PageRank;
+use simdx_bench::run_one;
 use simdx_core::acc::{AccProgram, CombineKind};
 use simdx_core::filters::ballot::{self, WarpScanScratch};
 use simdx_core::filters::{online, strided};
 use simdx_core::frontier::ThreadBins;
-use simdx_core::{Engine, EngineConfig, ExecMode, FrontierRepr, MetadataLayout, MetadataStore};
+use simdx_core::{EngineConfig, ExecMode, FrontierRepr, MetadataLayout, MetadataStore, Runtime};
 use simdx_gpu::occupancy::occupancy;
 use simdx_gpu::warp;
 use simdx_gpu::{DeviceSpec, GpuExecutor, KernelDesc};
@@ -126,11 +127,7 @@ fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine");
     group.sample_size(10);
     group.bench_with_input(BenchmarkId::new("bfs", "PK/8"), &g, |b, g| {
-        b.iter(|| {
-            Engine::new(Bfs::new(src), g, EngineConfig::default())
-                .run()
-                .expect("bfs")
-        })
+        b.iter(|| run_one(g, EngineConfig::default(), Bfs::new(src)).expect("bfs"))
     });
     group.finish();
 }
@@ -151,15 +148,12 @@ fn bench_exec_modes(c: &mut Criterion) {
     for mode in modes {
         group.bench_with_input(BenchmarkId::new("bfs", mode.label()), &g, |b, g| {
             b.iter(|| {
-                Engine::new(Bfs::new(src), g, EngineConfig::default().with_exec(mode))
-                    .run()
-                    .expect("bfs")
+                run_one(g, EngineConfig::default().with_exec(mode), Bfs::new(src)).expect("bfs")
             })
         });
         group.bench_with_input(BenchmarkId::new("pagerank", mode.label()), &g, |b, g| {
             b.iter(|| {
-                Engine::new(PageRank::new(g), g, EngineConfig::default().with_exec(mode))
-                    .run()
+                run_one(g, EngineConfig::default().with_exec(mode), PageRank::new(g))
                     .expect("pagerank")
             })
         });
@@ -179,23 +173,21 @@ fn bench_frontier_reprs(c: &mut Criterion) {
     for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
         group.bench_with_input(BenchmarkId::new("bfs", repr.label()), &g, |b, g| {
             b.iter(|| {
-                Engine::new(
-                    Bfs::new(src),
+                run_one(
                     g,
                     EngineConfig::default().with_frontier(repr),
+                    Bfs::new(src),
                 )
-                .run()
                 .expect("bfs")
             })
         });
         group.bench_with_input(BenchmarkId::new("pagerank", repr.label()), &g, |b, g| {
             b.iter(|| {
-                Engine::new(
-                    PageRank::new(g),
+                run_one(
                     g,
                     EngineConfig::default().with_frontier(repr),
+                    PageRank::new(g),
                 )
-                .run()
                 .expect("pagerank")
             })
         });
@@ -265,12 +257,11 @@ fn bench_metadata_layouts(c: &mut Criterion) {
             &g,
             |b, g| {
                 b.iter(|| {
-                    Engine::new(
-                        Bfs::new(src),
+                    run_one(
                         g,
                         EngineConfig::default().with_layout(layout),
+                        Bfs::new(src),
                     )
-                    .run()
                     .expect("bfs")
                 })
             },
@@ -280,16 +271,46 @@ fn bench_metadata_layouts(c: &mut Criterion) {
             &g,
             |b, g| {
                 b.iter(|| {
-                    Engine::new(
-                        PageRank::new(g),
+                    run_one(
                         g,
                         EngineConfig::default().with_layout(layout),
+                        PageRank::new(g),
                     )
-                    .run()
                     .expect("pagerank")
                 })
             },
         );
+    }
+    group.finish();
+}
+
+fn bench_session_reuse(c: &mut Criterion) {
+    // The api_redesign A/B: a 16-source BFS batch on RMAT scale-14,
+    // fresh runtime (pool + scratch + fences) per query vs one reused
+    // `BoundGraph` serving the whole batch. Bit-equal by contract, so
+    // the delta is pure per-query setup amortization.
+    let (g, sources): (Graph, Vec<VertexId>) = simdx_bench::session_reuse_workload();
+    let mut group = c.benchmark_group("session_reuse");
+    group.sample_size(10);
+    for mode in [ExecMode::Serial, ExecMode::Parallel { threads: 2 }] {
+        group.bench_function(format!("fresh_engine/{}", mode.label()), |b| {
+            b.iter(|| {
+                for &src in &sources {
+                    run_one(&g, EngineConfig::default().with_exec(mode), Bfs::new(src))
+                        .expect("fresh bfs");
+                }
+            })
+        });
+        group.bench_function(format!("bound_graph/{}", mode.label()), |b| {
+            b.iter(|| {
+                let runtime =
+                    Runtime::new(EngineConfig::default().with_exec(mode)).expect("runtime");
+                runtime
+                    .bind(&g)
+                    .run_batch(Bfs::new(0), &sources)
+                    .expect("bound bfs batch")
+            })
+        });
     }
     group.finish();
 }
@@ -303,6 +324,7 @@ criterion_group!(
     bench_engine,
     bench_exec_modes,
     bench_frontier_reprs,
-    bench_metadata_layouts
+    bench_metadata_layouts,
+    bench_session_reuse
 );
 criterion_main!(benches);

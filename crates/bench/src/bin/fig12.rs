@@ -5,16 +5,16 @@
 //! many graphs, particularly large ones").
 
 use simdx_algos::{bfs::Bfs, kcore::KCore, sssp::Sssp};
-use simdx_bench::{load, print_table, source, GRAPH_ORDER};
-use simdx_core::{Engine, EngineConfig, FilterPolicy};
+use simdx_bench::{load, print_table, run_one, source, GRAPH_ORDER};
+use simdx_core::{EngineConfig, FilterPolicy};
 
 fn run_ms(algo: &str, g: &simdx_graph::Graph, policy: FilterPolicy) -> Option<f64> {
     let src = source(g);
     let cfg = EngineConfig::default().with_filter(policy);
     let report = match algo {
-        "BFS" => Engine::new(Bfs::new(src), g, cfg).run().ok()?.report,
-        "k-Core" => Engine::new(KCore::new(16), g, cfg).run().ok()?.report,
-        _ => Engine::new(Sssp::new(src), g, cfg).run().ok()?.report,
+        "BFS" => run_one(g, cfg, Bfs::new(src)).ok()?.report,
+        "k-Core" => run_one(g, cfg, KCore::new(16)).ok()?.report,
+        _ => run_one(g, cfg, Sssp::new(src)).ok()?.report,
     };
     Some(report.elapsed_ms)
 }

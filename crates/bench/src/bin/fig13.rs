@@ -3,47 +3,26 @@
 //! normalized to non-fusion.
 
 use simdx_algos::{bfs::Bfs, bp::BeliefPropagation, kcore::KCore, pagerank::PageRank, sssp::Sssp};
-use simdx_bench::{load, print_table, source, GRAPH_ORDER, SEED};
-use simdx_core::{Engine, EngineConfig, FusionStrategy};
+use simdx_bench::{load, print_table, run_one, source, GRAPH_ORDER, SEED};
+use simdx_core::{EngineConfig, FusionStrategy};
 
 fn run_ms(algo: &str, g: &simdx_graph::Graph, fusion: FusionStrategy) -> f64 {
     let src = source(g);
     let cfg = EngineConfig::default().with_fusion(fusion);
     let report = match algo {
-        "BFS" => {
-            Engine::new(Bfs::new(src), g, cfg)
-                .run()
-                .expect("bfs")
-                .report
-        }
+        "BFS" => run_one(g, cfg, Bfs::new(src)).expect("bfs").report,
         "BP" => {
-            Engine::new(
-                BeliefPropagation::with_random_priors(g, SEED, 0.4, 10),
+            run_one(
                 g,
                 cfg,
+                BeliefPropagation::with_random_priors(g, SEED, 0.4, 10),
             )
-            .run()
             .expect("bp")
             .report
         }
-        "k-Core" => {
-            Engine::new(KCore::new(16), g, cfg)
-                .run()
-                .expect("kcore")
-                .report
-        }
-        "PageRank" => {
-            Engine::new(PageRank::new(g), g, cfg)
-                .run()
-                .expect("pr")
-                .report
-        }
-        _ => {
-            Engine::new(Sssp::new(src), g, cfg)
-                .run()
-                .expect("sssp")
-                .report
-        }
+        "k-Core" => run_one(g, cfg, KCore::new(16)).expect("kcore").report,
+        "PageRank" => run_one(g, cfg, PageRank::new(g)).expect("pr").report,
+        _ => run_one(g, cfg, Sssp::new(src)).expect("sssp").report,
     };
     report.elapsed_ms
 }

@@ -10,8 +10,8 @@
 
 use simdx_algos::{bfs::Bfs, sssp::Sssp};
 use simdx_baselines::gunrock::{GunrockConfig, GunrockEngine};
-use simdx_bench::{load, print_table, source, GRAPH_ORDER};
-use simdx_core::{DirectionPolicy, Engine, EngineConfig, FusionStrategy};
+use simdx_bench::{load, print_table, run_one, source, GRAPH_ORDER};
+use simdx_core::{DirectionPolicy, EngineConfig, FusionStrategy};
 
 fn main() {
     let mut header: Vec<String> = vec!["Operation".into()];
@@ -34,8 +34,7 @@ fn main() {
             let gr_cfg = GunrockConfig::default();
             let (acc_ms, gr_ms) = if vote {
                 (
-                    Engine::new(Bfs::new(src), &g, acc_cfg)
-                        .run()
+                    run_one(&g, acc_cfg, Bfs::new(src))
                         .expect("acc bfs")
                         .report
                         .elapsed_ms,
@@ -47,8 +46,7 @@ fn main() {
                 )
             } else {
                 (
-                    Engine::new(Sssp::new(src), &g, acc_cfg)
-                        .run()
+                    run_one(&g, acc_cfg, Sssp::new(src))
                         .expect("acc sssp")
                         .report
                         .elapsed_ms,

@@ -4,8 +4,8 @@
 //! iterations and never leave the online filter).
 
 use simdx_algos::{bfs::Bfs, kcore::KCore, sssp::Sssp};
-use simdx_bench::{load, print_table, source, GRAPH_ORDER};
-use simdx_core::{Engine, EngineConfig, RunReport};
+use simdx_bench::{load, print_table, run_one, source, GRAPH_ORDER};
+use simdx_core::{EngineConfig, RunReport};
 
 fn pattern_row(abbrev: &str, report: &RunReport) -> Vec<String> {
     vec![
@@ -36,24 +36,9 @@ fn main() {
             let src = source(&g);
             let cfg = EngineConfig::default();
             let report = match algo {
-                "BFS" => {
-                    Engine::new(Bfs::new(src), &g, cfg)
-                        .run()
-                        .expect("bfs")
-                        .report
-                }
-                "k-Core" => {
-                    Engine::new(KCore::new(16), &g, cfg)
-                        .run()
-                        .expect("kcore")
-                        .report
-                }
-                _ => {
-                    Engine::new(Sssp::new(src), &g, cfg)
-                        .run()
-                        .expect("sssp")
-                        .report
-                }
+                "BFS" => run_one(&g, cfg, Bfs::new(src)).expect("bfs").report,
+                "k-Core" => run_one(&g, cfg, KCore::new(16)).expect("kcore").report,
+                _ => run_one(&g, cfg, Sssp::new(src)).expect("sssp").report,
             };
             rows.push(pattern_row(abbrev, &report));
         }

@@ -6,8 +6,8 @@
 //! filter policy per graph.
 
 use simdx_algos::{bfs::Bfs, sssp::Sssp};
-use simdx_bench::{load, print_table, source, GRAPH_ORDER};
-use simdx_core::{Engine, EngineConfig, FilterPolicy};
+use simdx_bench::{load, print_table, run_one, source, GRAPH_ORDER};
+use simdx_core::{EngineConfig, FilterPolicy};
 
 fn main() {
     // (a) Threshold sweep, normalized to each graph's best.
@@ -22,8 +22,7 @@ fn main() {
             .iter()
             .map(|&t| {
                 let cfg = EngineConfig::default().with_overflow_threshold(t);
-                Engine::new(Bfs::new(src), &g, cfg)
-                    .run()
+                run_one(&g, cfg, Bfs::new(src))
                     .expect("bfs")
                     .report
                     .elapsed_ms
@@ -51,20 +50,17 @@ fn main() {
     for abbrev in GRAPH_ORDER {
         let (_, g) = load(abbrev);
         let src = source(&g);
-        let jit = Engine::new(Sssp::new(src), &g, EngineConfig::default())
-            .run()
+        let jit = run_one(&g, EngineConfig::default(), Sssp::new(src))
             .expect("jit")
             .report
             .elapsed_ms;
         let mut best = f64::INFINITY;
         for policy in [FilterPolicy::BallotOnly, FilterPolicy::OnlineOnly] {
-            if let Ok(r) = Engine::new(
-                Sssp::new(src),
+            if let Ok(r) = run_one(
                 &g,
                 EngineConfig::default().with_filter(policy),
-            )
-            .run()
-            {
+                Sssp::new(src),
+            ) {
                 best = best.min(r.report.elapsed_ms);
             }
         }

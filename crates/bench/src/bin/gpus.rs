@@ -7,8 +7,8 @@
 use simdx_algos::bfs::Bfs;
 use simdx_baselines::cusha::{CushaConfig, CushaEngine};
 use simdx_baselines::gunrock::{GunrockConfig, GunrockEngine};
-use simdx_bench::{load, print_table, source};
-use simdx_core::{Engine, EngineConfig};
+use simdx_bench::{load, print_table, run_one, source};
+use simdx_core::EngineConfig;
 use simdx_gpu::DeviceSpec;
 
 /// Graphs for the device sweep (one per structural class).
@@ -33,8 +33,7 @@ fn main() {
                 let ms = match system {
                     "SIMD-X" => {
                         let cfg = EngineConfig::default().with_device(device.clone());
-                        Engine::new(Bfs::new(src), &g, cfg)
-                            .run()
+                        run_one(&g, cfg, Bfs::new(src))
                             .expect("simdx bfs")
                             .report
                             .elapsed_ms

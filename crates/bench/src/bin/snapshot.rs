@@ -3,10 +3,14 @@
 //! cycles — those are identical by the determinism contract) for every
 //! algorithm × graph × [`ExecMode`] × [`FrontierRepr`] ×
 //! [`MetadataLayout`], so the repo's perf trajectory is comparable
-//! across commits. Two dedicated groups make the A/Bs directly
+//! across commits. Three dedicated groups make the A/Bs directly
 //! readable: `frontier_comparison` pairs each List cell with its
-//! Bitmap counterpart (same layout), and `layout_comparison` pairs
-//! each Flat cell with its Chunked counterpart (same representation).
+//! Bitmap counterpart (same layout), `layout_comparison` pairs each
+//! Flat cell with its Chunked counterpart (same representation), and
+//! `session_reuse` pairs a fresh-engine-per-query 16-source BFS batch
+//! with the same batch over one reused `BoundGraph` (schema v4; every
+//! sample carries an `api` field: `fresh` = a new runtime per query,
+//! `bound` = queries over one bound session).
 //!
 //! Usage:
 //!
@@ -20,9 +24,10 @@
 //! `2,4` plus the machine width; serial is always measured.
 
 use simdx_algos::{bfs::Bfs, kcore::KCore, pagerank::PageRank, sssp::Sssp};
-use simdx_core::{Engine, EngineConfig, ExecMode, FrontierRepr, MetadataLayout};
+use simdx_bench::{run_one, session_reuse_workload};
+use simdx_core::{EngineConfig, ExecMode, FrontierRepr, MetadataLayout, Runtime};
 use simdx_graph::gen::{Erdos, Rmat, Road};
-use simdx_graph::{weights, Graph};
+use simdx_graph::{weights, Graph, VertexId};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -82,6 +87,10 @@ struct Sample {
     mode: String,
     frontier_repr: &'static str,
     metadata_layout: &'static str,
+    /// Which API produced the sample: `fresh` builds a runtime per
+    /// query (the historical `Engine::new(..).run()` cost model),
+    /// `bound` runs queries over one reused `BoundGraph`.
+    api: &'static str,
     /// Best-of-reps wall-clock milliseconds of the host computation.
     wall_ms: f64,
     /// Simulated milliseconds (identical across modes by contract).
@@ -129,6 +138,7 @@ fn measure(
                     mode: mode.label(),
                     frontier_repr: repr.label(),
                     metadata_layout: layout.label(),
+                    api: "fresh",
                     wall_ms: best_wall,
                     simulated_ms: sim,
                     iterations: iters,
@@ -197,9 +207,7 @@ fn main() {
         &modes,
         args.reps,
         |cfg| {
-            let r = Engine::new(Sssp::new(src), &rmat_w, cfg)
-                .run()
-                .expect("sssp");
+            let r = run_one(&rmat_w, cfg, Sssp::new(src)).expect("sssp");
             (r.report.elapsed_ms, r.report.iterations)
         },
     );
@@ -211,9 +219,7 @@ fn main() {
         &modes,
         args.reps,
         |cfg| {
-            let r = Engine::new(PageRank::new(&rmat), &rmat, cfg)
-                .run()
-                .expect("pr");
+            let r = run_one(&rmat, cfg, PageRank::new(&rmat)).expect("pr");
             (r.report.elapsed_ms, r.report.iterations)
         },
     );
@@ -225,17 +231,83 @@ fn main() {
         &modes,
         args.reps,
         |cfg| {
-            let r = Engine::new(KCore::new(8), &rmat_u, cfg)
-                .run()
-                .expect("kcore");
+            let r = run_one(&rmat_u, cfg, KCore::new(8)).expect("kcore");
             (r.report.elapsed_ms, r.report.iterations)
         },
     );
 
+    // Session-reuse A/B (the api_redesign acceptance measurement): a
+    // 16-source BFS batch on a fixed RMAT scale-14 graph, fresh
+    // runtime+bind per query vs one reused `BoundGraph` serving the
+    // whole batch. Results are bit-equal by contract, so the delta is
+    // pure per-query setup: pool spawn, scratch allocation, fence
+    // computation.
+    struct ReuseRow {
+        mode: String,
+        queries: usize,
+        fresh_ms: f64,
+        bound_ms: f64,
+    }
+    let (rmat14, batch_sources): (Graph, Vec<VertexId>) = session_reuse_workload();
+    let mut reuse_rows: Vec<ReuseRow> = Vec::new();
+    for &mode in &modes {
+        let cfg = EngineConfig::default().with_exec(mode);
+        let mut fresh_best = f64::INFINITY;
+        let mut bound_best = f64::INFINITY;
+        // Aggregated over the batch (identical for both apis by the
+        // bit-equality contract, so measured once from the bound run).
+        let mut sim_ms = 0.0;
+        let mut iters = 0;
+        for _ in 0..args.reps {
+            let start = Instant::now();
+            for &s in &batch_sources {
+                run_one(&rmat14, cfg.clone(), Bfs::new(s)).expect("fresh bfs");
+            }
+            fresh_best = fresh_best.min(start.elapsed().as_secs_f64() * 1e3);
+
+            let start = Instant::now();
+            let runtime = Runtime::new(cfg.clone()).expect("runtime");
+            let bound = runtime.bind(&rmat14);
+            let batch = bound
+                .run_batch(Bfs::new(0), &batch_sources)
+                .expect("bound bfs batch");
+            bound_best = bound_best.min(start.elapsed().as_secs_f64() * 1e3);
+            sim_ms = batch.iter().map(|r| r.report.elapsed_ms).sum();
+            iters = batch.iter().map(|r| r.report.iterations).sum();
+        }
+        eprintln!(
+            "session_reuse × {:<12} fresh {fresh_best:>9.2} ms, bound {bound_best:>9.2} ms \
+             ({:.2}x)",
+            mode.label(),
+            fresh_best / bound_best,
+        );
+        for (api, wall_ms) in [("fresh", fresh_best), ("bound", bound_best)] {
+            samples.push(Sample {
+                algorithm: "bfs_batch16",
+                graph: "rmat14".to_string(),
+                num_vertices: rmat14.num_vertices(),
+                num_edges: rmat14.num_edges(),
+                mode: mode.label(),
+                frontier_repr: FrontierRepr::default().label(),
+                metadata_layout: MetadataLayout::default().label(),
+                api,
+                wall_ms,
+                simulated_ms: sim_ms,
+                iterations: iters,
+            });
+        }
+        reuse_rows.push(ReuseRow {
+            mode: mode.label(),
+            queries: batch_sources.len(),
+            fresh_ms: fresh_best,
+            bound_ms: bound_best,
+        });
+    }
+
     // Hand-rolled JSON (the workspace builds without a registry; see
     // crates/compat/README.md).
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"simdx-bench-engine/3\",\n");
+    out.push_str("{\n  \"schema\": \"simdx-bench-engine/4\",\n");
     let _ = writeln!(out, "  \"scale\": {},", args.scale);
     let _ = writeln!(out, "  \"reps\": {},", args.reps);
     let _ = writeln!(
@@ -251,8 +323,8 @@ fn main() {
             out,
             "    {{\"algorithm\": \"{}\", \"graph\": \"{}\", \"num_vertices\": {}, \
              \"num_edges\": {}, \"mode\": \"{}\", \"frontier_repr\": \"{}\", \
-             \"metadata_layout\": \"{}\", \"wall_ms\": {:.3}, \"simulated_ms\": {:.3}, \
-             \"iterations\": {}}}",
+             \"metadata_layout\": \"{}\", \"api\": \"{}\", \"wall_ms\": {:.3}, \
+             \"simulated_ms\": {:.3}, \"iterations\": {}}}",
             json_escape(s.algorithm),
             json_escape(&s.graph),
             s.num_vertices,
@@ -260,6 +332,7 @@ fn main() {
             json_escape(&s.mode),
             s.frontier_repr,
             s.metadata_layout,
+            s.api,
             s.wall_ms,
             s.simulated_ms,
             s.iterations
@@ -352,12 +425,40 @@ fn main() {
         );
         out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
     }
+    out.push_str("  ],\n");
+
+    // The fresh-vs-bound session A/B: speedup > 1 means the reused
+    // `BoundGraph` served the batch faster than a fresh engine per
+    // query.
+    out.push_str("  \"session_reuse\": [\n");
+    for (i, row) in reuse_rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"algorithm\": \"bfs\", \"graph\": \"rmat14\", \"queries\": {}, \
+             \"mode\": \"{}\", \"fresh_engine_ms\": {:.3}, \"bound_graph_ms\": {:.3}, \
+             \"reuse_speedup\": {:.3}}}",
+            row.queries,
+            json_escape(&row.mode),
+            row.fresh_ms,
+            row.bound_ms,
+            if row.bound_ms > 0.0 {
+                row.fresh_ms / row.bound_ms
+            } else {
+                0.0
+            }
+        );
+        out.push_str(if i + 1 < reuse_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
     out.push_str("  ]\n}\n");
     std::fs::write(&args.out, &out).expect("write snapshot");
     eprintln!("wrote {}", args.out);
 }
 
 fn bfs_run(g: &Graph, src: u32, cfg: EngineConfig) -> (f64, u32) {
-    let r = Engine::new(Bfs::new(src), g, cfg).run().expect("bfs");
+    let r = run_one(g, cfg, Bfs::new(src)).expect("bfs");
     (r.report.elapsed_ms, r.report.iterations)
 }

@@ -7,9 +7,9 @@
 //! twin for the unfused maximum, BFS for the fused counts.
 
 use simdx_algos::sssp::Sssp;
-use simdx_bench::{load, print_table, source};
+use simdx_bench::{load, print_table, run_one, source};
 use simdx_core::fusion::{registers, FusionPlan, FusionStrategy, KernelRole};
-use simdx_core::{Engine, EngineConfig};
+use simdx_core::EngineConfig;
 use simdx_gpu::SchedUnit;
 use simdx_graph::csr::Direction;
 
@@ -91,9 +91,7 @@ fn main() {
         ("all fusion", FusionStrategy::All),
     ] {
         let cfg = EngineConfig::default().with_fusion(strategy);
-        let r = Engine::new(Sssp::new(src), &g, cfg)
-            .run()
-            .expect("sssp run");
+        let r = run_one(&g, cfg, Sssp::new(src)).expect("sssp run");
         rows.push(vec![
             label.to_string(),
             r.report.kernel_launches().to_string(),

@@ -11,7 +11,7 @@ use simdx_baselines::cpu::{galois, ligra};
 use simdx_baselines::cusha::{CushaConfig, CushaEngine};
 use simdx_baselines::feasibility::{self, Algo, System};
 use simdx_baselines::gunrock::{GunrockConfig, GunrockEngine};
-use simdx_core::{Engine, EngineConfig, RunReport};
+use simdx_core::{EngineConfig, RunReport, Runtime};
 use simdx_gpu::DeviceSpec;
 use simdx_graph::datasets::{self, DatasetSpec};
 use simdx_graph::{Graph, VertexId};
@@ -38,6 +38,30 @@ pub fn source(g: &Graph) -> VertexId {
     datasets::default_source(g.out())
 }
 
+/// One-shot session run for the figure/table binaries: builds a
+/// runtime, binds the graph and executes a single program. Binaries
+/// that query one graph repeatedly should bind once instead.
+pub fn run_one<P: simdx_core::AccProgram>(
+    g: &Graph,
+    cfg: EngineConfig,
+    program: P,
+) -> Result<simdx_core::RunResult<P::Meta>, simdx_core::SimdxError> {
+    let runtime = Runtime::new(cfg)?;
+    runtime.bind(g).run(program).execute()
+}
+
+/// The shared session-reuse A/B workload: a fixed RMAT scale-14 graph
+/// and 16 deterministic BFS sources. Both measurement surfaces — the
+/// `session_reuse` criterion group and the snapshot's `session_reuse`
+/// JSON group — build their batch from this one helper, so a change to
+/// scale, seed stride or batch size can never make them silently
+/// measure different workloads under the same name.
+pub fn session_reuse_workload() -> (Graph, Vec<VertexId>) {
+    let g = Graph::directed_from_edges(simdx_graph::gen::Rmat::gtgraph(14, 8).generate(5));
+    let sources = (0..16u32).map(|i| (i * 1021) % g.num_vertices()).collect();
+    (g, sources)
+}
+
 /// One Table 4 cell: simulated milliseconds, or a blank reason.
 pub type Cell = Result<f64, String>;
 
@@ -50,16 +74,13 @@ pub fn run_cell(system: System, algo: Algo, spec: &DatasetSpec, g: &Graph) -> Ce
     let src = source(g);
     let ms = match system {
         System::SimdX => {
-            let cfg = EngineConfig::default();
+            let runtime = Runtime::new(EngineConfig::default()).map_err(|e| e.to_string())?;
+            let bound = runtime.bind(g);
             let report = match algo {
-                Algo::Bfs => Engine::new(Bfs::new(src), g, cfg).run().map(|r| r.report),
-                Algo::Sssp => Engine::new(Sssp::new(src), g, cfg).run().map(|r| r.report),
-                Algo::PageRank => Engine::new(PageRank::new(g), g, cfg)
-                    .run()
-                    .map(|r| r.report),
-                Algo::KCore => Engine::new(KCore::new(TABLE4_K), g, cfg)
-                    .run()
-                    .map(|r| r.report),
+                Algo::Bfs => bound.run(Bfs::new(src)).execute().map(|r| r.report),
+                Algo::Sssp => bound.run(Sssp::new(src)).execute().map(|r| r.report),
+                Algo::PageRank => bound.run(PageRank::new(g)).execute().map(|r| r.report),
+                Algo::KCore => bound.run(KCore::new(TABLE4_K)).execute().map(|r| r.report),
             };
             report.map_err(|e| e.to_string())?.elapsed_ms
         }

@@ -144,6 +144,78 @@ pub trait AccProgram: Sync {
     }
 }
 
+/// Delegating impl so borrowed programs run anywhere an owned program
+/// does — the session API's run builder takes the program by value, and
+/// this lets callers (like the deprecated one-shot `Engine` shim) hand
+/// in `&program` instead of cloning. Every method delegates explicitly:
+/// relying on the trait defaults here would silently drop a concrete
+/// program's overrides (`activates`, `pull_candidate`, ...).
+impl<P: AccProgram + ?Sized> AccProgram for &P {
+    type Meta = P::Meta;
+    type Update = P::Update;
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn combine_kind(&self) -> CombineKind {
+        (**self).combine_kind()
+    }
+
+    fn init(&self, graph: &Graph) -> (Vec<Self::Meta>, Vec<VertexId>) {
+        (**self).init(graph)
+    }
+
+    fn active(&self, v: VertexId, curr: &Self::Meta, prev: &Self::Meta) -> bool {
+        (**self).active(v, curr, prev)
+    }
+
+    fn compute(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        w: Weight,
+        m_src: &Self::Meta,
+        m_dst: &Self::Meta,
+    ) -> Option<Self::Update> {
+        (**self).compute(src, dst, w, m_src, m_dst)
+    }
+
+    fn combine(&self, a: Self::Update, b: Self::Update) -> Self::Update {
+        (**self).combine(a, b)
+    }
+
+    fn apply(&self, v: VertexId, current: &Self::Meta, update: Self::Update) -> Option<Self::Meta> {
+        (**self).apply(v, current, update)
+    }
+
+    fn activates(&self, v: VertexId, new_meta: &Self::Meta) -> bool {
+        (**self).activates(v, new_meta)
+    }
+
+    fn pull_candidate(&self, v: VertexId, meta: &Self::Meta) -> bool {
+        (**self).pull_candidate(v, meta)
+    }
+
+    fn direction(&self, ctx: &DirectionCtx) -> Option<Direction> {
+        (**self).direction(ctx)
+    }
+
+    fn converged(&self, iteration: u32, frontier_len: u64, meta: &[Self::Meta]) -> bool {
+        (**self).converged(iteration, frontier_len, meta)
+    }
+}
+
+/// A program whose query is parameterized by a single seed vertex —
+/// BFS levels from a root, SSSP distances from a source. The session
+/// API uses this for [`crate::session::RunBuilder::source`] and the
+/// batched [`crate::session::BoundGraph::run_batch`] entry point, which
+/// re-roots one prototype program per query seed.
+pub trait SourcedProgram: AccProgram + Clone {
+    /// The same program re-rooted at `src`.
+    fn with_source(self, src: VertexId) -> Self;
+}
+
 /// Folds updates with a program's Combine using the warp-reduction pair
 /// ordering, asserting the result is independent of operand grouping in
 /// debug builds (the §3.2 requirement on `⊕`).

@@ -1,28 +1,61 @@
 //! Engine configuration.
 
+use crate::error::SimdxError;
 use crate::frontier::ClassifyThresholds;
 use crate::fusion::FusionStrategy;
 use simdx_gpu::DeviceSpec;
 
-/// Parses an engine knob from the environment.
+/// Parses an engine knob from the environment, fallibly.
 ///
 /// All `SIMDX_*` knobs share the same contract: unset or empty selects
 /// `default`; values are matched case-insensitively; anything
-/// unrecognized panics with a uniform message, so a CI typo can never
-/// silently fall back to the default configuration.
-fn env_knob<T>(var: &str, expected: &str, default: T, parse: impl FnOnce(&str) -> Option<T>) -> T {
-    match std::env::var(var) {
-        Err(_) => default,
-        Ok(raw) => {
+/// unrecognized is an [`SimdxError::InvalidKnob`], so a CI typo can
+/// never silently fall back to the default configuration. This is the
+/// path every session-API construction takes
+/// ([`EngineConfig::from_env`]); the cached per-process knob defaults
+/// go through each `from_env`'s panicking shim on top of it.
+fn try_env_knob<T>(
+    var: &'static str,
+    expected: &'static str,
+    default: T,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> Result<T, SimdxError> {
+    parse_knob(var, expected, default, std::env::var(var).ok(), parse)
+}
+
+/// The pure half of [`try_env_knob`]: applies the knob contract to an
+/// already-read raw value, so tests can exercise rejection without
+/// mutating the process environment (libc `setenv` racing concurrent
+/// `getenv` from parallel tests is undefined behavior).
+fn parse_knob<T>(
+    var: &'static str,
+    expected: &'static str,
+    default: T,
+    raw: Option<String>,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> Result<T, SimdxError> {
+    match raw {
+        None => Ok(default),
+        Some(raw) => {
             let v = raw.to_ascii_lowercase();
             if v.is_empty() {
-                default
+                Ok(default)
             } else {
-                parse(&v).unwrap_or_else(|| panic!("{var} must be {expected}, got '{raw}'"))
+                parse(&v).ok_or(SimdxError::InvalidKnob {
+                    var,
+                    expected,
+                    value: raw,
+                })
             }
         }
     }
 }
+
+// The panicking knob path lives in each `from_env` shim as
+// `try_from_env().unwrap_or_else(|e| panic!("{e}"))`: the per-process
+// default caches (`ExecMode::default()` and friends) have no error
+// channel, and the panic message is the error's display form so both
+// paths report a typo identically.
 
 /// Which frontier-filter strategy the engine uses each iteration (§4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -60,9 +93,10 @@ impl ExecMode {
     /// The backend selected by the `SIMDX_EXEC` environment variable:
     /// `"parallel"` selects `Parallel { threads: 0 }` (auto width),
     /// `"parallel:N"` selects `N` workers; `"serial"`, empty or unset
-    /// select `Serial`. Any other value panics (see [`env_knob`]).
-    pub fn from_env() -> Self {
-        env_knob(
+    /// select `Serial`. Any other value is an
+    /// [`SimdxError::InvalidKnob`].
+    pub fn try_from_env() -> Result<Self, SimdxError> {
+        try_env_knob(
             "SIMDX_EXEC",
             "'serial', 'parallel' or 'parallel:N'",
             Self::Serial,
@@ -75,6 +109,11 @@ impl ExecMode {
                     .map(|threads| Self::Parallel { threads }),
             },
         )
+    }
+
+    /// Panicking [`Self::try_from_env`], for the cached process default.
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
     }
     /// Resolved worker count: `Serial` is 1, `Parallel { threads: 0 }`
     /// asks the OS.
@@ -136,9 +175,10 @@ pub enum FrontierRepr {
 impl FrontierRepr {
     /// The representation selected by the `SIMDX_FRONTIER` environment
     /// variable: `"bitmap"` selects `Bitmap`; `"list"`, empty or unset
-    /// select `List`. Any other value panics (see [`env_knob`]).
-    pub fn from_env() -> Self {
-        env_knob(
+    /// select `List`. Any other value is an
+    /// [`SimdxError::InvalidKnob`].
+    pub fn try_from_env() -> Result<Self, SimdxError> {
+        try_env_knob(
             "SIMDX_FRONTIER",
             "'list' or 'bitmap'",
             Self::List,
@@ -148,6 +188,11 @@ impl FrontierRepr {
                 _ => None,
             },
         )
+    }
+
+    /// Panicking [`Self::try_from_env`], for the cached process default.
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Short label for reports and bench artifacts.
@@ -203,9 +248,9 @@ pub enum MetadataLayout {
 impl MetadataLayout {
     /// The layout selected by the `SIMDX_LAYOUT` environment variable:
     /// `"chunked"` selects `Chunked`; `"flat"`, empty or unset select
-    /// `Flat`. Any other value panics (see [`env_knob`]).
-    pub fn from_env() -> Self {
-        env_knob(
+    /// `Flat`. Any other value is an [`SimdxError::InvalidKnob`].
+    pub fn try_from_env() -> Result<Self, SimdxError> {
+        try_env_knob(
             "SIMDX_LAYOUT",
             "'flat' or 'chunked'",
             Self::Flat,
@@ -215,6 +260,11 @@ impl MetadataLayout {
                 _ => None,
             },
         )
+    }
+
+    /// Panicking [`Self::try_from_env`], for the cached process default.
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Short label for reports and bench artifacts.
@@ -290,7 +340,26 @@ pub struct EngineConfig {
 }
 
 impl Default for EngineConfig {
+    /// Paper defaults with the three host knobs read from their cached
+    /// per-process environment defaults (`SIMDX_EXEC`,
+    /// `SIMDX_FRONTIER`, `SIMDX_LAYOUT`); an unparsable knob panics.
+    /// Session construction should prefer the fallible
+    /// [`Self::from_env`].
     fn default() -> Self {
+        Self::with_knobs(
+            ExecMode::default(),
+            FrontierRepr::default(),
+            MetadataLayout::default(),
+        )
+    }
+}
+
+impl EngineConfig {
+    /// The paper-default configuration around the given host knobs —
+    /// the one constructor that does not consult the environment, so
+    /// the fallible path can report a bad knob instead of panicking
+    /// halfway through `Default::default()`.
+    fn with_knobs(exec: ExecMode, frontier: FrontierRepr, layout: MetadataLayout) -> Self {
         Self {
             device: DeviceSpec::k40(),
             fusion: FusionStrategy::PushPull,
@@ -301,14 +370,51 @@ impl Default for EngineConfig {
             parallelism_scale: 64,
             direction: DirectionPolicy::default(),
             max_iterations: 100_000,
-            exec: ExecMode::default(),
-            frontier: FrontierRepr::default(),
-            layout: MetadataLayout::default(),
+            exec,
+            frontier,
+            layout,
         }
     }
-}
 
-impl EngineConfig {
+    /// The default configuration with every `SIMDX_*` host knob parsed
+    /// fallibly from the environment: a typo in `SIMDX_EXEC`,
+    /// `SIMDX_FRONTIER` or `SIMDX_LAYOUT` comes back as
+    /// [`SimdxError::InvalidKnob`] instead of a panic. This reads the
+    /// environment on every call (no cache) — it is meant for
+    /// session-construction time, not hot loops.
+    pub fn from_env() -> Result<Self, SimdxError> {
+        let cfg = Self::with_knobs(
+            ExecMode::try_from_env()?,
+            FrontierRepr::try_from_env()?,
+            MetadataLayout::try_from_env()?,
+        );
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks the configuration for internal consistency; the session
+    /// API ([`crate::session::Runtime::new`]) rejects broken configs up
+    /// front instead of letting the engine panic mid-run.
+    pub fn validate(&self) -> Result<(), SimdxError> {
+        let fail = |reason: String| Err(SimdxError::InvalidConfig { reason });
+        if self.threads_per_cta == 0 {
+            return fail("threads_per_cta must be at least 1".to_string());
+        }
+        if self.parallelism_scale == 0 {
+            return fail("parallelism_scale must be at least 1".to_string());
+        }
+        if self.thresholds.small_max > self.thresholds.med_max {
+            return fail(format!(
+                "worklist thresholds inverted: small_max {} > med_max {}",
+                self.thresholds.small_max, self.thresholds.med_max
+            ));
+        }
+        if let DirectionPolicy::Adaptive { alpha: 0 } = self.direction {
+            return fail("adaptive direction alpha must be at least 1".to_string());
+        }
+        Ok(())
+    }
+
     /// A configuration for unscaled micro-tests: tiny graphs against an
     /// unscaled device with deterministic defaults.
     pub fn unscaled() -> Self {
@@ -450,12 +556,85 @@ mod tests {
     fn env_knob_contract() {
         // Unset and empty fall back to the default; matching is
         // case-insensitive.
-        assert_eq!(env_knob("SIMDX_NO_SUCH_KNOB", "anything", 7, |_| None), 7);
         assert_eq!(
-            env_knob("SIMDX_NO_SUCH_KNOB", "x", 0, |v| (v == "set").then_some(1)),
-            0,
+            try_env_knob("SIMDX_NO_SUCH_KNOB", "anything", 7, |_| None),
+            Ok(7)
+        );
+        assert_eq!(
+            try_env_knob("SIMDX_NO_SUCH_KNOB", "x", 0, |v| (v == "set").then_some(1)),
+            Ok(0),
             "parser only runs on present, non-empty values"
         );
+    }
+
+    #[test]
+    fn knob_parser_reports_typos_as_typed_errors() {
+        // The pure half is driven directly — no process-environment
+        // mutation, which would race concurrent `getenv` from the
+        // other tests in this binary.
+        let parse = |v: &str| (v == "a" || v == "b").then_some(1);
+        let err = parse_knob(
+            "SIMDX_TEST_KNOB",
+            "'a' or 'b'",
+            0,
+            Some("Bogus".to_string()),
+            parse,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimdxError::InvalidKnob {
+                var: "SIMDX_TEST_KNOB",
+                expected: "'a' or 'b'",
+                value: "Bogus".to_string(),
+            }
+        );
+        // The error's display is the exact historical panic message.
+        assert_eq!(
+            err.to_string(),
+            "SIMDX_TEST_KNOB must be 'a' or 'b', got 'Bogus'"
+        );
+        // Case-insensitive accept, empty-selects-default.
+        assert_eq!(parse_knob("K", "x", 0, Some("B".to_string()), parse), Ok(1));
+        assert_eq!(parse_knob("K", "x", 7, Some(String::new()), parse), Ok(7));
+    }
+
+    #[test]
+    fn from_env_matches_default_when_unset() {
+        // The test processes never set SIMDX_* to invalid values, so
+        // the fallible path must agree with the cached defaults.
+        let cfg = EngineConfig::from_env().expect("clean environment");
+        let def = EngineConfig::default();
+        assert_eq!(cfg.exec, def.exec);
+        assert_eq!(cfg.frontier, def.frontier);
+        assert_eq!(cfg.layout, def.layout);
+        assert_eq!(cfg.max_iterations, def.max_iterations);
+    }
+
+    #[test]
+    fn validate_rejects_broken_configs() {
+        assert_eq!(EngineConfig::default().validate(), Ok(()));
+        let cfg = EngineConfig {
+            threads_per_cta: 0,
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimdxError::InvalidConfig { .. })
+        ));
+        let cfg = EngineConfig {
+            parallelism_scale: 0,
+            ..EngineConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let mut cfg = EngineConfig::default();
+        cfg.thresholds.small_max = cfg.thresholds.med_max + 1;
+        assert!(cfg.validate().is_err());
+        let cfg = EngineConfig {
+            direction: DirectionPolicy::Adaptive { alpha: 0 },
+            ..EngineConfig::default()
+        };
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

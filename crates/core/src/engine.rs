@@ -84,21 +84,63 @@
 
 use crate::acc::{AccProgram, CombineKind, DirectionCtx};
 use crate::config::{DirectionPolicy, EngineConfig, FrontierRepr, MetadataLayout};
+use crate::error::SimdxError;
 use crate::filters::{ballot, online, FilterKind};
 use crate::frontier::{
     BitSink, BitmapWordsMut, ChangeSink, FrontierBitmap, ListSink, ThreadBins, Worklists, WORD_BITS,
 };
 use crate::fusion::{FusionPlan, KernelRole};
-use crate::jit::{ActivationLog, EngineError, IterationRecord, JitController};
+use crate::jit::{ActivationLog, IterationRecord, JitController};
 use crate::metadata::{MetadataStore, CHUNK_LANES};
 use crate::metrics::{RunReport, RunResult};
 use crate::par::{chunk_range, chunk_range_aligned, WorkerPool};
 use crate::scratch::{IterScratch, PushFences, RecordEntry, WorkerScratch};
+use crate::session::Runtime;
 use simdx_gpu::{Cost, GpuExecutor, SchedUnit};
 use simdx_graph::csr::{Csr, Direction};
 use simdx_graph::{Graph, VertexId};
 
-/// The SIMD-X engine: a program, a graph and a configuration.
+/// Borrowed per-run resources handed to [`Engine::run_session`].
+///
+/// The session API ([`crate::session::BoundGraph`]) owns these across
+/// queries — the pool outlives runs, the scratch arenas are reused, the
+/// push fences are computed once at bind time. The deprecated one-shot
+/// [`Engine::run`] materializes them fresh per call.
+pub(crate) struct SessionCtx<'a, 'o, M: 'static> {
+    /// Worker pool backing `ExecMode::Parallel` (`None` = serial path).
+    pub pool: Option<&'a WorkerPool>,
+    /// Reusable scratch arenas; worker slots must match the pool width.
+    pub scratch: &'a mut IterScratch<M>,
+    /// Bind-time destination-shard fences for parallel push. Must be
+    /// `Some` whenever `pool` is — `Runtime::bind` computes them for
+    /// every parallel runtime, so a parallel run never derives them
+    /// mid-query. Serial runs carry `None` (never read).
+    pub fences: Option<&'a PushFences>,
+    /// Per-run iteration cap (the run builder can override the
+    /// config's).
+    pub max_iterations: u32,
+    /// Per-iteration observer, called right after each iteration's
+    /// record is appended to the activation log.
+    pub observer: Option<&'a mut (dyn FnMut(&IterationRecord) + 'o)>,
+}
+
+/// The one-shot SIMD-X engine: a program, a graph and a configuration.
+///
+/// Deprecated shim: every call to [`Engine::run`] builds a
+/// [`crate::session::Runtime`] (worker pool + scratch arenas), binds
+/// the graph and executes a single query — exactly the per-query setup
+/// cost the session API exists to amortize. New code should hold a
+/// `Runtime`, bind once and run many queries:
+///
+/// ```
+/// # use simdx_core::prelude::*;
+/// # use simdx_graph::{EdgeList, Graph};
+/// # let graph = Graph::directed_from_edges(EdgeList::from_pairs(vec![(0, 1)]));
+/// let runtime = Runtime::new(EngineConfig::unscaled())?;
+/// let bound = runtime.bind(&graph);
+/// # let _ = bound;
+/// # Ok::<(), SimdxError>(())
+/// ```
 pub struct Engine<'g, P: AccProgram> {
     program: P,
     graph: &'g Graph,
@@ -106,7 +148,11 @@ pub struct Engine<'g, P: AccProgram> {
 }
 
 impl<'g, P: AccProgram> Engine<'g, P> {
-    /// Creates an engine.
+    /// Creates a one-shot engine.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `session::Runtime` once and use `runtime.bind(graph).run(program)`"
+    )]
     pub fn new(program: P, graph: &'g Graph, config: EngineConfig) -> Self {
         Self {
             program,
@@ -127,22 +173,56 @@ impl<'g, P: AccProgram> Engine<'g, P> {
 
     /// Runs the program to convergence, returning final metadata and the
     /// run report.
-    pub fn run(&mut self) -> Result<RunResult<P::Meta>, EngineError> {
-        let program = &self.program;
-        let graph = self.graph;
+    ///
+    /// Thin shim over the session API: builds a fresh [`Runtime`]
+    /// (validating the config), binds the graph and executes one query.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `runtime.bind(graph).run(program).execute()` to amortize pool and scratch setup"
+    )]
+    pub fn run(&mut self) -> Result<RunResult<P::Meta>, SimdxError> {
+        let runtime = Runtime::new(self.config.clone())?;
+        runtime.bind(self.graph).run(&self.program).execute()
+    }
+
+    /// One engine run over borrowed session resources — the shared core
+    /// of the deprecated one-shot [`Engine::run`] and the session API's
+    /// [`crate::session::RunBuilder::execute`].
+    pub(crate) fn run_session(
+        program: &P,
+        graph: &Graph,
+        config: &EngineConfig,
+        ctx: SessionCtx<'_, '_, P::Meta>,
+    ) -> Result<RunResult<P::Meta>, SimdxError> {
+        let SessionCtx {
+            pool,
+            scratch,
+            fences: bound_fences,
+            max_iterations,
+            mut observer,
+        } = ctx;
         let n = graph.num_vertices() as usize;
         let num_edges = graph.num_edges();
-        let mut executor = GpuExecutor::new(self.config.device.clone());
-        executor.set_scale(self.config.parallelism_scale);
-        let mut plan = FusionPlan::new(self.config.fusion, self.config.threads_per_cta);
-        let jit = JitController::new(self.config.filter);
+        let mut executor = GpuExecutor::new(config.device.clone());
+        executor.set_scale(config.parallelism_scale);
+        let mut plan = FusionPlan::new(config.fusion, config.threads_per_cta);
+        let jit = JitController::new(config.filter);
 
-        // Host backend: a persistent pool for Parallel mode; a resolved
+        // Host backend: the session's persistent pool; a resolved
         // width of 1 falls back to the serial path outright.
-        let threads = self.config.exec.worker_count().max(1);
-        let pool = (threads > 1).then(|| WorkerPool::new(threads));
-        let threads = pool.as_ref().map_or(1, WorkerPool::threads);
-        let mut scratch = IterScratch::<P::Meta>::new(threads);
+        let threads = pool.map_or(1, WorkerPool::threads);
+        debug_assert_eq!(
+            scratch.workers.len(),
+            threads,
+            "scratch sized for a different worker count"
+        );
+        // Session-reuse invariant: a reused scratch must be logically
+        // indistinguishable from a fresh allocation — clear every
+        // transient buffer, then assert nothing survived (so a future
+        // scratch field without a matching reset is caught here, not as
+        // cross-query state leakage).
+        scratch.reset_for_run();
+        scratch.debug_assert_clean();
         let IterScratch {
             lists,
             cands,
@@ -156,20 +236,19 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             records,
             bins,
             next,
-            push_bounds,
             workers,
-        } = &mut scratch;
+        } = scratch;
 
         // Frontier representation: bitmap mode sizes its reusable
         // bitmaps once here; both are maintained empty between
         // iterations (changed bits drain at publication, candidate
         // bits drain into the sorted candidate list).
-        let repr = self.config.frontier;
+        let repr = config.frontier;
         if repr == FrontierRepr::Bitmap {
             changed_bits.reset(n);
             cand_bits.reset(n);
         }
-        let layout = self.config.layout;
+        let layout = config.layout;
 
         let (init_meta, mut frontier) = program.init(graph);
         assert_eq!(
@@ -197,10 +276,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             if frontier_len == 0 || program.converged(iteration, frontier_len, curr.as_slice()) {
                 break;
             }
-            if iteration >= self.config.max_iterations {
-                return Err(EngineError::IterationLimit {
-                    max_iterations: self.config.max_iterations,
-                });
+            if iteration >= max_iterations {
+                return Err(SimdxError::IterationLimit { max_iterations });
             }
             let cycles_before = executor.stats().total_cycles;
 
@@ -211,7 +288,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 bins.for_each_entry(|v| sum += out_csr.degree(v) as u64);
                 sum
             } else {
-                match &pool {
+                match pool {
                     None => frontier.iter().map(|&v| out_csr.degree(v) as u64).sum(),
                     Some(pool) => {
                         let frontier = &frontier;
@@ -236,7 +313,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             };
             let dir = program
                 .direction(&ctx)
-                .unwrap_or_else(|| self.heuristic_direction(&ctx));
+                .unwrap_or_else(|| Self::heuristic_direction(program, config, &ctx));
             let scan_csr = graph.csr(dir);
 
             // 2. Worklists. Pull mode recomputes every candidate vertex;
@@ -252,22 +329,14 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                         // of the bins in concatenation order — same
                         // entries, same duplicates, same order as the
                         // materialized list would give.
-                        let thresholds = self.config.thresholds;
+                        let thresholds = config.thresholds;
                         lists.clear();
                         bins.for_each_entry(|v| lists.classify_one(v, scan_csr, thresholds));
                     } else {
-                        match &pool {
-                            None => {
-                                lists.classify_into(&frontier, scan_csr, self.config.thresholds)
-                            }
+                        match pool {
+                            None => lists.classify_into(&frontier, scan_csr, config.thresholds),
                             Some(pool) => Self::classify_parallel(
-                                pool,
-                                threads,
-                                workers,
-                                lists,
-                                &frontier,
-                                scan_csr,
-                                &self.config,
+                                pool, threads, workers, lists, &frontier, scan_csr, config,
                             ),
                         }
                     }
@@ -283,7 +352,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     cands.clear();
                     match program.combine_kind() {
                         CombineKind::Vote => {
-                            match &pool {
+                            match pool {
                                 None => {
                                     Self::vote_candidates(
                                         program,
@@ -345,7 +414,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                             executor.run_kernel(&k, SchedUnit::Warp, vote_scan_tasks, false);
                         }
                         CombineKind::Aggregation => {
-                            match &pool {
+                            match pool {
                                 None => {
                                     mgmt_tasks.clear();
                                     let curr_s = curr.as_slice();
@@ -461,16 +530,10 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                             }
                         }
                     }
-                    match &pool {
-                        None => lists.classify_into(cands, scan_csr, self.config.thresholds),
+                    match pool {
+                        None => lists.classify_into(cands, scan_csr, config.thresholds),
                         Some(pool) => Self::classify_parallel(
-                            pool,
-                            threads,
-                            workers,
-                            lists,
-                            cands,
-                            scan_csr,
-                            &self.config,
+                            pool, threads, workers, lists, cands, scan_csr, config,
                         ),
                     }
                 }
@@ -481,7 +544,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             // allocations) persist across iterations.
             let thread_kernel = plan.kernel(dir, KernelRole::Compute(SchedUnit::Thread));
             let bin_count = executor.slots_for(&thread_kernel, SchedUnit::Thread) as usize;
-            bins.reset_to(bin_count, self.config.overflow_threshold);
+            bins.reset_to(bin_count, config.overflow_threshold);
             let record = jit.records_bins();
 
             // 4. Compute kernels over the three worklists.
@@ -490,8 +553,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 let list = lists.list(unit);
                 let kernel = plan.kernel(dir, KernelRole::Compute(unit));
                 let launch = plan.needs_launch(dir);
-                let width = unit.threads(self.config.threads_per_cta) as u64;
-                match (&pool, dir) {
+                let width = unit.threads(config.threads_per_cta) as u64;
+                match (pool, dir) {
                     (None, _) => {
                         match repr {
                             FrontierRepr::List => Self::serial_unit(
@@ -528,9 +591,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                         executor.run_kernel(&kernel, unit, tasks, launch);
                     }
                     (Some(pool), Direction::Push) => {
-                        let fences = push_bounds.get_or_insert_with(|| {
-                            Self::dest_fences(graph.csr(Direction::Pull), threads, repr, layout)
-                        });
+                        let fences: &PushFences =
+                            bound_fences.expect("parallel run carries bind-time fences");
                         match repr {
                             FrontierRepr::List => Self::push_unit_parallel(
                                 program,
@@ -636,7 +698,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                         );
                     }
                 }
-                FilterKind::Ballot => match &pool {
+                FilterKind::Ballot => match pool {
                     None => {
                         let ws = &mut workers[0].warp;
                         ws.clear();
@@ -784,6 +846,9 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 overflowed: bins.overflowed(),
                 cycles: executor.stats().total_cycles - cycles_before,
             });
+            if let Some(obs) = observer.as_mut() {
+                obs(log.records.last().expect("record just pushed"));
+            }
 
             // The old frontier buffer becomes next iteration's output
             // scratch (cleared before reuse) — no per-iteration frontier
@@ -1224,12 +1289,12 @@ impl<'g, P: AccProgram> Engine<'g, P> {
     /// than |E|). Aggregation programs must visit every in-edge of every
     /// candidate, so pull can only win once the push volume exceeds the
     /// full sweep itself.
-    fn heuristic_direction(&self, ctx: &DirectionCtx) -> Direction {
-        match self.config.direction {
+    fn heuristic_direction(program: &P, config: &EngineConfig, ctx: &DirectionCtx) -> Direction {
+        match config.direction {
             DirectionPolicy::FixedPush => Direction::Push,
             DirectionPolicy::FixedPull => Direction::Pull,
             DirectionPolicy::Adaptive { alpha } => {
-                let alpha = match self.program.combine_kind() {
+                let alpha = match program.combine_kind() {
                     CombineKind::Vote => alpha,
                     CombineKind::Aggregation => 1,
                 };
@@ -1240,63 +1305,6 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 }
             }
         }
-    }
-
-    /// Destination-shard fences over `rev_csr` (the transpose of the
-    /// push scan direction): contiguous vertex ranges balanced by
-    /// incoming-edge volume, so push workers see comparable apply load.
-    ///
-    /// In bitmap mode the inner fences are rounded down to word (64)
-    /// multiples — like the ballot scan's warp alignment, one level up
-    /// — so every shard owns whole words of the changed bitmap and the
-    /// matching word fences are emitted alongside. In the chunked
-    /// metadata layout the fences are additionally rounded to 32-vertex
-    /// chunk multiples, so no destination shard splits a metadata chunk
-    /// (word alignment already implies it in bitmap mode — one word is
-    /// exactly two chunks). Destination sharding is exact for *any*
-    /// fence positions (each destination's update sequence is
-    /// independent of them), so the rounding cannot affect results.
-    fn dest_fences(
-        rev_csr: &Csr,
-        parts: usize,
-        repr: FrontierRepr,
-        layout: MetadataLayout,
-    ) -> PushFences {
-        let n = rev_csr.num_vertices();
-        // +1 per vertex keeps zero-degree stretches from collapsing
-        // every shard boundary onto the hubs.
-        let total: u64 = rev_csr.num_edges() + n as u64;
-        let mut verts = Vec::with_capacity(parts + 1);
-        verts.push(0u32);
-        let mut acc = 0u64;
-        let mut v = 0u32;
-        for p in 1..parts as u64 {
-            let target = total * p / parts as u64;
-            while v < n && acc < target {
-                acc += rev_csr.degree(v) as u64 + 1;
-                v += 1;
-            }
-            verts.push(v);
-        }
-        verts.push(n);
-        if repr == FrontierRepr::List && layout == MetadataLayout::Chunked {
-            for f in &mut verts[1..parts] {
-                *f -= *f % CHUNK_LANES as u32;
-            }
-        }
-        let words = match repr {
-            FrontierRepr::List => Vec::new(),
-            FrontierRepr::Bitmap => {
-                let num_words = (n as usize).div_ceil(WORD_BITS) as u32;
-                for f in &mut verts[1..parts] {
-                    *f -= *f % WORD_BITS as u32;
-                }
-                let mut words: Vec<u32> = verts.iter().map(|&f| f / WORD_BITS as u32).collect();
-                words[parts] = num_words;
-                words
-            }
-        };
-        PushFences { verts, words }
     }
 
     /// Cost of the aggregation-pull dirty-marking task for a frontier
@@ -1569,9 +1577,34 @@ mod tests {
     }
 
     fn run_levels(g: &Graph, config: EngineConfig) -> RunResult<u32> {
-        Engine::new(Levels { src: 0 }, g, config)
-            .run()
+        Runtime::new(config)
+            .expect("runtime")
+            .bind(g)
+            .run(Levels { src: 0 })
+            .execute()
             .expect("engine run")
+    }
+
+    fn run_levels_err(g: &Graph, config: EngineConfig) -> SimdxError {
+        Runtime::new(config)
+            .expect("runtime")
+            .bind(g)
+            .run(Levels { src: 0 })
+            .execute()
+            .expect_err("run should fail")
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_engine_shim_matches_session_api() {
+        let g = path_graph(64);
+        let via_shim = Engine::new(Levels { src: 0 }, &g, EngineConfig::unscaled())
+            .run()
+            .expect("shim run");
+        let via_session = run_levels(&g, EngineConfig::unscaled());
+        assert_eq!(via_shim.meta, via_session.meta);
+        assert_eq!(via_shim.report.log, via_session.report.log);
+        assert_eq!(via_shim.report.stats, via_session.report.stats);
     }
 
     #[test]
@@ -1668,16 +1701,14 @@ mod tests {
         let cfg = EngineConfig::unscaled()
             .with_filter(FilterPolicy::OnlineOnly)
             .with_direction(DirectionPolicy::FixedPush);
-        let err = Engine::new(Levels { src: 0 }, &g, cfg).run().unwrap_err();
-        assert!(matches!(err, EngineError::OnlineOverflow { iteration: 0 }));
+        let err = run_levels_err(&g, cfg);
+        assert!(matches!(err, SimdxError::OnlineOverflow { iteration: 0 }));
 
         // JIT handles the same graph by switching to ballot.
         let cfg = EngineConfig::unscaled()
             .with_filter(FilterPolicy::Jit)
             .with_direction(DirectionPolicy::FixedPush);
-        let r = Engine::new(Levels { src: 0 }, &g, cfg)
-            .run()
-            .expect("jit run");
+        let r = run_levels(&g, cfg);
         assert_eq!(r.report.log.records[0].filter, FilterKind::Ballot);
         assert!(r.report.log.records[0].overflowed);
         assert_eq!(r.meta[1], 1);
@@ -1731,8 +1762,8 @@ mod tests {
         let g = path_graph(50);
         let mut cfg = EngineConfig::unscaled();
         cfg.max_iterations = 3;
-        let err = Engine::new(Levels { src: 0 }, &g, cfg).run().unwrap_err();
-        assert_eq!(err, EngineError::IterationLimit { max_iterations: 3 });
+        let err = run_levels_err(&g, cfg);
+        assert_eq!(err, SimdxError::IterationLimit { max_iterations: 3 });
     }
 
     #[test]
@@ -1821,12 +1852,8 @@ mod tests {
         let cfg = EngineConfig::unscaled()
             .with_filter(FilterPolicy::OnlineOnly)
             .with_direction(DirectionPolicy::FixedPush);
-        let serial = Engine::new(Levels { src: 0 }, &g, cfg.clone())
-            .run()
-            .unwrap_err();
-        let par = Engine::new(Levels { src: 0 }, &g, cfg.parallel(4))
-            .run()
-            .unwrap_err();
+        let serial = run_levels_err(&g, cfg.clone());
+        let par = run_levels_err(&g, cfg.parallel(4));
         assert_eq!(serial, par);
     }
 
@@ -1901,8 +1928,7 @@ mod tests {
     #[test]
     fn bitmap_word_aligned_fences_cover_all_vertices() {
         let g = path_graph(1000);
-        let fences =
-            Engine::<Levels>::dest_fences(g.in_(), 4, FrontierRepr::Bitmap, MetadataLayout::Flat);
+        let fences = PushFences::compute(g.in_(), 4, FrontierRepr::Bitmap, MetadataLayout::Flat);
         assert_eq!(fences.verts[0], 0);
         assert_eq!(*fences.verts.last().unwrap(), 1000);
         assert!(fences.verts.windows(2).all(|w| w[0] <= w[1]));
@@ -1916,28 +1942,21 @@ mod tests {
             1000usize.div_ceil(64)
         );
         // List mode leaves the word fences empty.
-        let list =
-            Engine::<Levels>::dest_fences(g.in_(), 4, FrontierRepr::List, MetadataLayout::Flat);
+        let list = PushFences::compute(g.in_(), 4, FrontierRepr::List, MetadataLayout::Flat);
         assert!(list.words.is_empty());
     }
 
     #[test]
     fn chunked_fences_never_split_a_metadata_chunk() {
         let g = path_graph(1000);
-        let fences =
-            Engine::<Levels>::dest_fences(g.in_(), 4, FrontierRepr::List, MetadataLayout::Chunked);
+        let fences = PushFences::compute(g.in_(), 4, FrontierRepr::List, MetadataLayout::Chunked);
         assert_eq!(fences.verts[0], 0);
         assert_eq!(*fences.verts.last().unwrap(), 1000);
         for (i, &f) in fences.verts.iter().enumerate().take(4).skip(1) {
             assert_eq!(f % 32, 0, "fence {i} splits a chunk");
         }
         // Bitmap word fences (64) already satisfy chunk (32) alignment.
-        let bm = Engine::<Levels>::dest_fences(
-            g.in_(),
-            4,
-            FrontierRepr::Bitmap,
-            MetadataLayout::Chunked,
-        );
+        let bm = PushFences::compute(g.in_(), 4, FrontierRepr::Bitmap, MetadataLayout::Chunked);
         for &f in bm.verts.iter().take(4).skip(1) {
             assert_eq!(f % 32, 0);
         }

@@ -1,0 +1,132 @@
+//! The unified, typed error surface of the engine and session API.
+//!
+//! Every failure mode a service caller can hit — a bad `SIMDX_*`
+//! environment knob, an inconsistent [`crate::config::EngineConfig`],
+//! a malformed query, or a run that aborts inside the engine — is one
+//! variant of [`SimdxError`], so callers match on variants instead of
+//! catching panics. The pre-session `EngineError` (which only covered
+//! the two in-run aborts) is absorbed as a deprecated alias.
+
+/// Why a session construction, query setup or engine run failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimdxError {
+    /// The online-only policy hit a bin overflow: the filter alone
+    /// "cannot work for many graphs, particularly large ones" (§7.2).
+    OnlineOverflow {
+        /// Iteration at which the overflow occurred.
+        iteration: u32,
+    },
+    /// The configured iteration cap was reached before convergence.
+    IterationLimit {
+        /// The cap that was hit.
+        max_iterations: u32,
+    },
+    /// A `SIMDX_*` environment knob held an unrecognized value.
+    InvalidKnob {
+        /// The environment variable.
+        var: &'static str,
+        /// Human description of the accepted values.
+        expected: &'static str,
+        /// The rejected raw value.
+        value: String,
+    },
+    /// The engine configuration is internally inconsistent.
+    InvalidConfig {
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A query was malformed for the bound graph (out-of-range source,
+    /// missing edge weights, mis-sized input vector, ...).
+    InvalidQuery {
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SimdxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::OnlineOverflow { iteration } => {
+                write!(f, "online filter bin overflow at iteration {iteration}")
+            }
+            Self::IterationLimit { max_iterations } => {
+                write!(f, "did not converge within {max_iterations} iterations")
+            }
+            // Keeps the exact wording of the historical `env_knob`
+            // panic, which the panicking knob shims still emit.
+            Self::InvalidKnob {
+                var,
+                expected,
+                value,
+            } => write!(f, "{var} must be {expected}, got '{value}'"),
+            Self::InvalidConfig { reason } => write!(f, "invalid engine config: {reason}"),
+            Self::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimdxError {}
+
+/// The pre-session name for the engine's run failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "EngineError was absorbed into the unified `SimdxError`"
+)]
+pub type EngineError = SimdxError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases = [
+            (
+                SimdxError::OnlineOverflow { iteration: 5 },
+                "overflow at iteration 5",
+            ),
+            (
+                SimdxError::IterationLimit { max_iterations: 9 },
+                "within 9 iterations",
+            ),
+            (
+                SimdxError::InvalidKnob {
+                    var: "SIMDX_EXEC",
+                    expected: "'serial'",
+                    value: "warp9".to_string(),
+                },
+                "SIMDX_EXEC must be 'serial', got 'warp9'",
+            ),
+            (
+                SimdxError::InvalidConfig {
+                    reason: "zero CTA width".to_string(),
+                },
+                "invalid engine config: zero CTA width",
+            ),
+            (
+                SimdxError::InvalidQuery {
+                    reason: "source 7 out of range".to_string(),
+                },
+                "invalid query: source 7 out of range",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err:?} display missing '{needle}'"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(
+            SimdxError::IterationLimit { max_iterations: 3 },
+            SimdxError::IterationLimit { max_iterations: 3 }
+        );
+        assert_ne!(
+            SimdxError::OnlineOverflow { iteration: 0 },
+            SimdxError::OnlineOverflow { iteration: 1 }
+        );
+    }
+}

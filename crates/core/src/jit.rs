@@ -9,40 +9,10 @@
 //! ≤2.1% overhead Fig. 9(b) measures.
 
 use crate::config::FilterPolicy;
+use crate::error::SimdxError;
 use crate::filters::FilterKind;
 use crate::frontier::ThreadBins;
 use simdx_graph::csr::Direction;
-
-/// Why a run failed inside the engine.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum EngineError {
-    /// The online-only policy hit a bin overflow: the filter alone
-    /// "cannot work for many graphs, particularly large ones" (§7.2).
-    OnlineOverflow {
-        /// Iteration at which the overflow occurred.
-        iteration: u32,
-    },
-    /// The configured iteration cap was reached before convergence.
-    IterationLimit {
-        /// The cap that was hit.
-        max_iterations: u32,
-    },
-}
-
-impl std::fmt::Display for EngineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::OnlineOverflow { iteration } => {
-                write!(f, "online filter bin overflow at iteration {iteration}")
-            }
-            Self::IterationLimit { max_iterations } => {
-                write!(f, "did not converge within {max_iterations} iterations")
-            }
-        }
-    }
-}
-
-impl std::error::Error for EngineError {}
 
 /// Per-iteration JIT decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,12 +39,12 @@ impl JitController {
 
     /// Picks the filter for this iteration's task management, given the
     /// bins' state after computation.
-    pub fn decide(&self, bins: &ThreadBins, iteration: u32) -> Result<FilterKind, EngineError> {
+    pub fn decide(&self, bins: &ThreadBins, iteration: u32) -> Result<FilterKind, SimdxError> {
         match self.policy {
             FilterPolicy::BallotOnly => Ok(FilterKind::Ballot),
             FilterPolicy::OnlineOnly => {
                 if bins.overflowed() {
-                    Err(EngineError::OnlineOverflow { iteration })
+                    Err(SimdxError::OnlineOverflow { iteration })
                 } else {
                     Ok(FilterKind::Online)
                 }
@@ -212,7 +182,7 @@ mod tests {
         let ctl = JitController::new(FilterPolicy::OnlineOnly);
         assert_eq!(
             ctl.decide(&overflowed_bins(), 7),
-            Err(EngineError::OnlineOverflow { iteration: 7 })
+            Err(SimdxError::OnlineOverflow { iteration: 7 })
         );
     }
 
@@ -268,9 +238,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = EngineError::OnlineOverflow { iteration: 5 };
+        let e = SimdxError::OnlineOverflow { iteration: 5 };
         assert!(e.to_string().contains("iteration 5"));
-        let e = EngineError::IterationLimit { max_iterations: 9 };
+        let e = SimdxError::IterationLimit { max_iterations: 9 };
         assert!(e.to_string().contains('9'));
     }
 }

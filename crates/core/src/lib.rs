@@ -16,14 +16,25 @@
 //!                      GPU (simdx-gpu)
 //! ```
 //!
-//! # Example: running a program
+//! # Example: a session serving repeated queries
+//!
+//! The public surface is the session API ([`session`]): a long-lived
+//! [`Runtime`](session::Runtime) owns the worker pool and validated
+//! configuration, [`Runtime::bind`](session::Runtime::bind)
+//! precomputes per-graph engine state, and every query through the run
+//! builder reuses those resources — the paper's own design, where task
+//! management state persists so per-iteration decisions stay cheap,
+//! extended across whole queries.
 //!
 //! ```
 //! use simdx_core::prelude::*;
 //! use simdx_graph::{EdgeList, Graph, VertexId, Weight};
 //!
-//! // A 4-vertex cycle and a trivial "levels" vote program.
-//! struct Levels;
+//! // A 4-vertex path and a trivial "levels" vote program.
+//! #[derive(Clone)]
+//! struct Levels {
+//!     src: VertexId,
+//! }
 //! impl AccProgram for Levels {
 //!     type Meta = u32;
 //!     type Update = u32;
@@ -31,8 +42,8 @@
 //!     fn combine_kind(&self) -> CombineKind { CombineKind::Vote }
 //!     fn init(&self, g: &Graph) -> (Vec<u32>, Vec<VertexId>) {
 //!         let mut m = vec![u32::MAX; g.num_vertices() as usize];
-//!         m[0] = 0;
-//!         (m, vec![0])
+//!         m[self.src as usize] = 0;
+//!         (m, vec![self.src])
 //!     }
 //!     fn compute(&self, _s: VertexId, _d: VertexId, _w: Weight,
 //!                ms: &u32, md: &u32) -> Option<u32> {
@@ -43,18 +54,33 @@
 //!         (u < *c).then_some(u)
 //!     }
 //! }
+//! impl SourcedProgram for Levels {
+//!     fn with_source(mut self, src: VertexId) -> Self {
+//!         self.src = src;
+//!         self
+//!     }
+//! }
 //!
 //! let g = Graph::directed_from_edges(
 //!     EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 3)]));
-//! let result = Engine::new(Levels, &g, EngineConfig::unscaled())
-//!     .run()
-//!     .expect("run succeeds");
+//!
+//! // One runtime, one bind — then as many queries as you like,
+//! // amortizing the pool, scratch arenas and push shards.
+//! let runtime = Runtime::new(EngineConfig::unscaled())?;
+//! let bound = runtime.bind(&g);
+//! let result = bound.run(Levels { src: 0 }).execute()?;
 //! assert_eq!(result.meta, vec![0, 1, 2, 3]);
+//!
+//! // Batched queries: one report per seed, shared scratch.
+//! let batch = bound.run_batch(Levels { src: 0 }, &[0, 1, 2])?;
+//! assert_eq!(batch[2].meta, vec![u32::MAX, u32::MAX, 0, 1]);
+//! # Ok::<(), SimdxError>(())
 //! ```
 
 pub mod acc;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod filters;
 pub mod frontier;
 pub mod fusion;
@@ -63,29 +89,36 @@ pub mod metadata;
 pub mod metrics;
 pub mod par;
 mod scratch;
+pub mod session;
 
-pub use acc::{AccProgram, CombineKind, DirectionCtx};
+pub use acc::{AccProgram, CombineKind, DirectionCtx, SourcedProgram};
 pub use config::{
     DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr, MetadataLayout,
 };
 pub use engine::Engine;
+#[allow(deprecated)]
+pub use error::EngineError;
+pub use error::SimdxError;
 pub use filters::FilterKind;
 pub use frontier::FrontierBitmap;
 pub use fusion::FusionStrategy;
-pub use jit::{ActivationLog, EngineError};
+pub use jit::{ActivationLog, IterationRecord};
 pub use metadata::MetadataStore;
 pub use metrics::{RunReport, RunResult};
+pub use session::{BoundGraph, RunBuilder, Runtime};
 
 /// Convenience re-exports for programs and harnesses.
 pub mod prelude {
-    pub use crate::acc::{AccProgram, CombineKind, DirectionCtx};
+    pub use crate::acc::{AccProgram, CombineKind, DirectionCtx, SourcedProgram};
     pub use crate::config::{
         DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr, MetadataLayout,
     };
     pub use crate::engine::Engine;
+    pub use crate::error::SimdxError;
     pub use crate::frontier::FrontierBitmap;
     pub use crate::fusion::FusionStrategy;
-    pub use crate::jit::EngineError;
+    pub use crate::jit::IterationRecord;
     pub use crate::metadata::MetadataStore;
     pub use crate::metrics::{RunReport, RunResult};
+    pub use crate::session::{BoundGraph, RunBuilder, Runtime};
 }

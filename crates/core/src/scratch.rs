@@ -9,13 +9,17 @@
 //! backend's per-worker partitions live in [`WorkerScratch`] so the hot
 //! path performs no allocation in steady state in either exec mode.
 
+use crate::config::{FrontierRepr, MetadataLayout};
 use crate::filters::ballot::WarpScanScratch;
-use crate::frontier::{FrontierBitmap, ThreadBins, Worklists};
+use crate::frontier::{FrontierBitmap, ThreadBins, Worklists, WORD_BITS};
+use crate::metadata::CHUNK_LANES;
 use simdx_gpu::Cost;
+use simdx_graph::csr::Csr;
 use simdx_graph::VertexId;
 
-/// Destination-shard fences for parallel push, computed lazily once
-/// per run from the pull-orientation degrees.
+/// Destination-shard fences for parallel push, computed from the
+/// pull-orientation degrees — lazily once per `Engine::run`, or once
+/// per graph at `Runtime::bind` time for the session API.
 #[derive(Clone, Debug)]
 pub(crate) struct PushFences {
     /// Vertex fences over `metadata_curr` (`threads + 1` entries). In
@@ -28,6 +32,65 @@ pub(crate) struct PushFences {
     /// The matching word fences over the changed-bitmap's backing
     /// words (empty in list mode).
     pub words: Vec<u32>,
+}
+
+impl PushFences {
+    /// Destination-shard fences over `rev_csr` (the transpose of the
+    /// push scan direction): contiguous vertex ranges balanced by
+    /// incoming-edge volume, so push workers see comparable apply load.
+    ///
+    /// In bitmap mode the inner fences are rounded down to word (64)
+    /// multiples — like the ballot scan's warp alignment, one level up
+    /// — so every shard owns whole words of the changed bitmap and the
+    /// matching word fences are emitted alongside. In the chunked
+    /// metadata layout the fences are additionally rounded to 32-vertex
+    /// chunk multiples, so no destination shard splits a metadata chunk
+    /// (word alignment already implies it in bitmap mode — one word is
+    /// exactly two chunks). Destination sharding is exact for *any*
+    /// fence positions (each destination's update sequence is
+    /// independent of them), so the rounding cannot affect results.
+    pub fn compute(
+        rev_csr: &Csr,
+        parts: usize,
+        repr: FrontierRepr,
+        layout: MetadataLayout,
+    ) -> Self {
+        let n = rev_csr.num_vertices();
+        // +1 per vertex keeps zero-degree stretches from collapsing
+        // every shard boundary onto the hubs.
+        let total: u64 = rev_csr.num_edges() + n as u64;
+        let mut verts = Vec::with_capacity(parts + 1);
+        verts.push(0u32);
+        let mut acc = 0u64;
+        let mut v = 0u32;
+        for p in 1..parts as u64 {
+            let target = total * p / parts as u64;
+            while v < n && acc < target {
+                acc += rev_csr.degree(v) as u64 + 1;
+                v += 1;
+            }
+            verts.push(v);
+        }
+        verts.push(n);
+        if repr == FrontierRepr::List && layout == MetadataLayout::Chunked {
+            for f in &mut verts[1..parts] {
+                *f -= *f % CHUNK_LANES as u32;
+            }
+        }
+        let words = match repr {
+            FrontierRepr::List => Vec::new(),
+            FrontierRepr::Bitmap => {
+                let num_words = (n as usize).div_ceil(WORD_BITS) as u32;
+                for f in &mut verts[1..parts] {
+                    *f -= *f % WORD_BITS as u32;
+                }
+                let mut words: Vec<u32> = verts.iter().map(|&f| f / WORD_BITS as u32).collect();
+                words[parts] = num_words;
+                words
+            }
+        };
+        PushFences { verts, words }
+    }
 }
 
 /// One online-filter activation record, deferred by a parallel worker
@@ -109,9 +172,6 @@ pub(crate) struct IterScratch<M> {
     /// Next-frontier buffer, swapped with the live frontier each
     /// iteration.
     pub next: Vec<VertexId>,
-    /// Destination-shard fences for parallel push (computed lazily once
-    /// per run from the pull-orientation degrees).
-    pub push_bounds: Option<PushFences>,
     /// Per-worker partitions (len = worker count; 1 in serial mode).
     pub workers: Vec<WorkerScratch<M>>,
 }
@@ -132,7 +192,6 @@ impl<M> IterScratch<M> {
             records: Vec::new(),
             bins: ThreadBins::new(1, 0),
             next: Vec::new(),
-            push_bounds: None,
             workers: (0..threads.max(1))
                 .map(|_| WorkerScratch {
                     lists: Worklists::default(),
@@ -147,5 +206,63 @@ impl<M> IterScratch<M> {
                 })
                 .collect(),
         }
+    }
+
+    /// Clears every buffer a previous run could have left *observable*
+    /// state in, so a reused session run starts from exactly the logical
+    /// state a fresh engine allocates (allocations are kept — that is
+    /// the point of the session API).
+    ///
+    /// Deliberately untouched caches, safe across runs on one bound
+    /// graph:
+    /// * `vote_scan_tasks` — a pure function of `|V|` and cost
+    ///   constants, length-gated in the engine loop;
+    /// * `workers` — every parallel region clears the fields it uses
+    ///   before writing them.
+    ///
+    /// (The push destination fences live on the `BoundGraph`, not
+    /// here: `Runtime::bind` computes them once per graph for every
+    /// parallel runtime.)
+    ///
+    /// `dirty_stamp` is the one buffer whose *contents* could corrupt a
+    /// reused run: it is keyed by iteration number, which restarts at 0
+    /// every run, so stale stamps from a previous query could suppress
+    /// aggregation-pull candidates. Truncating it forces the in-loop
+    /// `u32::MAX` refill, identical to a fresh engine.
+    pub fn reset_for_run(&mut self) {
+        self.lists.clear();
+        self.cands.clear();
+        self.tasks.clear();
+        self.mgmt_tasks.clear();
+        self.changed.clear();
+        self.changed_bits.clear_all();
+        self.cand_bits.clear_all();
+        self.dirty_stamp.clear();
+        self.records.clear();
+        self.bins.clear();
+        self.next.clear();
+    }
+
+    /// Debug-asserts that no per-run transient buffer carries state —
+    /// the session-reuse invariant checked at every `execute()` entry.
+    /// [`Self::reset_for_run`] establishes it; this guards against a
+    /// future scratch field being added without a matching reset (which
+    /// would let one query observe a previous query's state).
+    pub fn debug_assert_clean(&self) {
+        debug_assert!(self.lists.is_empty(), "worklists carry stale entries");
+        debug_assert!(
+            self.cands.is_empty(),
+            "candidate list carries stale entries"
+        );
+        debug_assert!(self.tasks.is_empty(), "task-cost vector not cleared");
+        debug_assert!(self.mgmt_tasks.is_empty(), "mgmt-cost vector not cleared");
+        debug_assert!(self.changed.is_empty(), "changed list not published");
+        debug_assert!(self.changed_bits.is_empty(), "changed bitmap not drained");
+        debug_assert!(self.cand_bits.is_empty(), "candidate bitmap not drained");
+        debug_assert!(self.dirty_stamp.is_empty(), "dirty stamps not invalidated");
+        debug_assert!(self.records.is_empty(), "deferred records not replayed");
+        debug_assert_eq!(self.bins.total_recorded(), 0, "thread bins carry entries");
+        debug_assert!(!self.bins.overflowed(), "thread-bin overflow flag stuck");
+        debug_assert!(self.next.is_empty(), "next-frontier buffer not cleared");
     }
 }

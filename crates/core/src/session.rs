@@ -1,0 +1,665 @@
+//! The session API: amortized engine reuse for repeated queries.
+//!
+//! The one-shot [`crate::engine::Engine`] pays its full setup cost on
+//! every call — worker-pool spawn, scratch-arena allocation,
+//! degree-balanced destination fences — which is exactly the per-query
+//! overhead a service answering many small queries (multi-source SSSP,
+//! BFS per user request) cannot afford. This module splits that cost
+//! into three lifetimes:
+//!
+//! * [`Runtime`] — owns the resolved [`EngineConfig`] and the
+//!   persistent [`WorkerPool`]. Built once per process/service.
+//! * [`BoundGraph`] — [`Runtime::bind`] precomputes the CSR-derived
+//!   per-graph state (degree-balanced push shards with chunk/word
+//!   aligned partition fences, bitmap word counts) and owns the
+//!   reusable scratch arenas. Built once per graph.
+//! * [`RunBuilder`] — one query: `bound.run(program).source(v)
+//!   .max_iterations(n).observe(hook).execute()`. Costs only the work
+//!   of the query itself; every allocation is reused.
+//!
+//! [`BoundGraph::run_batch`] executes a slice of query seeds over the
+//! shared scratch, returning one [`RunResult`] per seed.
+//!
+//! # Determinism
+//!
+//! Session reuse is covered by the same bit-equality contract as every
+//! other host knob (`crates/core/README.md`): a reused `BoundGraph`
+//! produces reports **bit-identical** to a fresh engine — identical
+//! metadata, activation logs and simulated cycle counts — across the
+//! full exec × frontier-repr × metadata-layout matrix
+//! (`tests/session_equivalence.rs`). The engine enforces the invariant
+//! at every `execute()` entry: all transient scratch is cleared and
+//! debug-asserted clean, so one query can never observe a previous
+//! query's state.
+//!
+//! # Example
+//!
+//! ```
+//! use simdx_core::prelude::*;
+//! use simdx_graph::{EdgeList, Graph, VertexId, Weight};
+//!
+//! #[derive(Clone)]
+//! struct Levels {
+//!     src: VertexId,
+//! }
+//! impl AccProgram for Levels {
+//!     type Meta = u32;
+//!     type Update = u32;
+//!     fn name(&self) -> &'static str { "levels" }
+//!     fn combine_kind(&self) -> CombineKind { CombineKind::Vote }
+//!     fn init(&self, g: &Graph) -> (Vec<u32>, Vec<VertexId>) {
+//!         let mut m = vec![u32::MAX; g.num_vertices() as usize];
+//!         m[self.src as usize] = 0;
+//!         (m, vec![self.src])
+//!     }
+//!     fn compute(&self, _s: VertexId, _d: VertexId, _w: Weight,
+//!                ms: &u32, md: &u32) -> Option<u32> {
+//!         (*ms != u32::MAX && *md == u32::MAX).then(|| ms + 1)
+//!     }
+//!     fn combine(&self, a: u32, b: u32) -> u32 { a.min(b) }
+//!     fn apply(&self, _v: VertexId, c: &u32, u: u32) -> Option<u32> {
+//!         (u < *c).then_some(u)
+//!     }
+//! }
+//! impl SourcedProgram for Levels {
+//!     fn with_source(mut self, src: VertexId) -> Self {
+//!         self.src = src;
+//!         self
+//!     }
+//! }
+//!
+//! let graph = Graph::directed_from_edges(
+//!     EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 3)]));
+//! let runtime = Runtime::new(EngineConfig::unscaled())?;
+//! let bound = runtime.bind(&graph);
+//!
+//! // Repeated queries reuse the pool, scratch and fences.
+//! let a = bound.run(Levels { src: 0 }).execute()?;
+//! let b = bound.run(Levels { src: 0 }).source(1).execute()?;
+//! assert_eq!(a.meta, vec![0, 1, 2, 3]);
+//! assert_eq!(b.meta, vec![u32::MAX, 0, 1, 2]);
+//!
+//! // Or as one batch: one result per seed.
+//! let batch = bound.run_batch(Levels { src: 0 }, &[0, 1])?;
+//! assert_eq!(batch[0].meta, a.meta);
+//! assert_eq!(batch[1].meta, b.meta);
+//! # Ok::<(), SimdxError>(())
+//! ```
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::acc::{AccProgram, SourcedProgram};
+use crate::config::{EngineConfig, FrontierRepr};
+use crate::engine::{Engine, SessionCtx};
+use crate::error::SimdxError;
+use crate::frontier::WORD_BITS;
+use crate::jit::IterationRecord;
+use crate::metrics::RunResult;
+use crate::par::WorkerPool;
+use crate::scratch::{IterScratch, PushFences};
+use simdx_graph::csr::Direction;
+use simdx_graph::{Graph, VertexId};
+
+/// Scratch arenas are generic over the program's metadata type, so the
+/// cache is keyed by `TypeId::of::<P::Meta>()` — binding one graph and
+/// interleaving BFS (`u32`) and PageRank (`f32`) queries keeps one
+/// arena per metadata type, each reused across its queries.
+type ScratchCache = HashMap<std::any::TypeId, Box<dyn Any>>;
+
+/// The long-lived engine runtime: a validated [`EngineConfig`] plus the
+/// persistent [`WorkerPool`] backing `ExecMode::Parallel`.
+///
+/// Build one per service (or per configuration under test), then
+/// [`bind`](Self::bind) graphs and run queries — the pool threads are
+/// spawned exactly once, not per query.
+pub struct Runtime {
+    config: EngineConfig,
+    pool: Option<WorkerPool>,
+    threads: usize,
+}
+
+impl Runtime {
+    /// Creates a runtime: validates the configuration, resolves the
+    /// worker count and spawns the pool (a resolved width of 1 runs
+    /// serially with no pool at all).
+    pub fn new(config: EngineConfig) -> Result<Self, SimdxError> {
+        config.validate()?;
+        let threads = config.exec.worker_count().max(1);
+        let pool = (threads > 1).then(|| WorkerPool::new(threads));
+        let threads = pool.as_ref().map_or(1, WorkerPool::threads);
+        Ok(Self {
+            config,
+            pool,
+            threads,
+        })
+    }
+
+    /// Creates a runtime from the default configuration with every
+    /// `SIMDX_*` knob parsed fallibly ([`EngineConfig::from_env`]) — a
+    /// typo comes back as [`SimdxError::InvalidKnob`], never a panic.
+    pub fn from_env() -> Result<Self, SimdxError> {
+        Self::new(EngineConfig::from_env()?)
+    }
+
+    /// The validated configuration in force for every query.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Resolved host worker count (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Binds a graph: precomputes the CSR-derived state every query
+    /// needs — degree-balanced push destination shards with their
+    /// chunk/word-aligned partition fences (parallel mode) and the
+    /// bitmap word count — and allocates the reusable scratch arenas
+    /// lazily per metadata type.
+    ///
+    /// The fence computation is deliberately *eager*: bind is the
+    /// amortization point, so its one O(V) degree walk is paid once
+    /// per graph instead of on some query's first parallel push. The
+    /// corner case this trades away — a parallel-mode bind whose
+    /// queries never push — costs one extra degree sweep, noise next
+    /// to any engine run (whose `init` alone is O(V)).
+    pub fn bind<'rt, 'g>(&'rt self, graph: &'g Graph) -> BoundGraph<'rt, 'g> {
+        let fences = (self.threads > 1).then(|| {
+            PushFences::compute(
+                graph.csr(Direction::Pull),
+                self.threads,
+                self.config.frontier,
+                self.config.layout,
+            )
+        });
+        BoundGraph {
+            runtime: self,
+            graph,
+            fences,
+            num_words: (graph.num_vertices() as usize).div_ceil(WORD_BITS),
+            scratch: RefCell::new(ScratchCache::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("threads", &self.threads)
+            .field("exec", &self.config.exec)
+            .field("frontier", &self.config.frontier)
+            .field("layout", &self.config.layout)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A graph bound to a [`Runtime`]: precomputed per-graph engine state
+/// plus the reusable scratch arenas. Queries against the same
+/// `BoundGraph` reuse every allocation and the runtime's pool.
+pub struct BoundGraph<'rt, 'g> {
+    runtime: &'rt Runtime,
+    graph: &'g Graph,
+    /// Bind-time destination-shard fences (parallel mode only): the
+    /// degree-balanced, chunk/word-aligned partition of
+    /// `metadata_curr` the push kernels shard over.
+    fences: Option<PushFences>,
+    /// `ceil(|V| / 64)` — the frontier-bitmap word count, precomputed
+    /// so bitmap-mode scratch is sized before the first query.
+    num_words: usize,
+    scratch: RefCell<ScratchCache>,
+}
+
+impl<'rt, 'g> BoundGraph<'rt, 'g> {
+    /// The bound graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The owning runtime.
+    pub fn runtime(&self) -> &'rt Runtime {
+        self.runtime
+    }
+
+    /// Number of 64-bit words a frontier bitmap over this graph uses.
+    pub fn num_bitmap_words(&self) -> usize {
+        self.num_words
+    }
+
+    /// Starts building one query. Terminal [`RunBuilder::execute`]
+    /// runs it over the session's shared resources.
+    pub fn run<P: AccProgram>(&self, program: P) -> RunBuilder<'_, 'rt, 'g, P> {
+        RunBuilder {
+            bound: self,
+            program,
+            source: None,
+            max_iterations: None,
+            observer: None,
+        }
+    }
+
+    /// Executes one query per seed over the shared scratch, returning
+    /// one report per query — bit-identical to running the seeds
+    /// through individual [`Self::run`] calls (or fresh engines), just
+    /// without any per-query setup. Fails fast on the first seed whose
+    /// run fails.
+    pub fn run_batch<P: SourcedProgram>(
+        &self,
+        program: P,
+        seeds: &[VertexId],
+    ) -> Result<Vec<RunResult<P::Meta>>, SimdxError> {
+        seeds
+            .iter()
+            .map(|&seed| self.run(program.clone()).source(seed).execute())
+            .collect()
+    }
+
+    /// The shared execute path: checks out (or creates) the scratch
+    /// arena for the program's metadata type and runs the engine over
+    /// the session's pool, fences and config.
+    fn execute_inner<P: AccProgram>(
+        &self,
+        program: &P,
+        max_iterations: u32,
+        observer: Option<&mut (dyn FnMut(&IterationRecord) + '_)>,
+    ) -> Result<RunResult<P::Meta>, SimdxError> {
+        let mut cache = self.scratch.borrow_mut();
+        let scratch = cache
+            .entry(std::any::TypeId::of::<P::Meta>())
+            .or_insert_with(|| {
+                let mut scratch = IterScratch::<P::Meta>::new(self.runtime.threads);
+                if self.runtime.config.frontier == FrontierRepr::Bitmap {
+                    // Pre-size the reusable bitmaps to the bind-time
+                    // word count so the first query allocates nothing
+                    // mid-run either.
+                    let n = self.graph.num_vertices() as usize;
+                    scratch.changed_bits.reset(n);
+                    scratch.cand_bits.reset(n);
+                }
+                Box::new(scratch) as Box<dyn Any>
+            })
+            .downcast_mut::<IterScratch<P::Meta>>()
+            .expect("scratch cache keyed by metadata TypeId");
+        Engine::run_session(
+            program,
+            self.graph,
+            &self.runtime.config,
+            SessionCtx {
+                pool: self.runtime.pool.as_ref(),
+                scratch,
+                fences: self.fences.as_ref(),
+                max_iterations,
+                observer,
+            },
+        )
+    }
+}
+
+impl std::fmt::Debug for BoundGraph<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundGraph")
+            .field("num_vertices", &self.graph.num_vertices())
+            .field("num_edges", &self.graph.num_edges())
+            .field("runtime", self.runtime)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One query under construction against a [`BoundGraph`]; terminal
+/// [`Self::execute`] runs it. Replaces the positional
+/// `Engine::new(program, graph, config)` constructor.
+pub struct RunBuilder<'b, 'rt, 'g, P: AccProgram> {
+    bound: &'b BoundGraph<'rt, 'g>,
+    program: P,
+    source: Option<VertexId>,
+    max_iterations: Option<u32>,
+    #[allow(clippy::type_complexity)]
+    observer: Option<Box<dyn FnMut(&IterationRecord) + 'b>>,
+}
+
+impl<'b, 'rt, 'g, P: AccProgram> RunBuilder<'b, 'rt, 'g, P> {
+    /// Overrides the config's iteration cap for this query only.
+    pub fn max_iterations(mut self, n: u32) -> Self {
+        self.max_iterations = Some(n);
+        self
+    }
+
+    /// Installs a per-iteration observer, called with each iteration's
+    /// [`IterationRecord`] as soon as it is logged — live progress for
+    /// long queries without waiting for the final report. Re-entrant
+    /// queries from inside the hook are not supported (the session's
+    /// scratch is checked out for the duration of the run).
+    pub fn observe(mut self, hook: impl FnMut(&IterationRecord) + 'b) -> Self {
+        self.observer = Some(Box::new(hook));
+        self
+    }
+
+    /// Executes the query over the session's shared pool and scratch,
+    /// returning the final metadata and run report.
+    pub fn execute(mut self) -> Result<RunResult<P::Meta>, SimdxError> {
+        if let Some(src) = self.source {
+            let n = self.bound.graph.num_vertices();
+            if src >= n {
+                return Err(SimdxError::InvalidQuery {
+                    reason: format!(
+                        "source vertex {src} out of range for a graph with {n} vertices"
+                    ),
+                });
+            }
+        }
+        let max_iterations = self
+            .max_iterations
+            .unwrap_or(self.bound.runtime.config.max_iterations);
+        let observer = self
+            .observer
+            .as_mut()
+            .map(|hook| &mut **hook as &mut dyn FnMut(&IterationRecord));
+        self.bound
+            .execute_inner(&self.program, max_iterations, observer)
+    }
+}
+
+impl<P: SourcedProgram> RunBuilder<'_, '_, '_, P> {
+    /// Re-roots the query at `src`. Validated against the bound
+    /// graph's vertex count at [`Self::execute`] time — an
+    /// out-of-range seed is a typed [`SimdxError::InvalidQuery`], not
+    /// a panic.
+    pub fn source(mut self, src: VertexId) -> Self {
+        self.program = self.program.with_source(src);
+        self.source = Some(src);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acc::CombineKind;
+    use crate::config::{DirectionPolicy, ExecMode, FilterPolicy};
+    use simdx_graph::{EdgeList, Weight};
+
+    /// The engine-test "levels" vote program, with a seed hook.
+    #[derive(Clone)]
+    struct Levels {
+        src: VertexId,
+    }
+
+    impl AccProgram for Levels {
+        type Meta = u32;
+        type Update = u32;
+
+        fn name(&self) -> &'static str {
+            "levels"
+        }
+
+        fn combine_kind(&self) -> CombineKind {
+            CombineKind::Vote
+        }
+
+        fn init(&self, g: &Graph) -> (Vec<u32>, Vec<VertexId>) {
+            let mut meta = vec![u32::MAX; g.num_vertices() as usize];
+            meta[self.src as usize] = 0;
+            (meta, vec![self.src])
+        }
+
+        fn compute(
+            &self,
+            _src: VertexId,
+            _dst: VertexId,
+            _w: Weight,
+            m_src: &u32,
+            m_dst: &u32,
+        ) -> Option<u32> {
+            (*m_src != u32::MAX && *m_dst == u32::MAX).then(|| m_src + 1)
+        }
+
+        fn combine(&self, a: u32, b: u32) -> u32 {
+            a.min(b)
+        }
+
+        fn apply(&self, _v: VertexId, current: &u32, update: u32) -> Option<u32> {
+            (update < *current).then_some(update)
+        }
+
+        fn pull_candidate(&self, _v: VertexId, meta: &u32) -> bool {
+            *meta == u32::MAX
+        }
+    }
+
+    impl SourcedProgram for Levels {
+        fn with_source(mut self, src: VertexId) -> Self {
+            self.src = src;
+            self
+        }
+    }
+
+    /// A rank-sum aggregation program over `f32` metadata, used to
+    /// exercise the per-metadata-type scratch cache.
+    #[derive(Clone)]
+    struct Mass;
+
+    impl AccProgram for Mass {
+        type Meta = f32;
+        type Update = f32;
+
+        fn name(&self) -> &'static str {
+            "mass"
+        }
+
+        fn combine_kind(&self) -> CombineKind {
+            CombineKind::Aggregation
+        }
+
+        fn init(&self, g: &Graph) -> (Vec<f32>, Vec<VertexId>) {
+            let mut meta = vec![0.0; g.num_vertices() as usize];
+            meta[0] = 1.0;
+            (meta, vec![0])
+        }
+
+        fn compute(
+            &self,
+            _src: VertexId,
+            _dst: VertexId,
+            _w: Weight,
+            m_src: &f32,
+            _m_dst: &f32,
+        ) -> Option<f32> {
+            (*m_src > 0.0).then_some(*m_src * 0.5)
+        }
+
+        fn combine(&self, a: f32, b: f32) -> f32 {
+            a + b
+        }
+
+        fn apply(&self, _v: VertexId, current: &f32, update: f32) -> Option<f32> {
+            (*current == 0.0).then_some(update)
+        }
+
+        fn converged(&self, iteration: u32, _frontier_len: u64, _meta: &[f32]) -> bool {
+            iteration >= 8
+        }
+    }
+
+    fn path_graph(n: u32) -> Graph {
+        Graph::undirected_from_edges(EdgeList::from_pairs(
+            (0..n - 1).map(|i| (i, i + 1)).collect(),
+        ))
+    }
+
+    #[test]
+    fn bound_graph_reuse_is_bit_equal_to_fresh_runs() {
+        let g = path_graph(200);
+        for exec in [ExecMode::Serial, ExecMode::Parallel { threads: 3 }] {
+            let cfg = EngineConfig::unscaled().with_exec(exec);
+            let runtime = Runtime::new(cfg.clone()).expect("runtime");
+            let bound = runtime.bind(&g);
+            for src in [0u32, 7, 150] {
+                let reused = bound
+                    .run(Levels { src: 0 })
+                    .source(src)
+                    .execute()
+                    .expect("reused run");
+                let fresh_rt = Runtime::new(cfg.clone()).expect("runtime");
+                let fresh = fresh_rt
+                    .bind(&g)
+                    .run(Levels { src })
+                    .execute()
+                    .expect("fresh run");
+                assert_eq!(reused.meta, fresh.meta, "src {src}: metadata");
+                assert_eq!(reused.report.log, fresh.report.log, "src {src}: log");
+                assert_eq!(reused.report.stats, fresh.report.stats, "src {src}: stats");
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_per_query_loop() {
+        let g = path_graph(128);
+        let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let seeds = [3u32, 64, 3, 127];
+        let batch = bound.run_batch(Levels { src: 0 }, &seeds).expect("batch");
+        assert_eq!(batch.len(), seeds.len());
+        for (seed, got) in seeds.iter().zip(&batch) {
+            let single = bound
+                .run(Levels { src: *seed })
+                .execute()
+                .expect("single run");
+            assert_eq!(got.meta, single.meta, "seed {seed}");
+            assert_eq!(got.report.stats, single.report.stats, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn interleaved_metadata_types_keep_separate_scratch() {
+        let g = path_graph(96);
+        let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let levels_a = bound.run(Levels { src: 0 }).execute().expect("levels");
+        let mass_a = bound.run(Mass).execute().expect("mass");
+        let levels_b = bound.run(Levels { src: 0 }).execute().expect("levels");
+        let mass_b = bound.run(Mass).execute().expect("mass");
+        assert_eq!(levels_a.meta, levels_b.meta);
+        assert_eq!(levels_a.report.stats, levels_b.report.stats);
+        assert_eq!(mass_a.meta, mass_b.meta);
+        assert_eq!(mass_a.report.stats, mass_b.report.stats);
+    }
+
+    #[test]
+    fn builder_max_iterations_overrides_config() {
+        let g = path_graph(50);
+        let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let err = bound
+            .run(Levels { src: 0 })
+            .max_iterations(3)
+            .execute()
+            .expect_err("capped run");
+        assert_eq!(err, SimdxError::IterationLimit { max_iterations: 3 });
+        // The override is per query: the next run uses the config cap.
+        bound
+            .run(Levels { src: 0 })
+            .execute()
+            .expect("uncapped run");
+    }
+
+    #[test]
+    fn observer_sees_every_iteration_in_order() {
+        let g = path_graph(20);
+        let runtime =
+            Runtime::new(EngineConfig::unscaled().with_direction(DirectionPolicy::FixedPush))
+                .expect("runtime");
+        let bound = runtime.bind(&g);
+        let mut seen = Vec::new();
+        let r = bound
+            .run(Levels { src: 0 })
+            .observe(|rec| seen.push((rec.iteration, rec.frontier_len)))
+            .execute()
+            .expect("observed run");
+        assert_eq!(seen.len() as u32, r.report.iterations);
+        for (i, (iter, len)) in seen.iter().enumerate() {
+            assert_eq!(*iter, i as u32);
+            assert_eq!(*len, 1);
+        }
+    }
+
+    #[test]
+    fn out_of_range_source_is_a_typed_error() {
+        let g = path_graph(10);
+        let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let err = bound
+            .run(Levels { src: 0 })
+            .source(10)
+            .execute()
+            .expect_err("out of range");
+        assert!(matches!(err, SimdxError::InvalidQuery { .. }));
+        let err = bound
+            .run_batch(Levels { src: 0 }, &[0, 99])
+            .expect_err("bad batch seed");
+        assert!(matches!(err, SimdxError::InvalidQuery { .. }));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_runtime_construction() {
+        let mut cfg = EngineConfig::unscaled();
+        cfg.threads_per_cta = 0;
+        assert!(matches!(
+            Runtime::new(cfg),
+            Err(SimdxError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn reuse_after_failed_run_stays_clean() {
+        // An error exit leaves mid-run state in the scratch; the next
+        // query must still see a clean session (reset at entry).
+        let g = path_graph(50);
+        let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let err = bound
+            .run(Levels { src: 0 })
+            .max_iterations(2)
+            .execute()
+            .expect_err("capped");
+        assert_eq!(err, SimdxError::IterationLimit { max_iterations: 2 });
+        let ok = bound.run(Levels { src: 0 }).execute().expect("clean rerun");
+        let fresh_rt = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let fresh = fresh_rt
+            .bind(&g)
+            .run(Levels { src: 0 })
+            .execute()
+            .expect("fresh");
+        assert_eq!(ok.meta, fresh.meta);
+        assert_eq!(ok.report.stats, fresh.report.stats);
+    }
+
+    #[test]
+    fn overflow_error_carries_through_the_session_api() {
+        let leaves = 10_000u32;
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(
+            (1..=leaves).map(|i| (0, i)).collect(),
+        ));
+        let cfg = EngineConfig::unscaled()
+            .with_filter(FilterPolicy::OnlineOnly)
+            .with_direction(DirectionPolicy::FixedPush);
+        let runtime = Runtime::new(cfg).expect("runtime");
+        let err = runtime
+            .bind(&g)
+            .run(Levels { src: 0 })
+            .execute()
+            .expect_err("online overflow");
+        assert_eq!(err, SimdxError::OnlineOverflow { iteration: 0 });
+    }
+
+    #[test]
+    fn bind_precomputes_bitmap_word_count() {
+        let g = path_graph(130);
+        let runtime = Runtime::new(EngineConfig::unscaled().bitmap()).expect("runtime");
+        let bound = runtime.bind(&g);
+        assert_eq!(bound.num_bitmap_words(), 130usize.div_ceil(64));
+        assert_eq!(bound.graph().num_vertices(), 130);
+        assert_eq!(bound.runtime().threads(), 1);
+    }
+}

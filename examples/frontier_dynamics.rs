@@ -1,50 +1,59 @@
 //! Frontier dynamics: watch the per-iteration engine decisions (scan
 //! direction, filter choice, frontier volume) that drive every result
-//! in the paper's evaluation.
+//! in the paper's evaluation — streamed live through the run builder's
+//! `observe` hook instead of read back from the final report.
 //!
 //! ```text
 //! cargo run --release --example frontier_dynamics
 //! ```
 
-use simdx::algos::bfs;
-use simdx::core::EngineConfig;
+use simdx::algos::Bfs;
+use simdx::core::{EngineConfig, Runtime, SimdxError};
 use simdx::graph::datasets;
 
-fn main() {
+fn main() -> Result<(), SimdxError> {
+    let runtime = Runtime::new(EngineConfig::default())?;
     for abbrev in ["LJ", "RC"] {
         let spec = datasets::dataset(abbrev).expect("twin");
         let graph = spec.build(3);
         let src = datasets::default_source(graph.out());
-        let r = bfs::run(&graph, src, EngineConfig::default()).expect("bfs");
+        let bound = runtime.bind(&graph);
 
         println!(
-            "\nBFS on {} twin ({} vertices, {} edges): {} iterations",
+            "\nBFS on {} twin ({} vertices, {} edges)",
             spec.name,
             graph.num_vertices(),
             graph.num_edges(),
-            r.report.iterations
         );
         println!(
             "{:>5}  {:>5}  {:>9}  {:>10}  {:>7}  {:>9}",
             "iter", "dir", "frontier", "degree sum", "filter", "cycles"
         );
-        // Print the first 12 iterations (road twins run hundreds).
-        for rec in r.report.log.records.iter().take(12) {
-            println!(
-                "{:>5}  {:>5}  {:>9}  {:>10}  {:>7}  {:>9}",
-                rec.iteration,
-                format!("{:?}", rec.direction),
-                rec.frontier_len,
-                rec.degree_sum,
-                rec.filter.to_string(),
-                rec.cycles
-            );
-        }
+        // Stream the first 12 iterations as they happen (road twins
+        // run hundreds).
+        let r = bound
+            .run(Bfs::new(0))
+            .source(src)
+            .observe(|rec| {
+                if rec.iteration < 12 {
+                    println!(
+                        "{:>5}  {:>5}  {:>9}  {:>10}  {:>7}  {:>9}",
+                        rec.iteration,
+                        format!("{:?}", rec.direction),
+                        rec.frontier_len,
+                        rec.degree_sum,
+                        rec.filter.to_string(),
+                        rec.cycles
+                    );
+                }
+            })
+            .execute()?;
         if r.report.iterations > 12 {
             println!("  ... {} more iterations", r.report.iterations - 12);
         }
         println!(
-            "direction heuristic switched {} time(s); filter switched {} time(s)",
+            "{} iterations; direction heuristic switched {} time(s); filter switched {} time(s)",
+            r.report.iterations,
             r.report
                 .log
                 .records
@@ -54,4 +63,5 @@ fn main() {
             r.report.log.filter_switches()
         );
     }
+    Ok(())
 }

@@ -1,16 +1,18 @@
 //! k-Core decomposition of a social-network twin — the graph-mining
 //! workload §6 motivates with visualization, here used to find the
-//! densely connected community core at several k values.
+//! densely connected community core at several k values. The five
+//! queries share one bound session, so the scratch arenas and worker
+//! pool are reused across the whole k sweep.
 //!
 //! ```text
 //! cargo run --release --example kcore_social
 //! ```
 
-use simdx::algos::kcore;
-use simdx::core::EngineConfig;
+use simdx::algos::{kcore, KCore};
+use simdx::core::{EngineConfig, Runtime, SimdxError};
 use simdx::graph::datasets;
 
-fn main() {
+fn main() -> Result<(), SimdxError> {
     let spec = datasets::dataset("OR").expect("Orkut twin");
     let graph = spec.build(3);
     println!(
@@ -20,12 +22,15 @@ fn main() {
         graph.out().max_degree()
     );
 
+    let runtime = Runtime::new(EngineConfig::default())?;
+    let bound = runtime.bind(&graph);
+
     println!(
         "\n{:>4}  {:>9}  {:>6}  {:>10}  filter pattern",
         "k", "survivors", "iters", "sim ms"
     );
     for k in [4, 8, 16, 32, 64] {
-        let r = kcore::run(&graph, k, EngineConfig::default()).expect("kcore");
+        let r = bound.run(KCore::new(k)).execute()?;
         let survivors = kcore::survivors(&r.meta).iter().filter(|&&s| s).count();
         println!(
             "{k:>4}  {survivors:>9}  {:>6}  {:>10.2}  {}",
@@ -39,4 +44,5 @@ fn main() {
          deletions), after which the shrinking cascade stays online — \
          the Fig. 8 k-Core pattern."
     );
+    Ok(())
 }

@@ -1,16 +1,17 @@
 //! PageRank on the web-graph twin, comparing kernel-fusion strategies —
 //! the §5 trade-off between launch overhead and register-pressure
-//! occupancy loss.
+//! occupancy loss. One runtime per fusion strategy, each bound to the
+//! same twin.
 //!
 //! ```text
 //! cargo run --release --example pagerank_web
 //! ```
 
-use simdx::algos::pagerank;
-use simdx::core::{EngineConfig, FusionStrategy};
+use simdx::algos::PageRank;
+use simdx::core::{EngineConfig, FusionStrategy, Runtime, SimdxError};
 use simdx::graph::datasets;
 
-fn main() {
+fn main() -> Result<(), SimdxError> {
     let spec = datasets::dataset("UK").expect("UK-2002 twin");
     let graph = spec.build(3);
     println!(
@@ -25,8 +26,8 @@ fn main() {
         ("all-fusion", FusionStrategy::All),
         ("push-pull fusion", FusionStrategy::PushPull),
     ] {
-        let cfg = EngineConfig::default().with_fusion(fusion);
-        let r = pagerank::run(&graph, cfg).expect("pagerank");
+        let runtime = Runtime::new(EngineConfig::default().with_fusion(fusion))?;
+        let r = runtime.bind(&graph).run(PageRank::new(&graph)).execute()?;
         println!(
             "{label:>18}: {:>8.1} ms, {:>5} launches, {:>5} barriers, {} iterations",
             r.report.elapsed_ms,
@@ -57,4 +58,5 @@ fn main() {
             graph.in_().degree(*v)
         );
     }
+    Ok(())
 }

@@ -1,15 +1,16 @@
-//! Quickstart: build a graph, run BFS and SSSP on the simulated GPU,
-//! inspect the run report.
+//! Quickstart: build a runtime, bind a graph, and serve queries — BFS,
+//! then a multi-source SSSP batch with every allocation amortized
+//! across the queries.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use simdx::algos::{bfs, sssp};
-use simdx::core::EngineConfig;
+use simdx::algos::{Bfs, Sssp};
+use simdx::core::{EngineConfig, Runtime, SimdxError};
 use simdx::graph::{weights, EdgeList, Graph};
 
-fn main() {
+fn main() -> Result<(), SimdxError> {
     // A small weighted directed graph: the SSSP example of the paper's
     // Fig. 1 has nine vertices a..i; we label them 0..9.
     let edges = vec![
@@ -34,24 +35,38 @@ fn main() {
         graph.num_edges()
     );
 
-    // BFS from vertex 0. `unscaled()` runs the device at full size —
-    // right for toy graphs (the default config assumes 1/64-scale
-    // dataset twins).
-    let r = bfs::run(&graph, 0, EngineConfig::unscaled()).expect("bfs");
+    // One runtime per service, one bind per graph. `unscaled()` runs
+    // the device at full size — right for toy graphs (the default
+    // config assumes 1/64-scale dataset twins).
+    let runtime = Runtime::new(EngineConfig::unscaled())?;
+    let bound = runtime.bind(&graph);
+
+    // BFS from vertex 0 through the run builder.
+    let r = bound.run(Bfs::new(0)).execute()?;
     println!("\nBFS levels:     {:?}", r.meta);
     println!(
         "  {} iterations, {:.4} simulated ms on {}",
         r.report.iterations, r.report.elapsed_ms, r.report.device
     );
 
-    // SSSP from vertex 0 over the random weights.
-    let r = sssp::run(&graph, 0, EngineConfig::unscaled()).expect("sssp");
-    println!("\nSSSP distances: {:?}", r.meta);
+    // Multi-source SSSP as one batch: one distance array per source,
+    // with the worker pool, scratch arenas and push shards reused
+    // across all queries — the amortization a per-query
+    // `Engine::new(..).run()` could never give you.
+    let sources = [0, 4, 8];
+    let batch = bound.run_batch(Sssp::new(0), &sources)?;
+    println!("\nSSSP batch over sources {sources:?}:");
+    for (src, r) in sources.iter().zip(&batch) {
+        println!(
+            "  from {src}: distances {:?} ({} iterations, {} launches)",
+            r.meta,
+            r.report.iterations,
+            r.report.kernel_launches()
+        );
+    }
     println!(
-        "  {} iterations, {} kernel launches, {} barrier passes",
-        r.report.iterations,
-        r.report.kernel_launches(),
-        r.report.barrier_passes()
+        "  filter pattern of last query: {}",
+        batch.last().expect("non-empty").report.log.pattern_rle()
     );
-    println!("  filter pattern: {}", r.report.log.pattern_rle());
+    Ok(())
 }

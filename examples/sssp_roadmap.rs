@@ -3,17 +3,19 @@
 //!
 //! High-diameter graphs run thousands of tiny iterations. This example
 //! shows why the ballot filter alone would be a disaster there (a full
-//! metadata scan per iteration) and how the JIT controller avoids it.
+//! metadata scan per iteration) and how the JIT controller avoids it —
+//! comparing the two policies through two runtimes bound to the same
+//! graph.
 //!
 //! ```text
 //! cargo run --release --example sssp_roadmap
 //! ```
 
-use simdx::algos::sssp;
-use simdx::core::{EngineConfig, FilterPolicy};
+use simdx::algos::Sssp;
+use simdx::core::{EngineConfig, FilterPolicy, Runtime, SimdxError};
 use simdx::graph::datasets;
 
-fn main() {
+fn main() -> Result<(), SimdxError> {
     let spec = datasets::dataset("RC").expect("RoadCA twin");
     let graph = spec.build(3);
     let src = datasets::default_source(graph.out());
@@ -25,13 +27,12 @@ fn main() {
         spec.paper_edges
     );
 
-    let jit = sssp::run(&graph, src, EngineConfig::default()).expect("jit run");
-    let ballot = sssp::run(
-        &graph,
-        src,
-        EngineConfig::default().with_filter(FilterPolicy::BallotOnly),
-    )
-    .expect("ballot run");
+    // One runtime per policy under comparison; each binds the same
+    // graph once.
+    let jit_rt = Runtime::new(EngineConfig::default())?;
+    let jit = jit_rt.bind(&graph).run(Sssp::new(src)).execute()?;
+    let ballot_rt = Runtime::new(EngineConfig::default().with_filter(FilterPolicy::BallotOnly))?;
+    let ballot = ballot_rt.bind(&graph).run(Sssp::new(src)).execute()?;
     assert_eq!(jit.meta, ballot.meta, "policies agree on distances");
 
     println!("\niterations: {}", jit.report.iterations);
@@ -53,4 +54,5 @@ fn main() {
     let reachable = jit.meta.iter().filter(|&&d| d != u32::MAX).count();
     let max_dist = jit.meta.iter().filter(|&&d| d != u32::MAX).max().unwrap();
     println!("\n{reachable} reachable vertices, farthest at distance {max_dist}");
+    Ok(())
 }

@@ -1,0 +1,198 @@
+//! Session-reuse half of the determinism contract
+//! (`crates/core/README.md`): a reused [`BoundGraph`] must produce
+//! reports **bit-identical** to a fresh engine — identical final
+//! metadata (float bit patterns included), identical per-iteration
+//! activation logs and identical executor statistics — across the full
+//! {exec mode} × {frontier repr} × {metadata layout} matrix, and
+//! [`BoundGraph::run_batch`] must match the per-query loop entry for
+//! entry.
+//!
+//! The harness is differential against the *old* API on purpose: the
+//! baseline for every cell is the deprecated one-shot
+//! `Engine::new(..).run()`, so any state leaking across reused-session
+//! queries (stale dirty stamps, undrained bitmaps, surviving thread
+//! bins) shows up as a divergence pinned to the exact knob combination
+//! and query position that leaked. Query seeds deliberately repeat
+//! (`0, 7, 0`) so a leak from an identical earlier query cannot hide.
+
+use simdx::algos::{Bfs, PageRank, Sssp};
+use simdx::core::jit::ActivationLog;
+use simdx::core::prelude::*;
+use simdx::graph::gen::{Rmat, Road};
+use simdx::graph::{weights, Graph};
+use simdx_gpu::executor::ExecutorStats;
+
+/// Everything that must match bit for bit.
+#[derive(Debug, PartialEq)]
+struct Fingerprint<M: PartialEq + std::fmt::Debug> {
+    meta: Vec<M>,
+    iterations: u32,
+    stats: ExecutorStats,
+    log: ActivationLog,
+}
+
+fn fingerprint<M: PartialEq + std::fmt::Debug>(r: RunResult<M>) -> Fingerprint<M> {
+    Fingerprint {
+        meta: r.meta,
+        iterations: r.report.iterations,
+        stats: r.report.stats,
+        log: r.report.log,
+    }
+}
+
+/// The knob matrix each session-reuse scenario runs under.
+fn config_matrix() -> Vec<(String, EngineConfig)> {
+    let mut out = Vec::new();
+    for exec in [ExecMode::Serial, ExecMode::Parallel { threads: 3 }] {
+        for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
+            for layout in [MetadataLayout::Flat, MetadataLayout::Chunked] {
+                out.push((
+                    format!("{}/{}/{}", exec.label(), repr.label(), layout.label()),
+                    EngineConfig::default()
+                        .with_exec(exec)
+                        .with_frontier(repr)
+                        .with_layout(layout),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The old-API baseline: a fresh one-shot engine per query.
+#[allow(deprecated)]
+fn fresh<P: AccProgram>(program: P, g: &Graph, cfg: EngineConfig) -> Fingerprint<P::Meta> {
+    fingerprint(Engine::new(program, g, cfg).run().expect("fresh run"))
+}
+
+/// Asserts that a reused `BoundGraph` serving `seeds` in order matches
+/// a fresh engine per seed, and that `run_batch` matches both.
+fn assert_session_matrix<P, F>(what: &str, g: &Graph, seeds: &[u32], make: F)
+where
+    P: SourcedProgram,
+    P::Meta: PartialEq + std::fmt::Debug,
+    F: Fn(u32) -> P,
+{
+    for (label, cfg) in config_matrix() {
+        let runtime = Runtime::new(cfg.clone()).expect("runtime");
+        let bound = runtime.bind(g);
+        // Reused session, one builder run per seed.
+        for (i, &seed) in seeds.iter().enumerate() {
+            let reused = fingerprint(bound.run(make(seed)).execute().expect("reused session run"));
+            let baseline = fresh(make(seed), g, cfg.clone());
+            assert_eq!(
+                reused, baseline,
+                "{what}: {label}, query #{i} (seed {seed}) diverged from fresh engine"
+            );
+        }
+        // One batch over the same seeds: entry-for-entry identical.
+        let batch = bound.run_batch(make(0), seeds).expect("batch");
+        assert_eq!(batch.len(), seeds.len());
+        for (i, (r, &seed)) in batch.into_iter().zip(seeds).enumerate() {
+            let baseline = fresh(make(seed), g, cfg.clone());
+            assert_eq!(
+                fingerprint(r),
+                baseline,
+                "{what}: {label}, batch entry #{i} (seed {seed}) diverged"
+            );
+        }
+    }
+}
+
+fn rmat_graph() -> Graph {
+    Graph::directed_from_edges(Rmat::gtgraph(12, 8).generate(5))
+}
+
+#[test]
+fn bfs_session_matrix_on_rmat() {
+    let g = rmat_graph();
+    assert_session_matrix("bfs/rmat", &g, &[0, 7, 0], Bfs::new);
+}
+
+#[test]
+fn bfs_session_matrix_on_road() {
+    // Warp-misaligned vertex count, hundreds of tiny online-filter
+    // iterations: the regime where stale dirty stamps or next-frontier
+    // leftovers would surface.
+    let g = Graph::undirected_from_edges(Road::strip(256, 16).generate(5));
+    assert_session_matrix("bfs/road", &g, &[0, 31, 0], Bfs::new);
+}
+
+#[test]
+fn sssp_session_matrix_on_rmat() {
+    // Aggregation combine drives the dirty-stamp / candidate-bitmap
+    // path — the state most at risk across reused runs.
+    let g = Graph::directed_from_edges(weights::assign_default_weights(
+        &Rmat::gtgraph(12, 8).generate(5),
+        9,
+    ));
+    assert_session_matrix("sssp/rmat", &g, &[0, 5, 0], Sssp::new);
+}
+
+#[test]
+fn pagerank_interleaved_with_bfs_stays_bit_equal() {
+    // Interleaving programs with different metadata types (u32 levels,
+    // f32 ranks) over one BoundGraph must keep each stream bit-equal
+    // to fresh engines — the typed scratch arenas may not bleed into
+    // each other. PageRank's float accumulation is the sharpest probe.
+    let g = rmat_graph();
+    for (label, cfg) in config_matrix() {
+        let runtime = Runtime::new(cfg.clone()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let pr_baseline = fresh(PageRank::new(&g), &g, cfg.clone());
+        let bfs_baseline = fresh(Bfs::new(0), &g, cfg.clone());
+        for round in 0..2 {
+            let pr = fingerprint(bound.run(PageRank::new(&g)).execute().expect("pr"));
+            assert_eq!(pr, pr_baseline, "{label}: pagerank round {round}");
+            let bfs = fingerprint(bound.run(Bfs::new(0)).execute().expect("bfs"));
+            assert_eq!(bfs, bfs_baseline, "{label}: bfs round {round}");
+        }
+    }
+}
+
+#[test]
+fn failed_run_does_not_poison_the_session() {
+    // An IterationLimit abort mid-query leaves the engine at an
+    // arbitrary iteration; the next query over the same session must
+    // still be bit-equal to a fresh engine in every knob combination.
+    let g = Graph::undirected_from_edges(Road::strip(256, 16).generate(5));
+    for (label, cfg) in config_matrix() {
+        let runtime = Runtime::new(cfg.clone()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let err = bound
+            .run(Bfs::new(0))
+            .max_iterations(5)
+            .execute()
+            .expect_err("capped run");
+        assert_eq!(
+            err,
+            SimdxError::IterationLimit { max_iterations: 5 },
+            "{label}"
+        );
+        let after = fingerprint(bound.run(Bfs::new(0)).execute().expect("rerun"));
+        let baseline = fresh(Bfs::new(0), &g, cfg.clone());
+        assert_eq!(after, baseline, "{label}: run after abort diverged");
+    }
+}
+
+#[test]
+fn algo_level_batch_helpers_match_loops() {
+    let g = Graph::directed_from_edges(weights::assign_default_weights(
+        &Rmat::gtgraph(11, 8).generate(5),
+        9,
+    ));
+    let seeds = [0u32, 3, 17, 3];
+    let batch = simdx::algos::sssp::run_batch(&g, &seeds, EngineConfig::default()).expect("batch");
+    for (&seed, got) in seeds.iter().zip(&batch) {
+        let single = simdx::algos::sssp::run(&g, seed, EngineConfig::default()).expect("single");
+        assert_eq!(got.meta, single.meta, "seed {seed}");
+        assert_eq!(got.report.log, single.report.log, "seed {seed}");
+        assert_eq!(got.report.stats, single.report.stats, "seed {seed}");
+    }
+    let batch = simdx::algos::bfs::run_batch(&g, &seeds, EngineConfig::default()).expect("batch");
+    for (&seed, got) in seeds.iter().zip(&batch) {
+        let single = simdx::algos::bfs::run(&g, seed, EngineConfig::default()).expect("single");
+        assert_eq!(got.meta, single.meta, "seed {seed}");
+        assert_eq!(got.report.stats, single.report.stats, "seed {seed}");
+    }
+}
