@@ -223,6 +223,8 @@ fn finish<M>(
             iterations,
             elapsed_ms,
             stats: executor.stats().clone(),
+            // Baseline simulators do not meter host edge traversals.
+            edges_examined: 0,
             log: ActivationLog::default(),
         },
     })

@@ -181,6 +181,8 @@ impl<'g, P: AccProgram> CushaEngine<'g, P> {
                 iterations: iteration,
                 elapsed_ms,
                 stats: executor.stats().clone(),
+                // Baseline simulators do not meter host edge traversals.
+                edges_examined: 0,
                 log: ActivationLog::default(),
             },
         })

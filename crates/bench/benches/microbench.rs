@@ -13,7 +13,9 @@ use simdx_core::acc::{AccProgram, CombineKind};
 use simdx_core::filters::ballot::{self, WarpScanScratch};
 use simdx_core::filters::{online, strided};
 use simdx_core::frontier::ThreadBins;
-use simdx_core::{EngineConfig, ExecMode, FrontierRepr, MetadataLayout, MetadataStore, Runtime};
+use simdx_core::{
+    EngineConfig, ExecMode, FrontierRepr, MetadataLayout, MetadataStore, PushStrategy, Runtime,
+};
 use simdx_gpu::occupancy::occupancy;
 use simdx_gpu::warp;
 use simdx_gpu::{DeviceSpec, GpuExecutor, KernelDesc};
@@ -284,6 +286,37 @@ fn bench_metadata_layouts(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_push_strategies(c: &mut Criterion) {
+    // A/B of the parallel push strategies (bit-equal by contract):
+    // Scan replays the whole task list per destination shard, Grid
+    // iterates the bind-time destination-bucketed sub-CSRs, so the
+    // delta is the redundant scan work. Push-heavy regimes only —
+    // BFS under the fixed-push policy on a skewed graph, both
+    // frontier representations. Queries run over one bound session so
+    // the grid build cost is amortized the way a service would pay it
+    // (bind once, push every iteration of every query).
+    let g = datasets::dataset("PK").expect("PK").build_scaled(3, 2);
+    let src = datasets::default_source(g.out());
+    let mut group = c.benchmark_group("push_strategy");
+    group.sample_size(10);
+    for push in [PushStrategy::Scan, PushStrategy::Grid] {
+        for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
+            let cfg = EngineConfig::default()
+                .with_direction(simdx_core::DirectionPolicy::FixedPush)
+                .parallel(2)
+                .with_frontier(repr)
+                .with_push(push);
+            let runtime = Runtime::new(cfg).expect("runtime");
+            let bound = runtime.bind(&g);
+            group.bench_function(
+                BenchmarkId::new(format!("bfs_{}", repr.label()), push.label()),
+                |b| b.iter(|| bound.run(Bfs::new(src)).execute().expect("bfs")),
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_session_reuse(c: &mut Criterion) {
     // The api_redesign A/B: a 16-source BFS batch on RMAT scale-14,
     // fresh runtime (pool + scratch + fences) per query vs one reused
@@ -325,6 +358,7 @@ criterion_group!(
     bench_exec_modes,
     bench_frontier_reprs,
     bench_metadata_layouts,
+    bench_push_strategies,
     bench_session_reuse
 );
 criterion_main!(benches);

@@ -286,6 +286,73 @@ impl Default for MetadataLayout {
     }
 }
 
+/// How the parallel backend distributes push-mode edge work across its
+/// destination shards.
+///
+/// Orthogonal to [`ExecMode`], [`FrontierRepr`] and [`MetadataLayout`],
+/// and under the same contract: `Grid` is **bit-equal** to `Scan` —
+/// identical metadata, activation logs and simulated cycle counts
+/// (`tests/frontier_equivalence.rs` sweeps the strategy axis across
+/// the full matrix). Only the host-side edge traversal changes; the
+/// serial backend ignores the knob entirely (there is exactly one
+/// shard).
+///
+/// * `Scan` is the seed behaviour: every worker replays the *entire*
+///   frontier task list and discards the edges that land outside its
+///   destination shard, so one iteration traverses
+///   `threads × |E_frontier|` edges.
+/// * `Grid` iterates a bind-time destination-bucketed sub-CSR
+///   ([`crate::grid::GridCsr`]): worker `s` sees only the edges whose
+///   destination falls in shard `s`, pre-sliced per source in the
+///   original adjacency order, so one iteration traverses each
+///   frontier edge exactly once — the work-optimal form. The
+///   [`crate::metrics::RunReport::edges_examined`] counter records the
+///   difference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PushStrategy {
+    /// Scan-and-skip: full task-list replay per destination shard
+    /// (seed behaviour).
+    Scan,
+    /// Work-optimal replay over the bind-time grid CSR.
+    Grid,
+}
+
+impl PushStrategy {
+    /// The strategy selected by the `SIMDX_PUSH` environment variable:
+    /// `"scan"` selects `Scan`; `"grid"`, empty or unset select
+    /// `Grid`. Any other value is an [`SimdxError::InvalidKnob`].
+    pub fn try_from_env() -> Result<Self, SimdxError> {
+        try_env_knob("SIMDX_PUSH", "'scan' or 'grid'", Self::Grid, |v| match v {
+            "scan" => Some(Self::Scan),
+            "grid" => Some(Self::Grid),
+            _ => None,
+        })
+    }
+
+    /// Panicking [`Self::try_from_env`], for the cached process default.
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Short label for reports and bench artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Scan => "scan",
+            Self::Grid => "grid",
+        }
+    }
+}
+
+impl Default for PushStrategy {
+    /// Defers to [`Self::from_env`] so `SIMDX_PUSH=scan` flips the
+    /// default for a whole test/bench process, cached like the other
+    /// knob defaults.
+    fn default() -> Self {
+        static DEFAULT: std::sync::OnceLock<PushStrategy> = std::sync::OnceLock::new();
+        *DEFAULT.get_or_init(Self::from_env)
+    }
+}
+
 /// Push/pull direction selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DirectionPolicy {
@@ -337,19 +404,22 @@ pub struct EngineConfig {
     pub frontier: FrontierRepr,
     /// Metadata memory layout (flat vectors vs warp-chunked storage).
     pub layout: MetadataLayout,
+    /// Parallel push edge distribution (scan-and-skip vs grid CSR).
+    pub push: PushStrategy,
 }
 
 impl Default for EngineConfig {
-    /// Paper defaults with the three host knobs read from their cached
+    /// Paper defaults with the four host knobs read from their cached
     /// per-process environment defaults (`SIMDX_EXEC`,
-    /// `SIMDX_FRONTIER`, `SIMDX_LAYOUT`); an unparsable knob panics.
-    /// Session construction should prefer the fallible
+    /// `SIMDX_FRONTIER`, `SIMDX_LAYOUT`, `SIMDX_PUSH`); an unparsable
+    /// knob panics. Session construction should prefer the fallible
     /// [`Self::from_env`].
     fn default() -> Self {
         Self::with_knobs(
             ExecMode::default(),
             FrontierRepr::default(),
             MetadataLayout::default(),
+            PushStrategy::default(),
         )
     }
 }
@@ -359,7 +429,12 @@ impl EngineConfig {
     /// the one constructor that does not consult the environment, so
     /// the fallible path can report a bad knob instead of panicking
     /// halfway through `Default::default()`.
-    fn with_knobs(exec: ExecMode, frontier: FrontierRepr, layout: MetadataLayout) -> Self {
+    fn with_knobs(
+        exec: ExecMode,
+        frontier: FrontierRepr,
+        layout: MetadataLayout,
+        push: PushStrategy,
+    ) -> Self {
         Self {
             device: DeviceSpec::k40(),
             fusion: FusionStrategy::PushPull,
@@ -373,12 +448,13 @@ impl EngineConfig {
             exec,
             frontier,
             layout,
+            push,
         }
     }
 
     /// The default configuration with every `SIMDX_*` host knob parsed
     /// fallibly from the environment: a typo in `SIMDX_EXEC`,
-    /// `SIMDX_FRONTIER` or `SIMDX_LAYOUT` comes back as
+    /// `SIMDX_FRONTIER`, `SIMDX_LAYOUT` or `SIMDX_PUSH` comes back as
     /// [`SimdxError::InvalidKnob`] instead of a panic. This reads the
     /// environment on every call (no cache) — it is meant for
     /// session-construction time, not hot loops.
@@ -387,6 +463,7 @@ impl EngineConfig {
             ExecMode::try_from_env()?,
             FrontierRepr::try_from_env()?,
             MetadataLayout::try_from_env()?,
+            PushStrategy::try_from_env()?,
         );
         cfg.validate()?;
         Ok(cfg)
@@ -487,6 +564,17 @@ impl EngineConfig {
     /// Builder: warp-chunked metadata layout.
     pub fn chunked(self) -> Self {
         self.with_layout(MetadataLayout::Chunked)
+    }
+
+    /// Builder: set the parallel push strategy.
+    pub fn with_push(mut self, push: PushStrategy) -> Self {
+        self.push = push;
+        self
+    }
+
+    /// Builder: the legacy scan-and-skip push replay.
+    pub fn scan_push(self) -> Self {
+        self.with_push(PushStrategy::Scan)
     }
 }
 
@@ -600,6 +688,49 @@ mod tests {
     }
 
     #[test]
+    fn push_strategy_builders_and_labels() {
+        assert_eq!(PushStrategy::Scan.label(), "scan");
+        assert_eq!(PushStrategy::Grid.label(), "grid");
+        let c = EngineConfig::unscaled().scan_push();
+        assert_eq!(c.push, PushStrategy::Scan);
+        let c = c.with_push(PushStrategy::Grid);
+        assert_eq!(c.push, PushStrategy::Grid);
+        // Without SIMDX_PUSH the default strategy is the work-optimal
+        // grid; with it, CI flips every default config to the legacy
+        // scan replay (both are valid here by the bit-equality
+        // contract).
+        assert!(matches!(
+            EngineConfig::default().push,
+            PushStrategy::Grid | PushStrategy::Scan
+        ));
+    }
+
+    #[test]
+    fn push_knob_rejects_typos() {
+        let parse = |v: &str| match v {
+            "scan" => Some(PushStrategy::Scan),
+            "grid" => Some(PushStrategy::Grid),
+            _ => None,
+        };
+        let err = parse_knob(
+            "SIMDX_PUSH",
+            "'scan' or 'grid'",
+            PushStrategy::Grid,
+            Some("mesh".to_string()),
+            parse,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "SIMDX_PUSH must be 'scan' or 'grid', got 'mesh'"
+        );
+        assert_eq!(
+            parse_knob("SIMDX_PUSH", "x", PushStrategy::Grid, None, parse),
+            Ok(PushStrategy::Grid)
+        );
+    }
+
+    #[test]
     fn from_env_matches_default_when_unset() {
         // The test processes never set SIMDX_* to invalid values, so
         // the fallible path must agree with the cached defaults.
@@ -608,6 +739,7 @@ mod tests {
         assert_eq!(cfg.exec, def.exec);
         assert_eq!(cfg.frontier, def.frontier);
         assert_eq!(cfg.layout, def.layout);
+        assert_eq!(cfg.push, def.push);
         assert_eq!(cfg.max_iterations, def.max_iterations);
     }
 

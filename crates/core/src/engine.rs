@@ -28,13 +28,21 @@
 //! strategies (documented in `crates/core/README.md`):
 //!
 //! * *Push compute is destination-sharded.* Each worker owns a
-//!   contiguous vertex range of `metadata_curr` (balanced by in-degree)
-//!   and replays the full task list, applying only the edges that land
-//!   in its range. Sources read the immutable `metadata_prev` snapshot,
-//!   so a destination's update sequence depends only on the edges that
-//!   target it — every worker therefore observes exactly the serial
-//!   subsequence for its vertices, preserving order-sensitive results
-//!   (PageRank's float accumulation, cost `writes` counts) bit for bit.
+//!   contiguous vertex range of `metadata_curr` (balanced by
+//!   in-degree) and applies only the edges that land in its range.
+//!   [`crate::config::PushStrategy`] selects how it finds them: `Scan`
+//!   replays the full task list and skips out-of-shard edges (total
+//!   traversal `threads × |E_frontier|`), `Grid` (the default)
+//!   iterates the bind-time destination-bucketed [`GridCsr`] so each
+//!   edge is traversed exactly once per iteration. Either way sources
+//!   read the immutable `metadata_prev` snapshot, so a destination's
+//!   update sequence depends only on the edges that target it — every
+//!   worker observes exactly the serial subsequence for its vertices,
+//!   preserving order-sensitive results (PageRank's float
+//!   accumulation, cost `writes` counts) bit for bit. Costs are
+//!   charged from the full per-task degrees in both strategies, so
+//!   the simulated device cannot tell them apart; only the *host*
+//!   edge-traversal meter ([`RunReport::edges_examined`]) differs.
 //! * *Pull compute, classification, candidate sweeps, degree sums and
 //!   the ballot scan are task-chunked.* Contiguous chunks concatenated
 //!   in worker order reproduce the serial order exactly.
@@ -59,12 +67,15 @@
 //! ([`ballot::scan_range_sparse`]), parallel push records changes as
 //! atomic-free bit sets over word-aligned destination shards, and the
 //! parallel ballot partitions on word boundaries. In bitmap mode the
-//! serial engine additionally drains the online filter's thread bins
+//! engine additionally drains the online filter's thread bins
 //! *directly* — degree sums, classification and aggregation-pull
 //! marking read the duplicate-carrying record sequence straight out of
-//! [`ThreadBins::for_each_entry`], so the concatenated worklist is
-//! never materialized (the parallel backend still materializes it,
-//! because its workers index the frontier by position).
+//! the bins, so the concatenated worklist is never materialized. The
+//! serial path streams [`ThreadBins::for_each_entry`]; parallel
+//! workers take contiguous concatenation-position ranges through the
+//! sealed per-bin prefix offsets
+//! ([`ThreadBins::for_each_entry_in`]) and merge in worker order,
+//! which is the concatenation order.
 //!
 //! # Metadata layouts
 //!
@@ -83,13 +94,14 @@
 //! splits a chunk.
 
 use crate::acc::{AccProgram, CombineKind, DirectionCtx};
-use crate::config::{DirectionPolicy, EngineConfig, FrontierRepr, MetadataLayout};
+use crate::config::{DirectionPolicy, EngineConfig, FrontierRepr, MetadataLayout, PushStrategy};
 use crate::error::SimdxError;
 use crate::filters::{ballot, online, FilterKind};
 use crate::frontier::{
     BitSink, BitmapWordsMut, ChangeSink, FrontierBitmap, ListSink, ThreadBins, Worklists, WORD_BITS,
 };
 use crate::fusion::{FusionPlan, KernelRole};
+use crate::grid::{GridCsr, ShardCsr};
 use crate::jit::{ActivationLog, IterationRecord, JitController};
 use crate::metadata::{MetadataStore, CHUNK_LANES};
 use crate::metrics::{RunReport, RunResult};
@@ -98,7 +110,7 @@ use crate::scratch::{IterScratch, PushFences, RecordEntry, WorkerScratch};
 use crate::session::Runtime;
 use simdx_gpu::{Cost, GpuExecutor, SchedUnit};
 use simdx_graph::csr::{Csr, Direction};
-use simdx_graph::{Graph, VertexId};
+use simdx_graph::{Graph, VertexId, Weight};
 
 /// Borrowed per-run resources handed to [`Engine::run_session`].
 ///
@@ -116,6 +128,11 @@ pub(crate) struct SessionCtx<'a, 'o, M: 'static> {
     /// every parallel runtime, so a parallel run never derives them
     /// mid-query. Serial runs carry `None` (never read).
     pub fences: Option<&'a PushFences>,
+    /// Bind-time destination-bucketed grid CSR. Must be `Some`
+    /// whenever `pool` is and the config selects
+    /// [`PushStrategy::Grid`] — again precomputed by `Runtime::bind`.
+    /// Serial and scan-strategy runs carry `None` (never read).
+    pub grid: Option<&'a GridCsr>,
     /// Per-run iteration cap (the run builder can override the
     /// config's).
     pub max_iterations: u32,
@@ -198,6 +215,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             pool,
             scratch,
             fences: bound_fences,
+            grid: bound_grid,
             max_iterations,
             mut observer,
         } = ctx;
@@ -262,10 +280,17 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         let mut prev_dir = Direction::Push;
         let mut iteration = 0u32;
         // Bitmap mode's worklist drain: when the previous iteration's
-        // online filter left the next frontier in the thread bins
-        // (serial path only), this flag redirects every frontier
-        // consumer to `ThreadBins::for_each_entry`.
+        // online filter left the next frontier in the thread bins,
+        // this flag redirects every frontier consumer to
+        // `ThreadBins::for_each_entry` (serial) or the sealed-prefix
+        // `ThreadBins::for_each_entry_in` ranges (parallel).
         let mut frontier_in_bins = false;
+        // Host work meter: every edge the compute kernels actually
+        // traverse (push scatters, pull gathers). Deliberately outside
+        // the bit-equality contract — it is how the tests pin the
+        // scan strategy's threads× redundancy and the grid strategy's
+        // work-optimality.
+        let mut edges_examined = 0u64;
 
         loop {
             let frontier_len = if frontier_in_bins {
@@ -283,24 +308,40 @@ impl<'g, P: AccProgram> Engine<'g, P> {
 
             // 1. Direction.
             let out_csr = graph.out();
-            let degree_sum: u64 = if frontier_in_bins {
-                let mut sum = 0u64;
-                bins.for_each_entry(|v| sum += out_csr.degree(v) as u64);
-                sum
-            } else {
-                match pool {
-                    None => frontier.iter().map(|&v| out_csr.degree(v) as u64).sum(),
-                    Some(pool) => {
-                        let frontier = &frontier;
-                        pool.for_each_worker(workers, |w, ws| {
-                            let (lo, hi) = chunk_range(frontier.len(), threads, w);
-                            ws.degree_sum = frontier[lo..hi]
-                                .iter()
-                                .map(|&v| out_csr.degree(v) as u64)
-                                .sum();
+            let degree_sum: u64 = match (pool, frontier_in_bins) {
+                (None, true) => {
+                    let mut sum = 0u64;
+                    bins.for_each_entry(|v| sum += out_csr.degree(v) as u64);
+                    sum
+                }
+                (None, false) => frontier.iter().map(|&v| out_csr.degree(v) as u64).sum(),
+                (Some(pool), true) => {
+                    // Parallel worklist drain: workers split the
+                    // concatenation order by position through the
+                    // sealed per-bin prefix, so no list is ever
+                    // materialized in either exec mode.
+                    let bins = &*bins;
+                    let total = bins.total_recorded() as usize;
+                    pool.for_each_worker(workers, |w, ws| {
+                        let (lo, hi) = chunk_range(total, threads, w);
+                        let mut sum = 0u64;
+                        bins.for_each_entry_in(lo as u64, hi as u64, |v| {
+                            sum += out_csr.degree(v) as u64;
                         });
-                        workers.iter().map(|ws| ws.degree_sum).sum()
-                    }
+                        ws.degree_sum = sum;
+                    });
+                    workers.iter().map(|ws| ws.degree_sum).sum()
+                }
+                (Some(pool), false) => {
+                    let frontier = &frontier;
+                    pool.for_each_worker(workers, |w, ws| {
+                        let (lo, hi) = chunk_range(frontier.len(), threads, w);
+                        ws.degree_sum = frontier[lo..hi]
+                            .iter()
+                            .map(|&v| out_csr.degree(v) as u64)
+                            .sum();
+                    });
+                    workers.iter().map(|ws| ws.degree_sum).sum()
                 }
             };
             let ctx = DirectionCtx {
@@ -328,10 +369,34 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                         // Bitmap worklist drain: classify straight out
                         // of the bins in concatenation order — same
                         // entries, same duplicates, same order as the
-                        // materialized list would give.
+                        // materialized list would give. Parallel
+                        // workers take contiguous position ranges and
+                        // merge in worker order, which *is* that
+                        // order.
                         let thresholds = config.thresholds;
-                        lists.clear();
-                        bins.for_each_entry(|v| lists.classify_one(v, scan_csr, thresholds));
+                        match pool {
+                            None => {
+                                lists.clear();
+                                bins.for_each_entry(|v| {
+                                    lists.classify_one(v, scan_csr, thresholds)
+                                });
+                            }
+                            Some(pool) => {
+                                let bins = &*bins;
+                                let total = bins.total_recorded() as usize;
+                                pool.for_each_worker(workers, |w, ws| {
+                                    ws.lists.clear();
+                                    let (lo, hi) = chunk_range(total, threads, w);
+                                    bins.for_each_entry_in(lo as u64, hi as u64, |v| {
+                                        ws.lists.classify_one(v, scan_csr, thresholds)
+                                    });
+                                });
+                                lists.clear();
+                                for ws in workers.iter() {
+                                    lists.append(&ws.lists);
+                                }
+                            }
+                        }
                     } else {
                         match pool {
                             None => lists.classify_into(&frontier, scan_csr, config.thresholds),
@@ -480,18 +545,34 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                 Some(pool) => {
                                     let curr = curr.as_slice();
                                     let frontier = &frontier;
+                                    // The frontier may live in the
+                                    // thread bins (worklist drain):
+                                    // workers then take contiguous
+                                    // concatenation-position ranges
+                                    // through the sealed prefix.
+                                    let bins = &*bins;
+                                    let bins_total = bins.total_recorded() as usize;
                                     pool.for_each_worker(workers, |w, ws| {
                                         ws.cands.clear();
                                         ws.tasks.clear();
-                                        let (lo, hi) = chunk_range(frontier.len(), threads, w);
-                                        for &v in &frontier[lo..hi] {
+                                        let WorkerScratch { cands, tasks, .. } = ws;
+                                        let mut mark = |v: VertexId| {
                                             let nbrs = out_csr.neighbors(v);
                                             for &u in nbrs {
                                                 if program.pull_candidate(u, &curr[u as usize]) {
-                                                    ws.cands.push(u);
+                                                    cands.push(u);
                                                 }
                                             }
-                                            ws.tasks.push(Self::mark_cost(nbrs.len()));
+                                            tasks.push(Self::mark_cost(nbrs.len()));
+                                        };
+                                        if frontier_in_bins {
+                                            let (lo, hi) = chunk_range(bins_total, threads, w);
+                                            bins.for_each_entry_in(lo as u64, hi as u64, mark);
+                                        } else {
+                                            let (lo, hi) = chunk_range(frontier.len(), threads, w);
+                                            for &v in &frontier[lo..hi] {
+                                                mark(v);
+                                            }
                                         }
                                     });
                                     // Workers may discover the same
@@ -571,6 +652,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                 width,
                                 task_base,
                                 frontier_sorted,
+                                &mut edges_examined,
                             ),
                             FrontierRepr::Bitmap => Self::serial_unit(
                                 program,
@@ -586,6 +668,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                 width,
                                 task_base,
                                 frontier_sorted,
+                                &mut edges_examined,
                             ),
                         }
                         executor.run_kernel(&kernel, unit, tasks, launch);
@@ -593,8 +676,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     (Some(pool), Direction::Push) => {
                         let fences: &PushFences =
                             bound_fences.expect("parallel run carries bind-time fences");
-                        match repr {
-                            FrontierRepr::List => Self::push_unit_parallel(
+                        match (config.push, repr) {
+                            (PushStrategy::Scan, FrontierRepr::List) => Self::push_unit_parallel(
                                 program,
                                 pool,
                                 workers,
@@ -611,25 +694,73 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                 width,
                                 task_base,
                                 frontier_sorted,
+                                &mut edges_examined,
                             ),
-                            FrontierRepr::Bitmap => Self::push_unit_parallel_bits(
-                                program,
-                                pool,
-                                workers,
-                                list,
-                                scan_csr,
-                                prev.as_slice(),
-                                curr.as_mut_slice(),
-                                fences,
-                                changed_bits,
-                                tasks,
-                                records,
-                                bins,
-                                record,
-                                width,
-                                task_base,
-                                frontier_sorted,
-                            ),
+                            (PushStrategy::Scan, FrontierRepr::Bitmap) => {
+                                Self::push_unit_parallel_bits(
+                                    program,
+                                    pool,
+                                    workers,
+                                    list,
+                                    scan_csr,
+                                    prev.as_slice(),
+                                    curr.as_mut_slice(),
+                                    fences,
+                                    changed_bits,
+                                    tasks,
+                                    records,
+                                    bins,
+                                    record,
+                                    width,
+                                    task_base,
+                                    frontier_sorted,
+                                    &mut edges_examined,
+                                )
+                            }
+                            (PushStrategy::Grid, FrontierRepr::List) => {
+                                Self::push_unit_parallel_grid(
+                                    program,
+                                    pool,
+                                    workers,
+                                    list,
+                                    scan_csr,
+                                    bound_grid.expect("grid runs carry a bind-time grid CSR"),
+                                    prev.as_slice(),
+                                    curr.as_mut_slice(),
+                                    &fences.verts,
+                                    tasks,
+                                    changed,
+                                    records,
+                                    bins,
+                                    record,
+                                    width,
+                                    task_base,
+                                    frontier_sorted,
+                                    &mut edges_examined,
+                                )
+                            }
+                            (PushStrategy::Grid, FrontierRepr::Bitmap) => {
+                                Self::push_unit_parallel_grid_bits(
+                                    program,
+                                    pool,
+                                    workers,
+                                    list,
+                                    scan_csr,
+                                    bound_grid.expect("grid runs carry a bind-time grid CSR"),
+                                    prev.as_slice(),
+                                    curr.as_mut_slice(),
+                                    fences,
+                                    changed_bits,
+                                    tasks,
+                                    records,
+                                    bins,
+                                    record,
+                                    width,
+                                    task_base,
+                                    frontier_sorted,
+                                    &mut edges_examined,
+                                )
+                            }
                         }
                         executor.run_kernel(&kernel, unit, tasks, launch);
                     }
@@ -650,6 +781,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                             record,
                             width,
                             task_base,
+                            &mut edges_examined,
                         );
                         executor.run_kernel_parts(
                             &kernel,
@@ -669,13 +801,12 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             let decision = jit.decide(bins, iteration)?;
             let tm_kernel = plan.kernel(dir, KernelRole::TaskMgmt);
             let tm_launch = plan.needs_launch(dir);
-            // Bitmap worklist drain (serial path): leave the online
-            // filter's next frontier in the bins and only charge the
-            // concatenation kernel — identical costs, no materialized
-            // list. The parallel path materializes as before, because
-            // its frontier consumers index by position.
-            let drain_bins_next =
-                decision == FilterKind::Online && repr == FrontierRepr::Bitmap && pool.is_none();
+            // Bitmap worklist drain: leave the online filter's next
+            // frontier in the bins and only charge the concatenation
+            // kernel — identical costs, no materialized list. Parallel
+            // frontier consumers index by concatenation position
+            // through the sealed per-bin prefix offsets.
+            let drain_bins_next = decision == FilterKind::Online && repr == FrontierRepr::Bitmap;
             match decision {
                 FilterKind::Online => {
                     if drain_bins_next {
@@ -795,6 +926,11 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 },
             };
             frontier_in_bins = drain_bins_next;
+            if drain_bins_next && pool.is_some() {
+                // Index the concatenation order once so next
+                // iteration's workers can binary-search their ranges.
+                bins.seal_prefix();
+            }
             if plan.uses_global_barrier() {
                 executor.charge_barrier();
             }
@@ -867,6 +1003,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 iterations: iteration,
                 elapsed_ms,
                 stats: executor.stats().clone(),
+                edges_examined,
                 log,
             },
         })
@@ -960,6 +1097,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         width: u64,
         task_base: u64,
         frontier_sorted: bool,
+        examined: &mut u64,
     ) {
         tasks.clear();
         for (t, &v) in list.iter().enumerate() {
@@ -977,6 +1115,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     width,
                     task_counter,
                     frontier_sorted,
+                    examined,
                 ),
                 Direction::Pull => Self::pull_task(
                     program,
@@ -989,17 +1128,19 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     record,
                     width,
                     task_counter,
+                    examined,
                 ),
             };
             tasks.push(cost);
         }
     }
 
-    /// One push-mode compute-kernel loop, destination-sharded (see the
-    /// module docs): every worker replays the whole task list but
-    /// applies only the edges landing in its contiguous vertex shard of
-    /// `curr`, then per-task applied counts, changed vertices and
-    /// deferred filter records are merged deterministically.
+    /// One push-mode compute-kernel loop under the scan-and-skip
+    /// strategy (see the module docs): every worker replays the whole
+    /// task list but applies only the edges landing in its contiguous
+    /// vertex shard of `curr`, then per-task applied counts, changed
+    /// vertices and deferred filter records are merged
+    /// deterministically.
     #[allow(clippy::too_many_arguments)]
     fn push_unit_parallel(
         program: &P,
@@ -1018,6 +1159,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         width: u64,
         task_base: u64,
         frontier_sorted: bool,
+        examined: &mut u64,
     ) {
         Self::push_cost_prefill(tasks, list, csr, width, frontier_sorted);
         pool.for_each_worker_sharded(workers, curr, bounds, |_w, ws, off, curr_shard| {
@@ -1026,6 +1168,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 changed,
                 records,
                 applied,
+                edges_examined,
                 ..
             } = ws;
             Self::push_replay_shard(
@@ -1037,13 +1180,14 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 curr_shard,
                 records,
                 applied,
+                edges_examined,
                 &mut ListSink(changed),
                 record,
                 width,
                 task_base,
             );
         });
-        Self::push_merge(workers, tasks, records, bins, |ws, recs| {
+        Self::push_merge(workers, tasks, records, bins, examined, |ws, recs| {
             changed.extend_from_slice(&ws.changed);
             recs.extend_from_slice(&ws.records);
         });
@@ -1073,6 +1217,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         width: u64,
         task_base: u64,
         frontier_sorted: bool,
+        examined: &mut u64,
     ) {
         Self::push_cost_prefill(tasks, list, csr, width, frontier_sorted);
         pool.for_each_worker_sharded2(
@@ -1083,7 +1228,10 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             &fences.words,
             |_w, ws, off, curr_shard, word_off, word_shard| {
                 let WorkerScratch {
-                    records, applied, ..
+                    records,
+                    applied,
+                    edges_examined,
+                    ..
                 } = ws;
                 Self::push_replay_shard(
                     program,
@@ -1094,6 +1242,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     curr_shard,
                     records,
                     applied,
+                    edges_examined,
                     &mut BitSink(BitmapWordsMut::new(word_off, word_shard)),
                     record,
                     width,
@@ -1101,7 +1250,127 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 );
             },
         );
-        Self::push_merge(workers, tasks, records, bins, |ws, recs| {
+        Self::push_merge(workers, tasks, records, bins, examined, |ws, recs| {
+            recs.extend_from_slice(&ws.records);
+        });
+    }
+
+    /// One push-mode compute-kernel loop under the grid strategy:
+    /// worker `s` iterates only `grid.shard(s)` — the bind-time bucket
+    /// of edges whose destination falls in its metadata shard — so
+    /// each frontier edge is traversed exactly once per iteration
+    /// instead of once per worker. Costs are still prefetched from the
+    /// full per-task degrees and the merge path is shared with the
+    /// scan strategy, which is why the two are bit-equal.
+    #[allow(clippy::too_many_arguments)]
+    fn push_unit_parallel_grid(
+        program: &P,
+        pool: &WorkerPool,
+        workers: &mut [WorkerScratch<P::Meta>],
+        list: &[VertexId],
+        csr: &Csr,
+        grid: &GridCsr,
+        prev: &[P::Meta],
+        curr: &mut [P::Meta],
+        bounds: &[u32],
+        tasks: &mut Vec<Cost>,
+        changed: &mut Vec<VertexId>,
+        records: &mut Vec<RecordEntry>,
+        bins: &mut ThreadBins,
+        record: bool,
+        width: u64,
+        task_base: u64,
+        frontier_sorted: bool,
+        examined: &mut u64,
+    ) {
+        Self::push_cost_prefill(tasks, list, csr, width, frontier_sorted);
+        pool.for_each_worker_sharded(workers, curr, bounds, |w, ws, off, curr_shard| {
+            ws.changed.clear();
+            let WorkerScratch {
+                changed,
+                records,
+                applied,
+                edges_examined,
+                ..
+            } = ws;
+            Self::push_replay_grid(
+                program,
+                list,
+                grid.shard(w),
+                prev,
+                off,
+                curr_shard,
+                records,
+                applied,
+                edges_examined,
+                &mut ListSink(changed),
+                record,
+                width,
+                task_base,
+            );
+        });
+        Self::push_merge(workers, tasks, records, bins, examined, |ws, recs| {
+            changed.extend_from_slice(&ws.changed);
+            recs.extend_from_slice(&ws.records);
+        });
+    }
+
+    /// The bitmap-mode variant of [`Self::push_unit_parallel_grid`]:
+    /// grid iteration with atomic-free bit-set change recording over
+    /// the word-aligned shard windows.
+    #[allow(clippy::too_many_arguments)]
+    fn push_unit_parallel_grid_bits(
+        program: &P,
+        pool: &WorkerPool,
+        workers: &mut [WorkerScratch<P::Meta>],
+        list: &[VertexId],
+        csr: &Csr,
+        grid: &GridCsr,
+        prev: &[P::Meta],
+        curr: &mut [P::Meta],
+        fences: &PushFences,
+        changed_bits: &mut FrontierBitmap,
+        tasks: &mut Vec<Cost>,
+        records: &mut Vec<RecordEntry>,
+        bins: &mut ThreadBins,
+        record: bool,
+        width: u64,
+        task_base: u64,
+        frontier_sorted: bool,
+        examined: &mut u64,
+    ) {
+        Self::push_cost_prefill(tasks, list, csr, width, frontier_sorted);
+        pool.for_each_worker_sharded2(
+            workers,
+            curr,
+            &fences.verts,
+            changed_bits.words_mut(),
+            &fences.words,
+            |w, ws, off, curr_shard, word_off, word_shard| {
+                let WorkerScratch {
+                    records,
+                    applied,
+                    edges_examined,
+                    ..
+                } = ws;
+                Self::push_replay_grid(
+                    program,
+                    list,
+                    grid.shard(w),
+                    prev,
+                    off,
+                    curr_shard,
+                    records,
+                    applied,
+                    edges_examined,
+                    &mut BitSink(BitmapWordsMut::new(word_off, word_shard)),
+                    record,
+                    width,
+                    task_base,
+                );
+            },
+        );
+        Self::push_merge(workers, tasks, records, bins, examined, |ws, recs| {
             recs.extend_from_slice(&ws.records);
         });
     }
@@ -1122,9 +1391,11 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         }
     }
 
-    /// One worker's destination shard of the push task-list replay,
-    /// shared by both frontier representations through the
-    /// [`ChangeSink`] first-change test.
+    /// One worker's destination shard of the scan-strategy push
+    /// task-list replay, shared by both frontier representations
+    /// through the [`ChangeSink`] first-change test: the full
+    /// adjacency of every task is scanned and out-of-shard edges are
+    /// skipped.
     #[allow(clippy::too_many_arguments)]
     fn push_replay_shard<C: ChangeSink<P::Meta>>(
         program: &P,
@@ -1135,6 +1406,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         curr_shard: &mut [P::Meta],
         records: &mut Vec<RecordEntry>,
         applied_out: &mut Vec<(u32, u32)>,
+        examined: &mut u64,
         chg: &mut C,
         record: bool,
         width: u64,
@@ -1142,51 +1414,205 @@ impl<'g, P: AccProgram> Engine<'g, P> {
     ) {
         records.clear();
         applied_out.clear();
-        let end = off + curr_shard.len();
+        *examined = 0;
         for (t, &v) in list.iter().enumerate() {
             let task_counter = task_base + t as u64;
             let (lo, hi) = csr.range(v);
-            let m_src = prev[v as usize];
-            let bin_base = (task_counter * width) as usize;
-            let mut applied = 0u32;
-            for i in lo..hi {
-                let u = csr.targets()[i];
-                let ui = u as usize;
-                if ui < off || ui >= end {
-                    continue;
+            let targets = &csr.targets()[lo..hi];
+            *examined += targets.len() as u64;
+            // Weighted/unweighted split once per task, so the inner
+            // loop carries no per-edge branch on the weights option.
+            let applied = match csr.weights() {
+                None => Self::replay_task_edges(
+                    program,
+                    v,
+                    targets,
+                    |_| 1,
+                    |k| k as u32,
+                    Some((off, off + curr_shard.len())),
+                    prev,
+                    off,
+                    curr_shard,
+                    records,
+                    chg,
+                    record,
+                    width,
+                    task_counter,
+                ),
+                Some(ws) => {
+                    let ws = &ws[lo..hi];
+                    Self::replay_task_edges(
+                        program,
+                        v,
+                        targets,
+                        |k| ws[k],
+                        |k| k as u32,
+                        Some((off, off + curr_shard.len())),
+                        prev,
+                        off,
+                        curr_shard,
+                        records,
+                        chg,
+                        record,
+                        width,
+                        task_counter,
+                    )
                 }
-                let w = csr.weights().map_or(1, |ws| ws[i]);
-                let m_dst = &curr_shard[ui - off];
-                if let Some(up) = program.compute(v, u, w, &m_src, m_dst) {
-                    // First-change detection: a vertex is enqueued
-                    // exactly once per iteration even when several
-                    // sources update it (duplicate frontier entries
-                    // would double-apply non-idempotent aggregations
-                    // like k-Core's decrements).
-                    let first_change = chg.is_first(u, &curr_shard[ui - off], &prev[ui]);
-                    if let Some(new) = program.apply(u, &curr_shard[ui - off], up) {
-                        curr_shard[ui - off] = new;
-                        applied += 1;
-                        if first_change {
-                            chg.mark(u);
-                            if record && program.activates(u, &new) {
-                                records.push(RecordEntry {
-                                    key: (task_counter, (i - lo) as u32),
-                                    slot: bin_base + (i - lo) % width as usize,
-                                    v: u,
-                                });
-                            }
-                        }
-                    }
-                }
-            }
+            };
             if applied > 0 {
                 applied_out.push((t as u32, applied));
             }
         }
     }
 
+    /// One worker's destination shard of the grid-strategy push
+    /// replay: every task contributes only its `(source, shard)` cell
+    /// of the bind-time [`GridCsr`], so no edge is scanned and
+    /// skipped. The cell carries each edge's original adjacency
+    /// offset, which keeps record keys and bin slots identical to the
+    /// scan replay.
+    #[allow(clippy::too_many_arguments)]
+    fn push_replay_grid<C: ChangeSink<P::Meta>>(
+        program: &P,
+        list: &[VertexId],
+        shard: &ShardCsr,
+        prev: &[P::Meta],
+        off: usize,
+        curr_shard: &mut [P::Meta],
+        records: &mut Vec<RecordEntry>,
+        applied_out: &mut Vec<(u32, u32)>,
+        examined: &mut u64,
+        chg: &mut C,
+        record: bool,
+        width: u64,
+        task_base: u64,
+    ) {
+        records.clear();
+        applied_out.clear();
+        *examined = 0;
+        for (t, &v) in list.iter().enumerate() {
+            let task_counter = task_base + t as u64;
+            let (lo, hi) = shard.range(v);
+            if lo == hi {
+                continue;
+            }
+            let targets = &shard.targets()[lo..hi];
+            let eoffs = &shard.edge_offs()[lo..hi];
+            *examined += targets.len() as u64;
+            let applied = match shard.weights() {
+                None => Self::replay_task_edges(
+                    program,
+                    v,
+                    targets,
+                    |_| 1,
+                    |k| eoffs[k],
+                    None,
+                    prev,
+                    off,
+                    curr_shard,
+                    records,
+                    chg,
+                    record,
+                    width,
+                    task_counter,
+                ),
+                Some(ws) => {
+                    let ws = &ws[lo..hi];
+                    Self::replay_task_edges(
+                        program,
+                        v,
+                        targets,
+                        |k| ws[k],
+                        |k| eoffs[k],
+                        None,
+                        prev,
+                        off,
+                        curr_shard,
+                        records,
+                        chg,
+                        record,
+                        width,
+                        task_counter,
+                    )
+                }
+            };
+            if applied > 0 {
+                applied_out.push((t as u32, applied));
+            }
+        }
+    }
+
+    /// The edge loop shared by both parallel push replays: applies the
+    /// given targets against the worker's destination shard, deferring
+    /// online-filter records under `(task, edge)` keys. `weight` and
+    /// `edge_off` resolve per-edge metadata by position (monomorphized
+    /// per weighted/unweighted split and per strategy), and `bounds`
+    /// is the scan strategy's in-shard filter — the grid replay passes
+    /// `None` because its cells are in-shard by construction. Returns
+    /// the number of successful applies.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn replay_task_edges<C: ChangeSink<P::Meta>>(
+        program: &P,
+        v: VertexId,
+        targets: &[VertexId],
+        weight: impl Fn(usize) -> Weight,
+        edge_off: impl Fn(usize) -> u32,
+        bounds: Option<(usize, usize)>,
+        prev: &[P::Meta],
+        off: usize,
+        curr_shard: &mut [P::Meta],
+        records: &mut Vec<RecordEntry>,
+        chg: &mut C,
+        record: bool,
+        width: u64,
+        task_counter: u64,
+    ) -> u32 {
+        let m_src = prev[v as usize];
+        let bin_base = (task_counter * width) as usize;
+        let mut applied = 0u32;
+        for (k, &u) in targets.iter().enumerate() {
+            let ui = u as usize;
+            if let Some((lo, hi)) = bounds {
+                if ui < lo || ui >= hi {
+                    continue;
+                }
+            }
+            debug_assert!(
+                (off..off + curr_shard.len()).contains(&ui),
+                "edge destination outside the worker's shard"
+            );
+            let w = weight(k);
+            let m_dst = &curr_shard[ui - off];
+            if let Some(up) = program.compute(v, u, w, &m_src, m_dst) {
+                // First-change detection: a vertex is enqueued exactly
+                // once per iteration even when several sources update
+                // it (duplicate frontier entries would double-apply
+                // non-idempotent aggregations like k-Core's
+                // decrements).
+                let first_change = chg.is_first(u, &curr_shard[ui - off], &prev[ui]);
+                if let Some(new) = program.apply(u, &curr_shard[ui - off], up) {
+                    curr_shard[ui - off] = new;
+                    applied += 1;
+                    if first_change {
+                        chg.mark(u);
+                        if record && program.activates(u, &new) {
+                            let e = edge_off(k);
+                            records.push(RecordEntry {
+                                key: (task_counter, e),
+                                slot: bin_base + e as usize % width as usize,
+                                v: u,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        applied
+    }
+
     /// The deterministic push merge: writes per task sum over shards;
+    /// per-worker examined-edge counts sum into the run meter;
     /// `collect` gathers each worker's deferred state (changed lists
     /// and/or records, depending on the representation); the record
     /// replay sorts by (task, edge) so the bins see the serial
@@ -1196,6 +1622,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         tasks: &mut [Cost],
         records: &mut Vec<RecordEntry>,
         bins: &mut ThreadBins,
+        examined: &mut u64,
         mut collect: impl FnMut(&WorkerScratch<P::Meta>, &mut Vec<RecordEntry>),
     ) {
         records.clear();
@@ -1203,6 +1630,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             for &(t, a) in &ws.applied {
                 tasks[t as usize].writes += a as u64;
             }
+            *examined += ws.edges_examined;
             collect(ws, records);
         }
         records.sort_unstable_by_key(|r| r.key);
@@ -1233,6 +1661,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         record: bool,
         width: u64,
         task_base: u64,
+        examined: &mut u64,
     ) {
         {
             let curr = &*curr;
@@ -1241,6 +1670,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 ws.changed.clear();
                 ws.records.clear();
                 ws.writebacks.clear();
+                ws.edges_examined = 0;
                 let (t0, t1) = chunk_range(list.len(), threads, w);
                 for (t, &v) in list.iter().enumerate().take(t1).skip(t0) {
                     let task_counter = task_base + t as u64;
@@ -1260,6 +1690,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             });
         }
         for ws in workers.iter() {
+            *examined += ws.edges_examined;
             for &(v, new) in &ws.writebacks {
                 curr[v as usize] = new;
             }
@@ -1364,15 +1795,69 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         width: u64,
         task_counter: u64,
         frontier_sorted: bool,
+        examined: &mut u64,
     ) -> Cost {
         let (lo, hi) = csr.range(v);
         let d = (hi - lo) as u64;
+        *examined += d;
+        let targets = &csr.targets()[lo..hi];
+        // Weighted/unweighted split once per task, so the inner loop
+        // carries no per-edge branch on the weights option.
+        let applied = match csr.weights() {
+            None => Self::push_task_edges(
+                program,
+                v,
+                targets,
+                |_| 1,
+                prev,
+                curr,
+                bins,
+                chg,
+                record,
+                width,
+                task_counter,
+            ),
+            Some(ws) => {
+                let ws = &ws[lo..hi];
+                Self::push_task_edges(
+                    program,
+                    v,
+                    targets,
+                    |k| ws[k],
+                    prev,
+                    curr,
+                    bins,
+                    chg,
+                    record,
+                    width,
+                    task_counter,
+                )
+            }
+        };
+        Self::push_cost(d, applied, width, frontier_sorted)
+    }
+
+    /// The serial push edge loop, monomorphized per weight provider.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn push_task_edges<C: ChangeSink<P::Meta>>(
+        program: &P,
+        v: VertexId,
+        targets: &[VertexId],
+        weight: impl Fn(usize) -> Weight,
+        prev: &[P::Meta],
+        curr: &mut [P::Meta],
+        bins: &mut ThreadBins,
+        chg: &mut C,
+        record: bool,
+        width: u64,
+        task_counter: u64,
+    ) -> u64 {
         let m_src = prev[v as usize];
-        let mut applied = 0u64;
         let bin_base = (task_counter * width) as usize;
-        for i in lo..hi {
-            let u = csr.targets()[i];
-            let w = csr.weights().map_or(1, |ws| ws[i]);
+        let mut applied = 0u64;
+        for (k, &u) in targets.iter().enumerate() {
+            let w = weight(k);
             if let Some(up) = program.compute(v, u, w, &m_src, &curr[u as usize]) {
                 // First-change detection: a vertex is enqueued exactly
                 // once per iteration even when several sources update it
@@ -1386,13 +1871,13 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     if first_change {
                         chg.mark(u);
                         if record && program.activates(u, &new) {
-                            bins.record(bin_base + (i - lo) % width as usize, u);
+                            bins.record(bin_base + k % width as usize, u);
                         }
                     }
                 }
             }
         }
-        Self::push_cost(d, applied, width, frontier_sorted)
+        applied
     }
 
     /// Processes one pull-mode task (candidate vertex `v` gathers along
@@ -1410,8 +1895,10 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         record: bool,
         width: u64,
         task_counter: u64,
+        examined: &mut u64,
     ) -> Cost {
         let (scanned, acc) = Self::pull_gather(program, v, csr, prev, curr);
+        *examined += scanned;
         let mut applied = 0u64;
         if let Some(up) = acc {
             let first_change = chg.is_first(v, &curr[v as usize], &prev[v as usize]);
@@ -1445,6 +1932,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         task_counter: u64,
     ) -> Cost {
         let (scanned, acc) = Self::pull_gather(program, v, csr, prev, curr);
+        ws.edges_examined += scanned;
         let mut applied = 0u64;
         if let Some(up) = acc {
             let first_change = curr[v as usize] == prev[v as usize];
@@ -1477,14 +1965,35 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         curr: &[P::Meta],
     ) -> (u64, Option<P::Update>) {
         let (lo, hi) = csr.range(v);
+        let targets = &csr.targets()[lo..hi];
+        // Weighted/unweighted split once per task (the per-edge
+        // weights-option branch is hoisted out of the gather loop).
+        match csr.weights() {
+            None => Self::pull_gather_edges(program, v, targets, |_| 1, prev, curr),
+            Some(ws) => {
+                let ws = &ws[lo..hi];
+                Self::pull_gather_edges(program, v, targets, |k| ws[k], prev, curr)
+            }
+        }
+    }
+
+    /// The gather loop itself, monomorphized per weight provider.
+    #[inline]
+    fn pull_gather_edges(
+        program: &P,
+        v: VertexId,
+        targets: &[VertexId],
+        weight: impl Fn(usize) -> Weight,
+        prev: &[P::Meta],
+        curr: &[P::Meta],
+    ) -> (u64, Option<P::Update>) {
         let m_dst = curr[v as usize];
         let vote = program.combine_kind() == CombineKind::Vote;
         let mut acc: Option<P::Update> = None;
         let mut scanned = 0u64;
-        for i in lo..hi {
+        for (k, &u) in targets.iter().enumerate() {
             scanned += 1;
-            let u = csr.targets()[i];
-            let w = csr.weights().map_or(1, |ws| ws[i]);
+            let w = weight(k);
             if let Some(up) = program.compute(u, v, w, &prev[u as usize], &m_dst) {
                 acc = Some(match acc {
                     None => up,

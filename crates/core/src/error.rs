@@ -21,7 +21,8 @@ pub enum SimdxError {
         /// The cap that was hit.
         max_iterations: u32,
     },
-    /// A `SIMDX_*` environment knob held an unrecognized value.
+    /// A `SIMDX_*` environment knob (`SIMDX_EXEC`, `SIMDX_FRONTIER`,
+    /// `SIMDX_LAYOUT`, `SIMDX_PUSH`) held an unrecognized value.
     InvalidKnob {
         /// The environment variable.
         var: &'static str,
@@ -96,6 +97,14 @@ mod tests {
                     value: "warp9".to_string(),
                 },
                 "SIMDX_EXEC must be 'serial', got 'warp9'",
+            ),
+            (
+                SimdxError::InvalidKnob {
+                    var: "SIMDX_PUSH",
+                    expected: "'scan' or 'grid'",
+                    value: "mesh".to_string(),
+                },
+                "SIMDX_PUSH must be 'scan' or 'grid', got 'mesh'",
             ),
             (
                 SimdxError::InvalidConfig {

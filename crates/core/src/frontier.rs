@@ -423,6 +423,12 @@ pub struct ThreadBins {
     /// Records dropped because of overflow (kept for diagnostics; the
     /// ballot filter regenerates the full list so nothing is lost).
     dropped: u64,
+    /// Per-bin prefix offsets into the concatenation order
+    /// (`bins + 1` entries once sealed, empty while recording). Built
+    /// by [`Self::seal_prefix`] so the parallel backend can partition
+    /// the bin-resident frontier through [`Self::for_each_entry_in`]
+    /// ranges instead of materializing the concatenated list.
+    prefix: Vec<u64>,
 }
 
 impl ThreadBins {
@@ -434,6 +440,7 @@ impl ThreadBins {
             threshold,
             overflowed: false,
             dropped: 0,
+            prefix: Vec::new(),
         }
     }
 
@@ -450,6 +457,10 @@ impl ThreadBins {
     /// Records vertex `v` from simulated thread `thread`. Returns
     /// `false` (and sets the overflow flag) if the bin was full.
     pub fn record(&mut self, thread: usize, v: VertexId) -> bool {
+        debug_assert!(
+            self.prefix.is_empty(),
+            "recording into sealed bins (prefix would go stale)"
+        );
         let idx = thread % self.bins.len();
         let bin = &mut self.bins[idx];
         if bin.len() >= self.threshold {
@@ -512,13 +523,64 @@ impl ThreadBins {
         }
     }
 
-    /// Clears all bins and the overflow flag for the next iteration.
+    /// Builds the per-bin prefix offsets over the current contents —
+    /// the index [`Self::for_each_entry_in`] ranges resolve against.
+    /// Call once after the last [`Self::record`] of an iteration
+    /// (recording after sealing would silently desynchronize the
+    /// index, so [`Self::record`] debug-asserts the unsealed state).
+    pub fn seal_prefix(&mut self) {
+        self.prefix.clear();
+        self.prefix.push(0);
+        let mut acc = 0u64;
+        for bin in &self.bins {
+            acc += bin.len() as u64;
+            self.prefix.push(acc);
+        }
+    }
+
+    /// Visits the entries at concatenation positions `[lo, hi)` — the
+    /// exact subsequence `[Self::concatenate]`'s output would hold
+    /// there, duplicates included. Contiguous ranges visited in order
+    /// therefore reproduce [`Self::for_each_entry`] exactly, which is
+    /// how the parallel backend partitions a bin-resident frontier
+    /// across workers without materializing it. Requires a current
+    /// [`Self::seal_prefix`]; resolves the starting bin by binary
+    /// search, so a worker pays O(log bins + entries visited).
+    pub fn for_each_entry_in(&self, lo: u64, hi: u64, mut f: impl FnMut(VertexId)) {
+        debug_assert_eq!(self.prefix.len(), self.bins.len() + 1, "prefix not sealed");
+        debug_assert_eq!(
+            *self.prefix.last().expect("sealed prefix"),
+            self.total_recorded(),
+            "prefix stale: bins recorded after seal_prefix"
+        );
+        if lo >= hi {
+            return;
+        }
+        // Largest bin whose prefix start is <= lo (prefix[0] == 0, so
+        // the partition point is always >= 1).
+        let mut b = self.prefix.partition_point(|&p| p <= lo) - 1;
+        let mut pos = lo;
+        while pos < hi && b < self.bins.len() {
+            let bin = &self.bins[b];
+            let start = (pos - self.prefix[b]) as usize;
+            let end = (hi - self.prefix[b]).min(bin.len() as u64) as usize;
+            for &v in &bin[start..end] {
+                f(v);
+            }
+            pos = self.prefix[b] + end as u64;
+            b += 1;
+        }
+    }
+
+    /// Clears all bins, the overflow flag and the prefix index for the
+    /// next iteration.
     pub fn clear(&mut self) {
         for bin in &mut self.bins {
             bin.clear();
         }
         self.overflowed = false;
         self.dropped = 0;
+        self.prefix.clear();
     }
 
     /// Reshapes to `num_threads` bins with `threshold` capacity and
@@ -627,6 +689,36 @@ mod tests {
         bins.for_each_entry(|v| seen.push(v));
         assert_eq!(seen, bins.concatenate());
         assert_eq!(seen, vec![7, 7, 4, 9]);
+    }
+
+    #[test]
+    fn entry_ranges_partition_the_concatenation() {
+        // Uneven bins, including empty ones, so the binary search has
+        // runs of equal prefix entries to step over.
+        let mut bins = ThreadBins::new(5, 8);
+        for (t, v) in [(0, 7), (0, 7), (2, 4), (2, 9), (2, 1), (4, 3)] {
+            bins.record(t, v);
+        }
+        bins.seal_prefix();
+        let full = bins.concatenate();
+        let total = bins.total_recorded();
+        for parts in 1..=4u64 {
+            let mut seen = Vec::new();
+            for w in 0..parts {
+                let lo = total * w / parts;
+                let hi = total * (w + 1) / parts;
+                bins.for_each_entry_in(lo, hi, |v| seen.push(v));
+            }
+            assert_eq!(seen, full, "{parts}-way partition diverged");
+        }
+        // Out-of-range and empty ranges are harmless.
+        bins.for_each_entry_in(3, 3, |_| panic!("empty range visited"));
+        let mut tail = Vec::new();
+        bins.for_each_entry_in(total - 1, total + 5, |v| tail.push(v));
+        assert_eq!(tail, vec![full[full.len() - 1]]);
+        // Clearing invalidates the prefix so recording is legal again.
+        bins.clear();
+        assert!(bins.record(1, 2));
     }
 
     #[test]

@@ -84,6 +84,7 @@ pub mod error;
 pub mod filters;
 pub mod frontier;
 pub mod fusion;
+pub mod grid;
 pub mod jit;
 pub mod metadata;
 pub mod metrics;
@@ -94,6 +95,7 @@ pub mod session;
 pub use acc::{AccProgram, CombineKind, DirectionCtx, SourcedProgram};
 pub use config::{
     DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr, MetadataLayout,
+    PushStrategy,
 };
 pub use engine::Engine;
 #[allow(deprecated)]
@@ -102,6 +104,7 @@ pub use error::SimdxError;
 pub use filters::FilterKind;
 pub use frontier::FrontierBitmap;
 pub use fusion::FusionStrategy;
+pub use grid::GridCsr;
 pub use jit::{ActivationLog, IterationRecord};
 pub use metadata::MetadataStore;
 pub use metrics::{RunReport, RunResult};
@@ -112,11 +115,13 @@ pub mod prelude {
     pub use crate::acc::{AccProgram, CombineKind, DirectionCtx, SourcedProgram};
     pub use crate::config::{
         DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr, MetadataLayout,
+        PushStrategy,
     };
     pub use crate::engine::Engine;
     pub use crate::error::SimdxError;
     pub use crate::frontier::FrontierBitmap;
     pub use crate::fusion::FusionStrategy;
+    pub use crate::grid::GridCsr;
     pub use crate::jit::IterationRecord;
     pub use crate::metadata::MetadataStore;
     pub use crate::metrics::{RunReport, RunResult};

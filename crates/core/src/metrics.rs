@@ -16,6 +16,18 @@ pub struct RunReport {
     pub elapsed_ms: f64,
     /// Raw executor statistics (cycles, launches, barriers, traffic).
     pub stats: ExecutorStats,
+    /// *Host-side* edge traversals performed by the compute kernels:
+    /// every edge a push scatter or pull gather actually touched,
+    /// summed over workers. Unlike `stats`, this is **not** covered by
+    /// the bit-equality contract — it is the work-optimality meter the
+    /// contract deliberately leaves free: `PushStrategy::Scan` charges
+    /// `threads ×` the frontier degree sum per push iteration (every
+    /// worker replays the full task list), `PushStrategy::Grid` charges
+    /// it exactly once (`tests/parallel_equivalence.rs` pins both).
+    /// Classification and candidate marking walk degrees/neighbor
+    /// lists too but are not counted here; the counter meters compute
+    /// work only.
+    pub edges_examined: u64,
     /// Per-iteration activation log (Fig. 8 data).
     pub log: ActivationLog,
 }
@@ -39,6 +51,11 @@ impl RunReport {
     /// Iterations that used the ballot filter.
     pub fn ballot_iterations(&self) -> u32 {
         self.log.ballot_iterations()
+    }
+
+    /// Host-side compute-kernel edge traversals (see the field docs).
+    pub fn edges_examined(&self) -> u64 {
+        self.edges_examined
     }
 }
 

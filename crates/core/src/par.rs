@@ -136,8 +136,11 @@ impl WorkerPool {
     /// Runs `f(w, &mut workers[w], shard_offset, shard)` on every worker
     /// concurrently, where `shard` is the `[bounds[w], bounds[w+1])`
     /// range of `data` — the destination-sharded form the push kernels
-    /// use. `bounds` must be a monotone fence list with
-    /// `threads + 1` entries covering `data`.
+    /// use under both [`crate::config::PushStrategy`]s (the strategy
+    /// only changes which edges a worker *traverses*; the metadata
+    /// shard it may write is this range either way). `bounds` must be
+    /// a monotone fence list with `threads + 1` entries covering
+    /// `data`.
     pub fn for_each_worker_sharded<T: Send, U: Send>(
         &self,
         workers: &mut [T],

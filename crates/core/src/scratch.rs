@@ -134,6 +134,10 @@ pub(crate) struct WorkerScratch<M> {
     pub warp: WarpScanScratch,
     /// Degree-sum partial.
     pub degree_sum: u64,
+    /// Host edge traversals this worker performed in the last compute
+    /// region (assigned per region, summed into
+    /// [`crate::metrics::RunReport::edges_examined`]).
+    pub edges_examined: u64,
 }
 
 /// All buffers the engine loop reuses across iterations.
@@ -203,6 +207,7 @@ impl<M> IterScratch<M> {
                     writebacks: Vec::new(),
                     warp: WarpScanScratch::default(),
                     degree_sum: 0,
+                    edges_examined: 0,
                 })
                 .collect(),
         }

@@ -91,10 +91,11 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 
 use crate::acc::{AccProgram, SourcedProgram};
-use crate::config::{EngineConfig, FrontierRepr};
+use crate::config::{EngineConfig, FrontierRepr, PushStrategy};
 use crate::engine::{Engine, SessionCtx};
 use crate::error::SimdxError;
 use crate::frontier::WORD_BITS;
+use crate::grid::GridCsr;
 use crate::jit::IterationRecord;
 use crate::metrics::RunResult;
 use crate::par::WorkerPool;
@@ -155,16 +156,20 @@ impl Runtime {
 
     /// Binds a graph: precomputes the CSR-derived state every query
     /// needs — degree-balanced push destination shards with their
-    /// chunk/word-aligned partition fences (parallel mode) and the
-    /// bitmap word count — and allocates the reusable scratch arenas
-    /// lazily per metadata type.
+    /// chunk/word-aligned partition fences (parallel mode), the
+    /// destination-bucketed [`GridCsr`] those fences define (parallel
+    /// mode under [`PushStrategy::Grid`]) and the bitmap word count —
+    /// and allocates the reusable scratch arenas lazily per metadata
+    /// type.
     ///
-    /// The fence computation is deliberately *eager*: bind is the
-    /// amortization point, so its one O(V) degree walk is paid once
-    /// per graph instead of on some query's first parallel push. The
-    /// corner case this trades away — a parallel-mode bind whose
-    /// queries never push — costs one extra degree sweep, noise next
-    /// to any engine run (whose `init` alone is O(V)).
+    /// The fence and grid computations are deliberately *eager*: bind
+    /// is the amortization point, so the one O(V) degree walk and the
+    /// one O(E) bucketing sweep (itself split over the worker pool)
+    /// are paid once per graph instead of on some query's first
+    /// parallel push. The corner case this trades away — a
+    /// parallel-mode bind whose queries never push — costs one extra
+    /// sweep, noise next to any engine run (whose `init` alone is
+    /// O(V)).
     pub fn bind<'rt, 'g>(&'rt self, graph: &'g Graph) -> BoundGraph<'rt, 'g> {
         let fences = (self.threads > 1).then(|| {
             PushFences::compute(
@@ -174,10 +179,27 @@ impl Runtime {
                 self.config.layout,
             )
         });
+        // Push always scatters over the out-CSR; the grid buckets
+        // exactly those edges by the destination shards the run-time
+        // sharding will use, so the two views can never disagree.
+        // Deliberately built even under `DirectionPolicy::FixedPull`:
+        // the engine consults `AccProgram::direction` *before* the
+        // policy (k-Core forces Push unconditionally), so any parallel
+        // grid runtime can reach the grid push path regardless of the
+        // configured policy.
+        let grid = match (&fences, self.config.push) {
+            (Some(fences), PushStrategy::Grid) => Some(GridCsr::build_with_pool(
+                graph.csr(Direction::Push),
+                &fences.verts,
+                self.pool.as_ref().expect("parallel runtime owns a pool"),
+            )),
+            _ => None,
+        };
         BoundGraph {
             runtime: self,
             graph,
             fences,
+            grid,
             num_words: (graph.num_vertices() as usize).div_ceil(WORD_BITS),
             scratch: RefCell::new(ScratchCache::new()),
         }
@@ -205,6 +227,10 @@ pub struct BoundGraph<'rt, 'g> {
     /// degree-balanced, chunk/word-aligned partition of
     /// `metadata_curr` the push kernels shard over.
     fences: Option<PushFences>,
+    /// Bind-time destination-bucketed grid CSR (parallel mode under
+    /// [`PushStrategy::Grid`]): one sub-CSR per destination shard, so
+    /// each push worker traverses only the edges landing in its shard.
+    grid: Option<GridCsr>,
     /// `ceil(|V| / 64)` — the frontier-bitmap word count, precomputed
     /// so bitmap-mode scratch is sized before the first query.
     num_words: usize,
@@ -225,6 +251,13 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
     /// Number of 64-bit words a frontier bitmap over this graph uses.
     pub fn num_bitmap_words(&self) -> usize {
         self.num_words
+    }
+
+    /// The bind-time grid CSR, present iff this is a parallel runtime
+    /// under [`PushStrategy::Grid`] — exposed so harnesses can report
+    /// its memory cost ([`GridCsr::footprint_bytes`]).
+    pub fn grid(&self) -> Option<&GridCsr> {
+        self.grid.as_ref()
     }
 
     /// Starts building one query. Terminal [`RunBuilder::execute`]
@@ -289,6 +322,7 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
                 pool: self.runtime.pool.as_ref(),
                 scratch,
                 fences: self.fences.as_ref(),
+                grid: self.grid.as_ref(),
                 max_iterations,
                 observer,
             },

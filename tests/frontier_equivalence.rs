@@ -9,10 +9,11 @@
 //!
 //! The harness is differential: every cell of the
 //! {BFS, SSSP, PageRank, k-Core, WCC} × {Serial, Parallel} ×
-//! {List, Bitmap} × {Flat, Chunked} matrix runs against the same
-//! graph and is compared to the Flat + List + Serial baseline, so a
-//! divergence pinpoints the representation, layout and exec mode that
-//! broke. The graph classes stress different engine paths: RMAT
+//! {List, Bitmap} × {Flat, Chunked} × {Scan, Grid} matrix runs
+//! against the same graph and is compared to the Flat + List + Serial
+//! baseline, so a divergence pinpoints the representation, layout,
+//! exec mode and push strategy that broke (the strategy axis only
+//! spans the parallel cells — a serial run has exactly one shard). The graph classes stress different engine paths: RMAT
 //! (skewed degrees → CTA worklists, ballot switches, hub overflow),
 //! road strips (tiny frontiers over many online-filter iterations;
 //! their vertex counts are warp-misaligned, so chunked tail handling
@@ -55,8 +56,18 @@ fn exec_modes() -> [ExecMode; 3] {
     ]
 }
 
-/// Runs one algorithm over the full {exec mode} × {repr} × {layout}
-/// matrix and asserts every cell is bit-equal to the
+/// The push strategies a given exec mode exercises: the knob only
+/// reaches the parallel backend (a serial run has exactly one shard),
+/// so the serial cells run once under the default grid label.
+fn push_strategies(exec: ExecMode) -> &'static [PushStrategy] {
+    match exec {
+        ExecMode::Serial => &[PushStrategy::Grid],
+        ExecMode::Parallel { .. } => &[PushStrategy::Scan, PushStrategy::Grid],
+    }
+}
+
+/// Runs one algorithm over the full {exec mode} × {repr} × {layout} ×
+/// {push strategy} matrix and asserts every cell is bit-equal to the
 /// Flat + List + Serial baseline.
 fn assert_matrix<M, F>(what: &str, run: F)
 where
@@ -73,20 +84,24 @@ where
         "{what}: trivial run proves nothing"
     );
     for exec in exec_modes() {
-        for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
-            for layout in [MetadataLayout::Flat, MetadataLayout::Chunked] {
-                let cell = fingerprint(run(EngineConfig::default()
-                    .with_exec(exec)
-                    .with_frontier(repr)
-                    .with_layout(layout)));
-                assert_eq!(
-                    cell,
-                    baseline,
-                    "{what}: {}/{}/{} diverged from serial/list/flat",
-                    exec.label(),
-                    repr.label(),
-                    layout.label(),
-                );
+        for &push in push_strategies(exec) {
+            for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
+                for layout in [MetadataLayout::Flat, MetadataLayout::Chunked] {
+                    let cell = fingerprint(run(EngineConfig::default()
+                        .with_exec(exec)
+                        .with_frontier(repr)
+                        .with_layout(layout)
+                        .with_push(push)));
+                    assert_eq!(
+                        cell,
+                        baseline,
+                        "{what}: {}/{}/{}/{} diverged from serial/list/flat",
+                        exec.label(),
+                        repr.label(),
+                        layout.label(),
+                        push.label(),
+                    );
+                }
             }
         }
     }

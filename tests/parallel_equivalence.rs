@@ -164,6 +164,68 @@ fn kcore_parallel_equals_serial_on_road() {
 }
 
 #[test]
+fn grid_push_is_work_optimal_scan_is_not() {
+    // The work-optimality regression guard: a push iteration's edge
+    // work is the frontier's out-degree sum (what the serial engine
+    // examines and what every `IterationRecord` logs). The grid
+    // strategy must examine exactly that — one traversal of each
+    // frontier edge per iteration, regardless of the worker count —
+    // while the scan strategy replays the full task list per worker
+    // and therefore examines exactly `threads ×` it.
+    let g = rmat_graph();
+    let cfg = EngineConfig::default()
+        .with_direction(DirectionPolicy::FixedPush)
+        .with_frontier(FrontierRepr::List);
+    let serial = bfs::run(&g, 0, cfg.clone().with_exec(ExecMode::Serial)).expect("bfs");
+    let frontier_edges: u64 = serial.report.log.records.iter().map(|r| r.degree_sum).sum();
+    assert!(frontier_edges > 0, "trivial run proves nothing");
+    assert_eq!(serial.report.edges_examined, frontier_edges);
+    for threads in THREAD_COUNTS {
+        for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
+            let base = cfg.clone().parallel(threads).with_frontier(repr);
+            let grid = bfs::run(&g, 0, base.clone().with_push(PushStrategy::Grid)).expect("bfs");
+            assert_eq!(
+                grid.report.edges_examined,
+                frontier_edges,
+                "{threads} threads ({}): grid push must examine each frontier edge exactly once",
+                repr.label()
+            );
+            let scan = bfs::run(&g, 0, base.scan_push()).expect("bfs");
+            assert_eq!(
+                scan.report.edges_examined,
+                threads as u64 * frontier_edges,
+                "{threads} threads ({}): scan push replays the task list per worker",
+                repr.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn grid_examined_matches_serial_under_direction_switches() {
+    // With adaptive direction the run mixes push scatters and pull
+    // gathers (whose early-termination scan counts are deterministic):
+    // the grid backend's total host edge work must equal the serial
+    // engine's in every phase, not just pure push.
+    let g = er_graph();
+    let check = |run: &dyn Fn(EngineConfig) -> RunReport| {
+        let serial = run(EngineConfig::default().with_exec(ExecMode::Serial));
+        assert!(serial.log.records.len() > 1, "trivial run proves nothing");
+        for threads in THREAD_COUNTS {
+            let grid = run(EngineConfig::default()
+                .parallel(threads)
+                .with_push(PushStrategy::Grid));
+            assert_eq!(
+                grid.edges_examined, serial.edges_examined,
+                "{threads} threads: grid backend examined different edge work"
+            );
+        }
+    };
+    check(&|cfg| bfs::run(&g, 0, cfg).expect("bfs").report);
+    check(&|cfg| pagerank::run(&g, cfg).expect("pr").report);
+}
+
+#[test]
 fn filter_policies_stay_equivalent_in_parallel() {
     // The ballot-only and online-only paths skip/force bin recording;
     // both must stay bit-equal under the parallel backend too.

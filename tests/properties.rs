@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use simdx::algos::{bfs, kcore, reference, sssp, wcc};
 use simdx::core::metadata::{CHUNK_ALIGN, CHUNK_LANES};
 use simdx::core::prelude::*;
-use simdx::core::{FilterPolicy, FrontierBitmap, MetadataStore};
+use simdx::core::{FilterPolicy, FrontierBitmap, GridCsr, MetadataStore};
 use simdx::graph::{io, weights, Csr, EdgeList, Graph};
 use std::collections::BTreeSet;
 
@@ -153,6 +153,79 @@ proptest! {
         let mut out = Vec::new();
         bm.collect_into(&mut out);
         prop_assert_eq!(out, list);
+    }
+
+    /// The grid CSR is a lossless destination-bucketed partition of
+    /// the adjacency for *any* monotone fences: every shard's cell
+    /// holds exactly the source's edges into the shard's vertex range,
+    /// in original adjacency order with original offsets and weights,
+    /// and reassembling the cells by offset reproduces the CSR.
+    #[test]
+    fn grid_csr_partitions_any_adjacency(
+        (n, edges) in arb_edges(48, 150),
+        cuts in proptest::collection::vec(0u32..48, 0..5),
+        wseed in 0u64..100,
+    ) {
+        let el = EdgeList::from_pairs(
+            edges.iter().map(|&(s, d)| (s % n, d % n)).collect::<Vec<_>>(),
+        );
+        let el = weights::assign_default_weights(&el, wseed);
+        let csr = Csr::from_edge_list(&el);
+        let n = csr.num_vertices();
+        let mut fences: Vec<u32> = cuts.into_iter().map(|c| c % (n + 1)).collect();
+        fences.push(0);
+        fences.push(n);
+        fences.sort_unstable();
+        let grid = GridCsr::build(&csr, &fences);
+        prop_assert_eq!(grid.num_shards(), fences.len() - 1);
+        prop_assert_eq!(grid.num_edges(), csr.num_edges());
+        for v in 0..n {
+            let mut rebuilt: Vec<(u32, u32, u32)> = Vec::new();
+            for s in 0..grid.num_shards() {
+                let sh = grid.shard(s);
+                let (lo, hi) = sh.range(v);
+                // Cell edges stay inside the shard's vertex range, in
+                // strictly ascending adjacency-offset order.
+                prop_assert!(sh.edge_offs()[lo..hi].windows(2).all(|w| w[0] < w[1]));
+                for i in lo..hi {
+                    let t = sh.targets()[i];
+                    prop_assert!((fences[s]..fences[s + 1]).contains(&t));
+                    rebuilt.push((
+                        sh.edge_offs()[i],
+                        t,
+                        sh.weights().expect("weighted grid")[i],
+                    ));
+                }
+            }
+            rebuilt.sort_unstable_by_key(|&(off, _, _)| off);
+            let expect: Vec<(u32, u32, u32)> = csr
+                .neighbors(v)
+                .iter()
+                .enumerate()
+                .map(|(k, &t)| (k as u32, t, csr.neighbor_weights(v).expect("weighted")[k]))
+                .collect();
+            prop_assert_eq!(rebuilt, expect, "vertex {} cells do not partition", v);
+        }
+    }
+
+    /// The grid push strategy is bit-equal to the scan strategy on
+    /// arbitrary graphs: same metadata, same activation log, same
+    /// simulated cycle counts (the strategy axis of the determinism
+    /// contract, at property scale).
+    #[test]
+    fn push_strategies_bit_equal_on_arbitrary_graphs((n, edges) in arb_edges(48, 150)) {
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(
+            edges.iter().map(|&(s, d)| (s % n, d % n)).collect::<Vec<_>>(),
+        ));
+        if g.num_vertices() == 0 {
+            return Ok(());
+        }
+        let base = EngineConfig::unscaled().parallel(3);
+        let scan = bfs::run(&g, 0, base.clone().scan_push()).expect("scan bfs");
+        let grid = bfs::run(&g, 0, base.with_push(PushStrategy::Grid)).expect("grid bfs");
+        prop_assert_eq!(&grid.meta, &scan.meta);
+        prop_assert_eq!(&grid.report.log, &scan.report.log);
+        prop_assert_eq!(&grid.report.stats, &scan.report.stats);
     }
 
     /// The engine's BFS equals the sequential reference on arbitrary

@@ -3,7 +3,8 @@
 //! reports **bit-identical** to a fresh engine — identical final
 //! metadata (float bit patterns included), identical per-iteration
 //! activation logs and identical executor statistics — across the full
-//! {exec mode} × {frontier repr} × {metadata layout} matrix, and
+//! {exec mode} × {frontier repr} × {metadata layout} × {push strategy}
+//! matrix, and
 //! [`BoundGraph::run_batch`] must match the per-query loop entry for
 //! entry.
 //!
@@ -40,19 +41,36 @@ fn fingerprint<M: PartialEq + std::fmt::Debug>(r: RunResult<M>) -> Fingerprint<M
     }
 }
 
-/// The knob matrix each session-reuse scenario runs under.
+/// The knob matrix each session-reuse scenario runs under. The push
+/// strategy axis only spans the parallel cells (a serial run has one
+/// shard) — under `Grid` the reused `BoundGraph` carries a bind-time
+/// grid CSR across queries, exactly the cached state this suite
+/// exists to distrust.
 fn config_matrix() -> Vec<(String, EngineConfig)> {
     let mut out = Vec::new();
     for exec in [ExecMode::Serial, ExecMode::Parallel { threads: 3 }] {
-        for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
-            for layout in [MetadataLayout::Flat, MetadataLayout::Chunked] {
-                out.push((
-                    format!("{}/{}/{}", exec.label(), repr.label(), layout.label()),
-                    EngineConfig::default()
-                        .with_exec(exec)
-                        .with_frontier(repr)
-                        .with_layout(layout),
-                ));
+        let strategies: &[PushStrategy] = match exec {
+            ExecMode::Serial => &[PushStrategy::Grid],
+            ExecMode::Parallel { .. } => &[PushStrategy::Scan, PushStrategy::Grid],
+        };
+        for &push in strategies {
+            for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
+                for layout in [MetadataLayout::Flat, MetadataLayout::Chunked] {
+                    out.push((
+                        format!(
+                            "{}/{}/{}/{}",
+                            exec.label(),
+                            repr.label(),
+                            layout.label(),
+                            push.label()
+                        ),
+                        EngineConfig::default()
+                            .with_exec(exec)
+                            .with_frontier(repr)
+                            .with_layout(layout)
+                            .with_push(push),
+                    ));
+                }
             }
         }
     }
