@@ -457,6 +457,10 @@ fn finish<M>(
             // Baseline simulators do not meter host edge traversals.
             edges_examined: 0,
             log: ActivationLog::default(),
+            // Baselines run unsupervised.
+            elapsed: std::time::Duration::ZERO,
+            aborted: None,
+            supervision_checks: 0,
         },
     })
 }

@@ -184,6 +184,10 @@ impl<'g, P: AccProgram> CushaEngine<'g, P> {
                 // Baseline simulators do not meter host edge traversals.
                 edges_examined: 0,
                 log: ActivationLog::default(),
+                // Baselines run unsupervised.
+                elapsed: std::time::Duration::ZERO,
+                aborted: None,
+                supervision_checks: 0,
             },
         })
     }

@@ -13,7 +13,7 @@ use simdx_gpu::DeviceSpec;
 /// never silently fall back to the default configuration. This is the
 /// path every session-API construction takes
 /// ([`EngineConfig::from_env`]); the cached per-process knob defaults
-/// go through each `from_env`'s panicking shim on top of it.
+/// share it through the `cached_*_knob` result caches below.
 fn try_env_knob<T>(
     var: &'static str,
     expected: &'static str,
@@ -51,11 +51,46 @@ fn parse_knob<T>(
     }
 }
 
-// The panicking knob path lives in each `from_env` shim as
-// `try_from_env().unwrap_or_else(|e| panic!("{e}"))`: the per-process
-// default caches (`ExecMode::default()` and friends) have no error
-// channel, and the panic message is the error's display form so both
-// paths report a typo identically.
+// The per-process knob-default caches (`ExecMode::default()` and
+// friends) have no error channel, so each caches the *fallible* parse
+// result once: `Default` hands out the hard-coded fallback on a bad
+// value (never a panic — this used to abort the process), and
+// [`EngineConfig::validate`] consults `cached_knob_error` so every
+// session construction (`Runtime::new`, `EngineConfig::from_env`)
+// surfaces the typo as a typed `SimdxError::InvalidConfig` — a CI typo
+// still cannot silently select the default configuration.
+
+/// First error among the cached per-process knob defaults, if any.
+pub(crate) fn cached_knob_error() -> Option<SimdxError> {
+    cached_exec_knob()
+        .err()
+        .or_else(|| cached_frontier_knob().err())
+        .or_else(|| cached_layout_knob().err())
+        .or_else(|| cached_push_knob().err())
+}
+
+fn cached_exec_knob() -> Result<ExecMode, SimdxError> {
+    static CACHE: std::sync::OnceLock<Result<ExecMode, SimdxError>> = std::sync::OnceLock::new();
+    CACHE.get_or_init(ExecMode::try_from_env).clone()
+}
+
+fn cached_frontier_knob() -> Result<FrontierRepr, SimdxError> {
+    static CACHE: std::sync::OnceLock<Result<FrontierRepr, SimdxError>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(FrontierRepr::try_from_env).clone()
+}
+
+fn cached_layout_knob() -> Result<MetadataLayout, SimdxError> {
+    static CACHE: std::sync::OnceLock<Result<MetadataLayout, SimdxError>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(MetadataLayout::try_from_env).clone()
+}
+
+fn cached_push_knob() -> Result<PushStrategy, SimdxError> {
+    static CACHE: std::sync::OnceLock<Result<PushStrategy, SimdxError>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(PushStrategy::try_from_env).clone()
+}
 
 /// Which frontier-filter strategy the engine uses each iteration (§4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -111,10 +146,6 @@ impl ExecMode {
         )
     }
 
-    /// Panicking [`Self::try_from_env`], for the cached process default.
-    pub fn from_env() -> Self {
-        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
-    }
     /// Resolved worker count: `Serial` is 1, `Parallel { threads: 0 }`
     /// asks the OS.
     pub fn worker_count(&self) -> usize {
@@ -138,12 +169,12 @@ impl ExecMode {
 }
 
 impl Default for ExecMode {
-    /// Defers to [`Self::from_env`] so `SIMDX_EXEC=parallel` flips the
-    /// default for a whole test/bench process, cached like the other
-    /// knob defaults.
+    /// Defers to the cached `SIMDX_EXEC` parse so `SIMDX_EXEC=parallel`
+    /// flips the default for a whole test/bench process. A malformed
+    /// value falls back to `Serial` here (no panic in `Default`);
+    /// [`EngineConfig::validate`] reports it as a typed error.
     fn default() -> Self {
-        static DEFAULT: std::sync::OnceLock<ExecMode> = std::sync::OnceLock::new();
-        *DEFAULT.get_or_init(Self::from_env)
+        cached_exec_knob().unwrap_or(Self::Serial)
     }
 }
 
@@ -190,11 +221,6 @@ impl FrontierRepr {
         )
     }
 
-    /// Panicking [`Self::try_from_env`], for the cached process default.
-    pub fn from_env() -> Self {
-        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Short label for reports and bench artifacts.
     pub fn label(&self) -> &'static str {
         match self {
@@ -205,14 +231,15 @@ impl FrontierRepr {
 }
 
 impl Default for FrontierRepr {
-    /// Defers to [`Self::from_env`] so `SIMDX_FRONTIER=bitmap` flips
-    /// the default for a whole test/bench process. The parse is
-    /// cached: benches call `EngineConfig::default()` inside timed
-    /// regions, and an env lookup per construction would leak into
-    /// wall-clock numbers.
+    /// Defers to the cached `SIMDX_FRONTIER` parse so
+    /// `SIMDX_FRONTIER=bitmap` flips the default for a whole
+    /// test/bench process. The parse is cached: benches call
+    /// `EngineConfig::default()` inside timed regions, and an env
+    /// lookup per construction would leak into wall-clock numbers. A
+    /// malformed value falls back to `List` (no panic in `Default`);
+    /// [`EngineConfig::validate`] reports it as a typed error.
     fn default() -> Self {
-        static DEFAULT: std::sync::OnceLock<FrontierRepr> = std::sync::OnceLock::new();
-        *DEFAULT.get_or_init(Self::from_env)
+        cached_frontier_knob().unwrap_or(Self::List)
     }
 }
 
@@ -262,11 +289,6 @@ impl MetadataLayout {
         )
     }
 
-    /// Panicking [`Self::try_from_env`], for the cached process default.
-    pub fn from_env() -> Self {
-        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Short label for reports and bench artifacts.
     pub fn label(&self) -> &'static str {
         match self {
@@ -277,12 +299,13 @@ impl MetadataLayout {
 }
 
 impl Default for MetadataLayout {
-    /// Defers to [`Self::from_env`] so `SIMDX_LAYOUT=chunked` flips
-    /// the default for a whole test/bench process, cached like
-    /// [`FrontierRepr`]'s default.
+    /// Defers to the cached `SIMDX_LAYOUT` parse so
+    /// `SIMDX_LAYOUT=chunked` flips the default for a whole test/bench
+    /// process, cached like [`FrontierRepr`]'s default. A malformed
+    /// value falls back to `Flat` (no panic in `Default`);
+    /// [`EngineConfig::validate`] reports it as a typed error.
     fn default() -> Self {
-        static DEFAULT: std::sync::OnceLock<MetadataLayout> = std::sync::OnceLock::new();
-        *DEFAULT.get_or_init(Self::from_env)
+        cached_layout_knob().unwrap_or(Self::Flat)
     }
 }
 
@@ -329,11 +352,6 @@ impl PushStrategy {
         })
     }
 
-    /// Panicking [`Self::try_from_env`], for the cached process default.
-    pub fn from_env() -> Self {
-        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Short label for reports and bench artifacts.
     pub fn label(&self) -> &'static str {
         match self {
@@ -344,13 +362,34 @@ impl PushStrategy {
 }
 
 impl Default for PushStrategy {
-    /// Defers to [`Self::from_env`] so `SIMDX_PUSH=scan` flips the
-    /// default for a whole test/bench process, cached like the other
-    /// knob defaults.
+    /// Defers to the cached `SIMDX_PUSH` parse so `SIMDX_PUSH=scan`
+    /// flips the default for a whole test/bench process, cached like
+    /// the other knob defaults. A malformed value falls back to `Grid`
+    /// (no panic in `Default`); [`EngineConfig::validate`] reports it
+    /// as a typed error.
     fn default() -> Self {
-        static DEFAULT: std::sync::OnceLock<PushStrategy> = std::sync::OnceLock::new();
-        *DEFAULT.get_or_init(Self::from_env)
+        cached_push_knob().unwrap_or(Self::Grid)
     }
+}
+
+/// What a session does when a parallel run fails with a contained
+/// worker panic ([`crate::error::SimdxError::WorkerPanicked`]).
+///
+/// Either way the pool is poisoned and transparently rebuilt before
+/// the next run; the policy only decides whether the *failed query*
+/// comes back as an error or is retried. The retry is safe to offer
+/// because the serial path is the bit-equality reference: a successful
+/// retry returns exactly what the parallel run would have.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradePolicy {
+    /// Surface the typed error to the caller (default).
+    #[default]
+    Fail,
+    /// Retry the failed query once in [`ExecMode::Serial`] — graceful
+    /// degradation instead of a failed query. A successful retry is
+    /// flagged via [`crate::metrics::RunReport::aborted`] with
+    /// [`crate::supervise::AbortReason::WorkerPanic`].
+    RetrySerial,
 }
 
 /// Push/pull direction selection.
@@ -406,14 +445,19 @@ pub struct EngineConfig {
     pub layout: MetadataLayout,
     /// Parallel push edge distribution (scan-and-skip vs grid CSR).
     pub push: PushStrategy,
+    /// Reaction to a contained worker panic (fail the query vs retry
+    /// it once serially).
+    pub degrade: DegradePolicy,
 }
 
 impl Default for EngineConfig {
     /// Paper defaults with the four host knobs read from their cached
     /// per-process environment defaults (`SIMDX_EXEC`,
     /// `SIMDX_FRONTIER`, `SIMDX_LAYOUT`, `SIMDX_PUSH`); an unparsable
-    /// knob panics. Session construction should prefer the fallible
-    /// [`Self::from_env`].
+    /// knob selects the hard-coded fallback here and is reported as a
+    /// typed error by [`Self::validate`] (which every session
+    /// construction calls). Session construction should prefer the
+    /// fallible [`Self::from_env`].
     fn default() -> Self {
         Self::with_knobs(
             ExecMode::default(),
@@ -449,6 +493,7 @@ impl EngineConfig {
             frontier,
             layout,
             push,
+            degrade: DegradePolicy::Fail,
         }
     }
 
@@ -474,6 +519,13 @@ impl EngineConfig {
     /// front instead of letting the engine panic mid-run.
     pub fn validate(&self) -> Result<(), SimdxError> {
         let fail = |reason: String| Err(SimdxError::InvalidConfig { reason });
+        // The cached per-process knob defaults swallow a malformed
+        // SIMDX_* value into a fallback (Default has no error channel);
+        // surface it here so every session construction fails typed
+        // instead of silently running the fallback configuration.
+        if let Some(err) = cached_knob_error() {
+            return fail(format!("cached knob default is invalid: {err}"));
+        }
         if self.threads_per_cta == 0 {
             return fail("threads_per_cta must be at least 1".to_string());
         }
@@ -575,6 +627,17 @@ impl EngineConfig {
     /// Builder: the legacy scan-and-skip push replay.
     pub fn scan_push(self) -> Self {
         self.with_push(PushStrategy::Scan)
+    }
+
+    /// Builder: set the worker-panic degradation policy.
+    pub fn with_degrade(mut self, degrade: DegradePolicy) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// Builder: retry panicked parallel queries once serially.
+    pub fn degrade_serial(self) -> Self {
+        self.with_degrade(DegradePolicy::RetrySerial)
     }
 }
 
@@ -728,6 +791,23 @@ mod tests {
             parse_knob("SIMDX_PUSH", "x", PushStrategy::Grid, None, parse),
             Ok(PushStrategy::Grid)
         );
+    }
+
+    #[test]
+    fn degrade_policy_defaults_to_fail_and_composes() {
+        assert_eq!(EngineConfig::default().degrade, DegradePolicy::Fail);
+        let c = EngineConfig::unscaled().degrade_serial();
+        assert_eq!(c.degrade, DegradePolicy::RetrySerial);
+        let c = c.with_degrade(DegradePolicy::Fail);
+        assert_eq!(c.degrade, DegradePolicy::Fail);
+    }
+
+    #[test]
+    fn clean_environment_has_no_cached_knob_error() {
+        // The test processes never set SIMDX_* to invalid values, so
+        // the cached defaults parse cleanly and validate() does not
+        // reject on their account.
+        assert_eq!(cached_knob_error(), None);
     }
 
     #[test]

@@ -96,6 +96,7 @@
 use crate::acc::{AccProgram, CombineKind, DirectionCtx};
 use crate::config::{DirectionPolicy, EngineConfig, FrontierRepr, MetadataLayout, PushStrategy};
 use crate::error::SimdxError;
+use crate::fault::{self, FaultSite};
 use crate::filters::{ballot, online, FilterKind};
 use crate::frontier::{
     BitSink, BitmapWordsMut, ChangeSink, FrontierBitmap, ListSink, ThreadBins, Worklists, WORD_BITS,
@@ -108,6 +109,7 @@ use crate::metrics::{RunReport, RunResult};
 use crate::par::{chunk_range, chunk_range_aligned, WorkerPool};
 use crate::scratch::{IterScratch, PushFences, RecordEntry, WorkerScratch};
 use crate::session::Runtime;
+use crate::supervise::{Supervisor, POLL_STRIDE};
 use simdx_gpu::{Cost, GpuExecutor, SchedUnit};
 use simdx_graph::csr::{Csr, Direction};
 use simdx_graph::{Graph, VertexId, Weight};
@@ -139,6 +141,10 @@ pub(crate) struct SessionCtx<'a, 'o, M: 'static> {
     /// Per-iteration observer, called right after each iteration's
     /// record is appended to the activation log.
     pub observer: Option<&'a mut (dyn FnMut(&IterationRecord) + 'o)>,
+    /// Run supervision (cancellation, deadline, cycle budget). An
+    /// unlimited supervisor makes every check a cheap early-out, so
+    /// unsupervised runs pay nothing measurable.
+    pub supervisor: &'a Supervisor,
 }
 
 /// The one-shot SIMD-X engine: a program, a graph and a configuration.
@@ -218,6 +224,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             grid: bound_grid,
             max_iterations,
             mut observer,
+            supervisor,
         } = ctx;
         let n = graph.num_vertices() as usize;
         let num_edges = graph.num_edges();
@@ -229,10 +236,11 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         // Host backend: the session's persistent pool; a resolved
         // width of 1 falls back to the serial path outright.
         let threads = pool.map_or(1, WorkerPool::threads);
-        debug_assert_eq!(
-            scratch.workers.len(),
-            threads,
-            "scratch sized for a different worker count"
+        // `>=`, not `==`: a serial degrade retry after a worker panic
+        // reuses the session's N-worker scratch with `pool == None`.
+        debug_assert!(
+            scratch.workers.len() >= threads.max(1),
+            "scratch sized for a smaller worker count"
         );
         // Session-reuse invariant: a reused scratch must be logically
         // indistinguishable from a fresh allocation — clear every
@@ -305,6 +313,13 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 return Err(SimdxError::IterationLimit { max_iterations });
             }
             let cycles_before = executor.stats().total_cycles;
+            // Supervision boundary: the cheap full check (token,
+            // deadline, simulated-cycle budget) runs once per
+            // iteration; the in-sweep polls below only watch the
+            // token and deadline.
+            if let Some(reason) = supervisor.check_boundary(cycles_before) {
+                return Err(supervisor.abort_error(reason, iteration, edges_examined));
+            }
 
             // 1. Direction.
             let out_csr = graph.out();
@@ -322,25 +337,25 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     // materialized in either exec mode.
                     let bins = &*bins;
                     let total = bins.total_recorded() as usize;
-                    pool.for_each_worker(workers, |w, ws| {
+                    pool.try_for_each_worker(workers, |w, ws| {
                         let (lo, hi) = chunk_range(total, threads, w);
                         let mut sum = 0u64;
                         bins.for_each_entry_in(lo as u64, hi as u64, |v| {
                             sum += out_csr.degree(v) as u64;
                         });
                         ws.degree_sum = sum;
-                    });
+                    })?;
                     workers.iter().map(|ws| ws.degree_sum).sum()
                 }
                 (Some(pool), false) => {
                     let frontier = &frontier;
-                    pool.for_each_worker(workers, |w, ws| {
+                    pool.try_for_each_worker(workers, |w, ws| {
                         let (lo, hi) = chunk_range(frontier.len(), threads, w);
                         ws.degree_sum = frontier[lo..hi]
                             .iter()
                             .map(|&v| out_csr.degree(v) as u64)
                             .sum();
-                    });
+                    })?;
                     workers.iter().map(|ws| ws.degree_sum).sum()
                 }
             };
@@ -384,13 +399,13 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                             Some(pool) => {
                                 let bins = &*bins;
                                 let total = bins.total_recorded() as usize;
-                                pool.for_each_worker(workers, |w, ws| {
+                                pool.try_for_each_worker(workers, |w, ws| {
                                     ws.lists.clear();
                                     let (lo, hi) = chunk_range(total, threads, w);
                                     bins.for_each_entry_in(lo as u64, hi as u64, |v| {
                                         ws.lists.classify_one(v, scan_csr, thresholds)
                                     });
-                                });
+                                })?;
                                 lists.clear();
                                 for ws in workers.iter() {
                                     lists.append(&ws.lists);
@@ -402,7 +417,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                             None => lists.classify_into(&frontier, scan_csr, config.thresholds),
                             Some(pool) => Self::classify_parallel(
                                 pool, threads, workers, lists, &frontier, scan_csr, config,
-                            ),
+                            )?,
                         }
                     }
                 }
@@ -440,7 +455,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                         MetadataLayout::Chunked => CHUNK_LANES,
                                     };
                                     let curr = curr.as_slice();
-                                    pool.for_each_worker(workers, |w, ws| {
+                                    pool.try_for_each_worker(workers, |w, ws| {
                                         ws.cands.clear();
                                         let (lo, hi) = chunk_range_aligned(n, threads, w, align);
                                         Self::vote_candidates(
@@ -451,7 +466,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                             layout,
                                             &mut ws.cands,
                                         );
-                                    });
+                                    })?;
                                     for ws in workers.iter() {
                                         cands.extend_from_slice(&ws.cands);
                                     }
@@ -552,7 +567,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                     // through the sealed prefix.
                                     let bins = &*bins;
                                     let bins_total = bins.total_recorded() as usize;
-                                    pool.for_each_worker(workers, |w, ws| {
+                                    pool.try_for_each_worker(workers, |w, ws| {
                                         ws.cands.clear();
                                         ws.tasks.clear();
                                         let WorkerScratch { cands, tasks, .. } = ws;
@@ -574,7 +589,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                                 mark(v);
                                             }
                                         }
-                                    });
+                                    })?;
                                     // Workers may discover the same
                                     // candidate from different frontier
                                     // chunks. List mode sorts + dedups;
@@ -615,7 +630,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                         None => lists.classify_into(cands, scan_csr, config.thresholds),
                         Some(pool) => Self::classify_parallel(
                             pool, threads, workers, lists, cands, scan_csr, config,
-                        ),
+                        )?,
                     }
                 }
             };
@@ -653,6 +668,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                 task_base,
                                 frontier_sorted,
                                 &mut edges_examined,
+                                supervisor,
                             ),
                             FrontierRepr::Bitmap => Self::serial_unit(
                                 program,
@@ -669,6 +685,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                 task_base,
                                 frontier_sorted,
                                 &mut edges_examined,
+                                supervisor,
                             ),
                         }
                         executor.run_kernel(&kernel, unit, tasks, launch);
@@ -695,7 +712,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                 task_base,
                                 frontier_sorted,
                                 &mut edges_examined,
-                            ),
+                                supervisor,
+                            )?,
                             (PushStrategy::Scan, FrontierRepr::Bitmap) => {
                                 Self::push_unit_parallel_bits(
                                     program,
@@ -715,7 +733,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                     task_base,
                                     frontier_sorted,
                                     &mut edges_examined,
-                                )
+                                    supervisor,
+                                )?
                             }
                             (PushStrategy::Grid, FrontierRepr::List) => {
                                 Self::push_unit_parallel_grid(
@@ -737,7 +756,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                     task_base,
                                     frontier_sorted,
                                     &mut edges_examined,
-                                )
+                                    supervisor,
+                                )?
                             }
                             (PushStrategy::Grid, FrontierRepr::Bitmap) => {
                                 Self::push_unit_parallel_grid_bits(
@@ -759,7 +779,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                     task_base,
                                     frontier_sorted,
                                     &mut edges_examined,
-                                )
+                                    supervisor,
+                                )?
                             }
                         }
                         executor.run_kernel(&kernel, unit, tasks, launch);
@@ -782,7 +803,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                             width,
                             task_base,
                             &mut edges_examined,
-                        );
+                            supervisor,
+                        )?;
                         executor.run_kernel_parts(
                             &kernel,
                             unit,
@@ -795,6 +817,13 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             }
             if plan.uses_global_barrier() {
                 executor.charge_barrier();
+            }
+            // Second supervision boundary: the compute sweeps poll the
+            // token/deadline and bail out mid-list, so re-checking here
+            // turns an in-sweep trip into the typed abort before the
+            // filter stage consumes the partial bins.
+            if let Some(reason) = supervisor.check_boundary(executor.stats().total_cycles) {
+                return Err(supervisor.abort_error(reason, iteration, edges_examined));
             }
 
             // 5. Task management under JIT control.
@@ -831,6 +860,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 }
                 FilterKind::Ballot => match pool {
                     None => {
+                        fault::hit(FaultSite::Ballot);
                         let ws = &mut workers[0].warp;
                         ws.clear();
                         match repr {
@@ -874,7 +904,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                 // boundaries, which are also metadata
                                 // chunk boundaries in the chunked
                                 // layout.
-                                pool.for_each_worker(workers, |w, ws| {
+                                pool.try_for_each_worker(workers, |w, ws| {
+                                    fault::hit(FaultSite::Ballot);
                                     ws.warp.clear();
                                     let (lo, hi) = chunk_range_aligned(n, threads, w, 32);
                                     ballot::scan_range_layout(
@@ -886,7 +917,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                         layout,
                                         &mut ws.warp,
                                     );
-                                });
+                                })?;
                             }
                             FrontierRepr::Bitmap => {
                                 // Partition on occupancy-word (64)
@@ -896,7 +927,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                 // worker's range covers whole bitmap
                                 // words.
                                 let occ = changed_bits.words();
-                                pool.for_each_worker(workers, |w, ws| {
+                                pool.try_for_each_worker(workers, |w, ws| {
+                                    fault::hit(FaultSite::Ballot);
                                     ws.warp.clear();
                                     let (lo, hi) = chunk_range_aligned(n, threads, w, WORD_BITS);
                                     ballot::scan_range_sparse_layout(
@@ -909,7 +941,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                         layout,
                                         &mut ws.warp,
                                     );
-                                });
+                                })?;
                             }
                         }
                         next.clear();
@@ -1005,6 +1037,9 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 stats: executor.stats().clone(),
                 edges_examined,
                 log,
+                elapsed: supervisor.elapsed(),
+                aborted: None,
+                supervision_checks: supervisor.checks(),
             },
         })
     }
@@ -1066,16 +1101,17 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         active: &[VertexId],
         csr: &Csr,
         config: &EngineConfig,
-    ) {
+    ) -> Result<(), SimdxError> {
         let thresholds = config.thresholds;
-        pool.for_each_worker(workers, |w, ws| {
+        pool.try_for_each_worker(workers, |w, ws| {
             let (lo, hi) = chunk_range(active.len(), threads, w);
             ws.lists.classify_into(&active[lo..hi], csr, thresholds);
-        });
+        })?;
         lists.clear();
         for ws in workers.iter() {
             lists.append(&ws.lists);
         }
+        Ok(())
     }
 
     /// The serial compute-kernel loop over one worklist, generic over
@@ -1098,9 +1134,20 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         task_base: u64,
         frontier_sorted: bool,
         examined: &mut u64,
+        sup: &Supervisor,
     ) {
+        fault::hit(match dir {
+            Direction::Push => FaultSite::Push,
+            Direction::Pull => FaultSite::Pull,
+        });
         tasks.clear();
         for (t, &v) in list.iter().enumerate() {
+            // In-sweep supervision: a tripped token or deadline bails
+            // out of the task list mid-sweep; the iteration's second
+            // boundary check converts the trip into the typed abort.
+            if t % POLL_STRIDE == 0 && sup.poll() {
+                break;
+            }
             let task_counter = task_base + t as u64;
             let cost = match dir {
                 Direction::Push => Self::push_task(
@@ -1160,9 +1207,10 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         task_base: u64,
         frontier_sorted: bool,
         examined: &mut u64,
-    ) {
+        sup: &Supervisor,
+    ) -> Result<(), SimdxError> {
         Self::push_cost_prefill(tasks, list, csr, width, frontier_sorted);
-        pool.for_each_worker_sharded(workers, curr, bounds, |_w, ws, off, curr_shard| {
+        pool.try_for_each_worker_sharded(workers, curr, bounds, |_w, ws, off, curr_shard| {
             ws.changed.clear();
             let WorkerScratch {
                 changed,
@@ -1185,12 +1233,14 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 record,
                 width,
                 task_base,
+                sup,
             );
-        });
+        })?;
         Self::push_merge(workers, tasks, records, bins, examined, |ws, recs| {
             changed.extend_from_slice(&ws.changed);
             recs.extend_from_slice(&ws.records);
         });
+        Ok(())
     }
 
     /// The bitmap-mode variant of [`Self::push_unit_parallel`]: the
@@ -1218,9 +1268,10 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         task_base: u64,
         frontier_sorted: bool,
         examined: &mut u64,
-    ) {
+        sup: &Supervisor,
+    ) -> Result<(), SimdxError> {
         Self::push_cost_prefill(tasks, list, csr, width, frontier_sorted);
-        pool.for_each_worker_sharded2(
+        pool.try_for_each_worker_sharded2(
             workers,
             curr,
             &fences.verts,
@@ -1247,12 +1298,14 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     record,
                     width,
                     task_base,
+                    sup,
                 );
             },
-        );
+        )?;
         Self::push_merge(workers, tasks, records, bins, examined, |ws, recs| {
             recs.extend_from_slice(&ws.records);
         });
+        Ok(())
     }
 
     /// One push-mode compute-kernel loop under the grid strategy:
@@ -1282,9 +1335,10 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         task_base: u64,
         frontier_sorted: bool,
         examined: &mut u64,
-    ) {
+        sup: &Supervisor,
+    ) -> Result<(), SimdxError> {
         Self::push_cost_prefill(tasks, list, csr, width, frontier_sorted);
-        pool.for_each_worker_sharded(workers, curr, bounds, |w, ws, off, curr_shard| {
+        pool.try_for_each_worker_sharded(workers, curr, bounds, |w, ws, off, curr_shard| {
             ws.changed.clear();
             let WorkerScratch {
                 changed,
@@ -1307,12 +1361,14 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 record,
                 width,
                 task_base,
+                sup,
             );
-        });
+        })?;
         Self::push_merge(workers, tasks, records, bins, examined, |ws, recs| {
             changed.extend_from_slice(&ws.changed);
             recs.extend_from_slice(&ws.records);
         });
+        Ok(())
     }
 
     /// The bitmap-mode variant of [`Self::push_unit_parallel_grid`]:
@@ -1338,9 +1394,10 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         task_base: u64,
         frontier_sorted: bool,
         examined: &mut u64,
-    ) {
+        sup: &Supervisor,
+    ) -> Result<(), SimdxError> {
         Self::push_cost_prefill(tasks, list, csr, width, frontier_sorted);
-        pool.for_each_worker_sharded2(
+        pool.try_for_each_worker_sharded2(
             workers,
             curr,
             &fences.verts,
@@ -1367,12 +1424,14 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     record,
                     width,
                     task_base,
+                    sup,
                 );
             },
-        );
+        )?;
         Self::push_merge(workers, tasks, records, bins, examined, |ws, recs| {
             recs.extend_from_slice(&ws.records);
         });
+        Ok(())
     }
 
     /// Pre-fills the push cost vector with the destination-independent
@@ -1411,11 +1470,16 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         record: bool,
         width: u64,
         task_base: u64,
+        sup: &Supervisor,
     ) {
+        fault::hit(FaultSite::Push);
         records.clear();
         applied_out.clear();
         *examined = 0;
         for (t, &v) in list.iter().enumerate() {
+            if t % POLL_STRIDE == 0 && sup.poll() {
+                break;
+            }
             let task_counter = task_base + t as u64;
             let (lo, hi) = csr.range(v);
             let targets = &csr.targets()[lo..hi];
@@ -1486,11 +1550,16 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         record: bool,
         width: u64,
         task_base: u64,
+        sup: &Supervisor,
     ) {
+        fault::hit(FaultSite::Push);
         records.clear();
         applied_out.clear();
         *examined = 0;
         for (t, &v) in list.iter().enumerate() {
+            if t % POLL_STRIDE == 0 && sup.poll() {
+                break;
+            }
             let task_counter = task_base + t as u64;
             let (lo, hi) = shard.range(v);
             if lo == hi {
@@ -1662,10 +1731,12 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         width: u64,
         task_base: u64,
         examined: &mut u64,
-    ) {
+        sup: &Supervisor,
+    ) -> Result<(), SimdxError> {
         {
             let curr = &*curr;
-            pool.for_each_worker(workers, |w, ws| {
+            pool.try_for_each_worker(workers, |w, ws| {
+                fault::hit(FaultSite::Pull);
                 ws.tasks.clear();
                 ws.changed.clear();
                 ws.records.clear();
@@ -1673,6 +1744,9 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 ws.edges_examined = 0;
                 let (t0, t1) = chunk_range(list.len(), threads, w);
                 for (t, &v) in list.iter().enumerate().take(t1).skip(t0) {
+                    if (t - t0) % POLL_STRIDE == 0 && sup.poll() {
+                        break;
+                    }
                     let task_counter = task_base + t as u64;
                     let cost = Self::pull_task_collect(
                         program,
@@ -1687,7 +1761,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                     );
                     ws.tasks.push(cost);
                 }
-            });
+            })?;
         }
         for ws in workers.iter() {
             *examined += ws.edges_examined;
@@ -1709,6 +1783,7 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 bins.record(r.slot, r.v);
             }
         }
+        Ok(())
     }
 
     /// Frontier-volume direction heuristic (Beamer-style): pull when the

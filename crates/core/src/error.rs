@@ -6,6 +6,18 @@
 //! variant of [`SimdxError`], so callers match on variants instead of
 //! catching panics. The pre-session `EngineError` (which only covered
 //! the two in-run aborts) is absorbed as a deprecated alias.
+//!
+//! Supervision aborts ([`SimdxError::Cancelled`],
+//! [`SimdxError::DeadlineExceeded`], [`SimdxError::BudgetExhausted`])
+//! carry a [`RunProgress`] partial-progress summary; a contained worker
+//! panic surfaces as [`SimdxError::WorkerPanicked`] with the worker
+//! index and stringified payload. None of these poison the session:
+//! the `BoundGraph` stays reusable and the next run is bit-equal to a
+//! fresh engine.
+
+use crate::par::WorkerPanic;
+use crate::supervise::RunProgress;
+use simdx_graph::GraphError;
 
 /// Why a session construction, query setup or engine run failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,6 +54,55 @@ pub enum SimdxError {
         /// What is wrong with it.
         reason: String,
     },
+    /// The graph failed ingestion validation (see
+    /// [`simdx_graph::GraphError`] for the invariant that broke).
+    InvalidGraph {
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The run's [`crate::supervise::CancelToken`] was cancelled.
+    Cancelled {
+        /// Work completed before the abort.
+        progress: RunProgress,
+    },
+    /// The run's wall-clock deadline expired.
+    DeadlineExceeded {
+        /// Work completed before the abort.
+        progress: RunProgress,
+    },
+    /// The run's simulated-cycle budget was exhausted.
+    BudgetExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+        /// Work completed before the abort.
+        progress: RunProgress,
+    },
+    /// An engine worker panicked; the panic was contained, the pool
+    /// poisoned (the `Runtime` rebuilds it before the next run), and
+    /// the session remains usable.
+    WorkerPanicked {
+        /// Index of the worker that panicked (0 is the submitter).
+        worker: usize,
+        /// The panic payload, stringified.
+        payload: String,
+    },
+}
+
+impl From<WorkerPanic> for SimdxError {
+    fn from(p: WorkerPanic) -> Self {
+        Self::WorkerPanicked {
+            worker: p.worker,
+            payload: p.payload,
+        }
+    }
+}
+
+impl From<GraphError> for SimdxError {
+    fn from(e: GraphError) -> Self {
+        Self::InvalidGraph {
+            reason: e.to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for SimdxError {
@@ -53,8 +114,7 @@ impl std::fmt::Display for SimdxError {
             Self::IterationLimit { max_iterations } => {
                 write!(f, "did not converge within {max_iterations} iterations")
             }
-            // Keeps the exact wording of the historical `env_knob`
-            // panic, which the panicking knob shims still emit.
+            // Keeps the exact wording of the historical `env_knob` panic.
             Self::InvalidKnob {
                 var,
                 expected,
@@ -62,6 +122,26 @@ impl std::fmt::Display for SimdxError {
             } => write!(f, "{var} must be {expected}, got '{value}'"),
             Self::InvalidConfig { reason } => write!(f, "invalid engine config: {reason}"),
             Self::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+            Self::InvalidGraph { reason } => write!(f, "invalid graph: {reason}"),
+            Self::Cancelled { progress } => write!(
+                f,
+                "run cancelled after {} iterations ({} edges examined, {:?} elapsed)",
+                progress.iterations, progress.edges_examined, progress.elapsed
+            ),
+            Self::DeadlineExceeded { progress } => write!(
+                f,
+                "deadline exceeded after {} iterations ({} edges examined, {:?} elapsed)",
+                progress.iterations, progress.edges_examined, progress.elapsed
+            ),
+            Self::BudgetExhausted { budget, progress } => write!(
+                f,
+                "cycle budget of {budget} exhausted after {} iterations \
+                 ({} edges examined, {:?} elapsed)",
+                progress.iterations, progress.edges_examined, progress.elapsed
+            ),
+            Self::WorkerPanicked { worker, payload } => {
+                write!(f, "engine worker {worker} panicked: {payload}")
+            }
         }
     }
 }
@@ -78,6 +158,43 @@ pub type EngineError = SimdxError;
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_progress() -> RunProgress {
+        RunProgress {
+            iterations: 3,
+            edges_examined: 120,
+            elapsed: std::time::Duration::from_millis(8),
+        }
+    }
+
+    #[test]
+    fn conversions_preserve_detail() {
+        let err: SimdxError = WorkerPanic {
+            worker: 1,
+            payload: "boom".to_string(),
+        }
+        .into();
+        assert_eq!(
+            err,
+            SimdxError::WorkerPanicked {
+                worker: 1,
+                payload: "boom".to_string()
+            }
+        );
+
+        let err: SimdxError = GraphError::TargetOutOfRange {
+            edge: 4,
+            target: 9,
+            num_vertices: 3,
+        }
+        .into();
+        match err {
+            SimdxError::InvalidGraph { reason } => {
+                assert!(reason.contains("target 9"), "reason: {reason}")
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
 
     #[test]
     fn display_covers_every_variant() {
@@ -117,6 +234,38 @@ mod tests {
                     reason: "source 7 out of range".to_string(),
                 },
                 "invalid query: source 7 out of range",
+            ),
+            (
+                SimdxError::InvalidGraph {
+                    reason: "offsets not monotone".to_string(),
+                },
+                "invalid graph: offsets not monotone",
+            ),
+            (
+                SimdxError::Cancelled {
+                    progress: sample_progress(),
+                },
+                "run cancelled after 3 iterations (120 edges examined",
+            ),
+            (
+                SimdxError::DeadlineExceeded {
+                    progress: sample_progress(),
+                },
+                "deadline exceeded after 3 iterations",
+            ),
+            (
+                SimdxError::BudgetExhausted {
+                    budget: 500,
+                    progress: sample_progress(),
+                },
+                "cycle budget of 500 exhausted after 3 iterations",
+            ),
+            (
+                SimdxError::WorkerPanicked {
+                    worker: 2,
+                    payload: "index out of bounds".to_string(),
+                },
+                "engine worker 2 panicked: index out of bounds",
             ),
         ];
         for (err, needle) in cases {

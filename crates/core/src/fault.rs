@@ -1,0 +1,347 @@
+//! Deterministic fault injection for the supervision test harness.
+//!
+//! Compiled to a no-op unless the `fault-inject` feature is on: the
+//! default build's [`hit`] is an empty `#[inline(always)]` function, so
+//! production binaries carry zero overhead and no global state.
+//!
+//! With the feature enabled, [`install`] arms a [`FaultPlan`] that
+//! fires panics or delays at named [`FaultSite`]s the engine passes
+//! through ([`hit`] calls are baked into the ballot filter, the push
+//! and pull sweeps, the bind-time grid build, and the scratch reset).
+//! Panics fired inside pool workers exercise the containment path in
+//! `par.rs`; panics fired on the submitter thread exercise the
+//! `catch_unwind` in `session.rs`. `tests/fault_injection.rs` drives
+//! the differential matrix with this.
+//!
+//! Plans can also come from the environment: `SIMDX_FAULTS` uses a
+//! comma-separated `site:action` grammar, e.g. `push:panic`,
+//! `ballot:panic@3` (fire on the 3rd hit), `pull:delay=5` (5 ms on
+//! every hit), `grid-build:delay=2@1`. The env plan is only installed
+//! when a test asks for it ([`FaultPlan::from_env`]) — never
+//! implicitly, so ordinary runs are unaffected by a stray variable.
+
+#![allow(dead_code)] // the no-op build only uses `hit`
+
+use std::time::Duration;
+
+/// Named engine locations where faults can fire. The set mirrors the
+/// phases of one BSP iteration plus the two bind/reuse paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// The ballot filter (serial scan or per-worker vote scan).
+    Ballot,
+    /// The push compute sweep (serial unit or per-worker replay shard).
+    Push,
+    /// The pull compute sweep (serial unit or per-worker task chunk).
+    Pull,
+    /// The bind-time destination-bucketed grid build (pool workers).
+    GridBuild,
+    /// `IterScratch::reset_for_run` at `execute()` entry.
+    ScratchReset,
+}
+
+/// Number of distinct [`FaultSite`]s (per-site hit counters).
+const NUM_SITES: usize = 5;
+
+impl FaultSite {
+    fn index(self) -> usize {
+        match self {
+            Self::Ballot => 0,
+            Self::Push => 1,
+            Self::Pull => 2,
+            Self::GridBuild => 3,
+            Self::ScratchReset => 4,
+        }
+    }
+
+    /// The spelling used by the `SIMDX_FAULTS` grammar and panic payloads.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Ballot => "ballot",
+            Self::Push => "push",
+            Self::Pull => "pull",
+            Self::GridBuild => "grid-build",
+            Self::ScratchReset => "scratch-reset",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ballot" => Some(Self::Ballot),
+            "push" => Some(Self::Push),
+            "pull" => Some(Self::Pull),
+            "grid-build" => Some(Self::GridBuild),
+            "scratch-reset" => Some(Self::ScratchReset),
+            _ => None,
+        }
+    }
+}
+
+/// What an armed fault does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// `panic!` with an `injected fault at <site>` payload.
+    Panic,
+    /// Sleep for the given duration (models a straggler worker).
+    Delay(Duration),
+}
+
+/// No-op hook for the default build: optimizes to nothing.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn hit(_site: FaultSite) {}
+
+#[cfg(feature = "fault-inject")]
+pub use enabled::{hit, install, FaultGuard, FaultPlan};
+
+#[cfg(feature = "fault-inject")]
+mod enabled {
+    use super::{FaultAction, FaultSite, NUM_SITES};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
+    use std::time::Duration;
+
+    /// One armed fault: fires `action` at `site`. `nth == 0` fires on
+    /// every hit (delays only — an every-hit panic would re-fire during
+    /// the recovery run the tests perform); `nth == k` fires exactly on
+    /// the k-th hit of that site since [`install`].
+    #[derive(Clone, Debug)]
+    struct Fault {
+        site: FaultSite,
+        action: FaultAction,
+        nth: u64,
+    }
+
+    /// A set of armed faults plus per-site hit counters.
+    #[derive(Debug, Default)]
+    pub struct FaultPlan {
+        faults: Vec<Fault>,
+        counts: [AtomicU64; NUM_SITES],
+    }
+
+    impl FaultPlan {
+        /// An empty plan (no faults armed; counters still advance).
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Arms a panic on the `nth` hit of `site` (1-based).
+        pub fn panic_at(mut self, site: FaultSite, nth: u64) -> Self {
+            assert!(nth >= 1, "panics fire once; nth is 1-based");
+            self.faults.push(Fault {
+                site,
+                action: FaultAction::Panic,
+                nth,
+            });
+            self
+        }
+
+        /// Arms a panic on the first hit of `site`.
+        pub fn panic_on(self, site: FaultSite) -> Self {
+            self.panic_at(site, 1)
+        }
+
+        /// Arms a delay on every hit of `site`.
+        pub fn delay_every(mut self, site: FaultSite, delay: Duration) -> Self {
+            self.faults.push(Fault {
+                site,
+                action: FaultAction::Delay(delay),
+                nth: 0,
+            });
+            self
+        }
+
+        /// Arms a delay on the `nth` hit of `site` (1-based).
+        pub fn delay_at(mut self, site: FaultSite, delay: Duration, nth: u64) -> Self {
+            assert!(nth >= 1, "nth is 1-based; use delay_every for every hit");
+            self.faults.push(Fault {
+                site,
+                action: FaultAction::Delay(delay),
+                nth,
+            });
+            self
+        }
+
+        /// Parses the `SIMDX_FAULTS` environment variable:
+        /// comma-separated `site:panic[@N]` or `site:delay=MS[@N]`
+        /// entries. Returns `Ok(None)` when the variable is unset or
+        /// empty, `Err` with a description on a malformed entry.
+        pub fn from_env() -> Result<Option<Self>, String> {
+            match std::env::var("SIMDX_FAULTS") {
+                Ok(v) if !v.trim().is_empty() => Self::parse(&v).map(Some),
+                _ => Ok(None),
+            }
+        }
+
+        /// Parses the `SIMDX_FAULTS` grammar from a string.
+        pub fn parse(spec: &str) -> Result<Self, String> {
+            let mut plan = Self::new();
+            for entry in spec.split(',') {
+                let entry = entry.trim();
+                if entry.is_empty() {
+                    continue;
+                }
+                let (site, action) = entry
+                    .split_once(':')
+                    .ok_or_else(|| format!("SIMDX_FAULTS entry `{entry}`: expected site:action"))?;
+                let site = FaultSite::parse(site).ok_or_else(|| {
+                    format!(
+                        "SIMDX_FAULTS entry `{entry}`: unknown site `{site}` \
+                         (expected ballot|push|pull|grid-build|scratch-reset)"
+                    )
+                })?;
+                let (action, nth) = match action.split_once('@') {
+                    Some((a, n)) => {
+                        let nth: u64 = n.parse().map_err(|_| {
+                            format!("SIMDX_FAULTS entry `{entry}`: bad hit index `{n}`")
+                        })?;
+                        if nth == 0 {
+                            return Err(format!(
+                                "SIMDX_FAULTS entry `{entry}`: hit index is 1-based"
+                            ));
+                        }
+                        (a, Some(nth))
+                    }
+                    None => (action, None),
+                };
+                if action == "panic" {
+                    plan = plan.panic_at(site, nth.unwrap_or(1));
+                } else if let Some(ms) = action.strip_prefix("delay=") {
+                    let ms: u64 = ms.parse().map_err(|_| {
+                        format!("SIMDX_FAULTS entry `{entry}`: bad delay `{ms}` (milliseconds)")
+                    })?;
+                    let d = Duration::from_millis(ms);
+                    plan = match nth {
+                        Some(n) => plan.delay_at(site, d, n),
+                        None => plan.delay_every(site, d),
+                    };
+                } else {
+                    return Err(format!(
+                        "SIMDX_FAULTS entry `{entry}`: unknown action `{action}` \
+                         (expected panic[@N] or delay=MS[@N])"
+                    ));
+                }
+            }
+            Ok(plan)
+        }
+    }
+
+    /// The armed plan, if any. `RwLock` so the hot [`hit`] path takes a
+    /// read lock only; panics under a *read* guard do not poison.
+    fn active() -> &'static RwLock<Option<Arc<FaultPlan>>> {
+        static ACTIVE: OnceLock<RwLock<Option<Arc<FaultPlan>>>> = OnceLock::new();
+        ACTIVE.get_or_init(|| RwLock::new(None))
+    }
+
+    /// Serializes tests that install plans: fault state is global, so
+    /// two concurrently-running fault tests would observe each other's
+    /// plans. Held by the [`FaultGuard`].
+    fn gate() -> &'static Mutex<()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(()))
+    }
+
+    /// Keeps a plan armed; disarms on drop and releases the test gate.
+    pub struct FaultGuard {
+        _gate: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for FaultGuard {
+        fn drop(&mut self) {
+            *active()
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+        }
+    }
+
+    /// Arms `plan` globally until the returned guard drops. Blocks while
+    /// another guard is alive (tests serialize on the plan).
+    pub fn install(plan: FaultPlan) -> FaultGuard {
+        // A previous test body may have panicked while holding the gate
+        // (e.g. asserting around an injected panic); the () payload is
+        // trivially consistent, so clear the poison and continue.
+        let gate = gate()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *active()
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Arc::new(plan));
+        FaultGuard { _gate: gate }
+    }
+
+    /// Fault hook: fires any armed fault for `site`. Called from engine
+    /// workers and the submitter thread alike.
+    pub fn hit(site: FaultSite) {
+        let plan = {
+            let slot = active()
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match &*slot {
+                Some(p) => Arc::clone(p),
+                None => return,
+            }
+        };
+        let count = plan.counts[site.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        for fault in plan.faults.iter().filter(|f| f.site == site) {
+            let fires = fault.nth == 0 || fault.nth == count;
+            if !fires {
+                continue;
+            }
+            match fault.action {
+                FaultAction::Panic => panic!("injected fault at {}", site.label()),
+                FaultAction::Delay(d) => std::thread::sleep(d),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn parse_accepts_full_grammar() {
+            let plan =
+                FaultPlan::parse("push:panic, ballot:panic@3, pull:delay=5, grid-build:delay=2@1")
+                    .expect("grammar");
+            assert_eq!(plan.faults.len(), 4);
+            assert_eq!(plan.faults[0].site, FaultSite::Push);
+            assert_eq!(plan.faults[0].nth, 1);
+            assert_eq!(plan.faults[1].nth, 3);
+            assert_eq!(
+                plan.faults[2].action,
+                FaultAction::Delay(Duration::from_millis(5))
+            );
+            assert_eq!(plan.faults[2].nth, 0, "bare delay fires every hit");
+            assert_eq!(plan.faults[3].nth, 1);
+        }
+
+        #[test]
+        fn parse_rejects_bad_entries() {
+            assert!(FaultPlan::parse("push").is_err(), "missing action");
+            assert!(FaultPlan::parse("warp:panic").is_err(), "unknown site");
+            assert!(FaultPlan::parse("push:explode").is_err(), "unknown action");
+            assert!(
+                FaultPlan::parse("push:panic@0").is_err(),
+                "0 is not 1-based"
+            );
+            assert!(FaultPlan::parse("pull:delay=xx").is_err(), "bad millis");
+        }
+
+        #[test]
+        fn hit_fires_only_on_the_armed_nth() {
+            let _guard = install(FaultPlan::new().panic_at(FaultSite::Ballot, 3));
+            hit(FaultSite::Ballot);
+            hit(FaultSite::Push); // other sites unaffected
+            hit(FaultSite::Ballot);
+            let caught = std::panic::catch_unwind(|| hit(FaultSite::Ballot));
+            assert!(caught.is_err(), "third ballot hit fires");
+            hit(FaultSite::Ballot); // fourth hit: fired already, inert
+        }
+
+        #[test]
+        fn uninstalled_hits_are_inert() {
+            hit(FaultSite::ScratchReset);
+            hit(FaultSite::GridBuild);
+        }
+    }
+}

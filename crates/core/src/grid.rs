@@ -36,7 +36,7 @@
 //! `threads×` reduction in edge traversals
 //! ([`crate::metrics::RunReport::edges_examined`] records it).
 
-use crate::par::{chunk_range, WorkerPool};
+use crate::par::{chunk_range, WorkerPanic, WorkerPool};
 use simdx_graph::csr::Csr;
 use simdx_graph::{VertexId, Weight};
 
@@ -131,17 +131,24 @@ impl GridCsr {
     /// private partial shards, and concatenating the partials in
     /// worker order reproduces the serial cell order exactly (the
     /// ranges are contiguous and ascending). Used by `Runtime::bind`
-    /// so a parallel runtime's bind cost scales with its own width.
-    pub(crate) fn build_with_pool(csr: &Csr, fences: &[u32], pool: &WorkerPool) -> Self {
+    /// so a parallel runtime's bind cost scales with its own width. A
+    /// worker panic during the sweep is contained and returned (the
+    /// session surfaces it from `Runtime::try_bind`).
+    pub(crate) fn build_with_pool(
+        csr: &Csr,
+        fences: &[u32],
+        pool: &WorkerPool,
+    ) -> Result<Self, WorkerPanic> {
         let threads = pool.threads();
         let n = csr.num_vertices() as usize;
         let parts = fences.len() - 1;
         let shard_of = Self::shard_map(csr, fences);
         let mut partials: Vec<Vec<ShardCsr>> = (0..threads).map(|_| Vec::new()).collect();
-        pool.for_each_worker(&mut partials, |w, out| {
+        pool.try_for_each_worker(&mut partials, |w, out| {
+            crate::fault::hit(crate::fault::FaultSite::GridBuild);
             let (lo, hi) = chunk_range(n, threads, w);
             *out = Self::build_range(csr, &shard_of, parts, lo as VertexId, hi as VertexId);
-        });
+        })?;
         // Merge: per shard, concatenate the workers' cell runs and
         // rebase their offsets onto the merged edge array.
         let weighted = csr.is_weighted();
@@ -164,7 +171,7 @@ impl GridCsr {
                     .extend(part.offsets[1..].iter().map(|&o| base + o));
             }
         }
-        Self { shards }
+        Ok(Self { shards })
     }
 
     /// Destination-vertex → shard-index lookup derived from the
@@ -368,7 +375,7 @@ mod tests {
             let pool = WorkerPool::new(threads);
             for (csr, fences) in [(&csr, vec![0u32, 3, 3, 7, 10]), (&weighted, vec![0, 2, 6])] {
                 assert_eq!(
-                    GridCsr::build_with_pool(csr, &fences, &pool),
+                    GridCsr::build_with_pool(csr, &fences, &pool).expect("clean pool"),
                     GridCsr::build(csr, &fences),
                     "{threads}-thread build diverged"
                 );

@@ -81,6 +81,7 @@ pub mod acc;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod filters;
 pub mod frontier;
 pub mod fusion;
@@ -91,11 +92,12 @@ pub mod metrics;
 pub mod par;
 mod scratch;
 pub mod session;
+pub mod supervise;
 
 pub use acc::{AccProgram, CombineKind, DirectionCtx, SourcedProgram};
 pub use config::{
-    DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr, MetadataLayout,
-    PushStrategy,
+    DegradePolicy, DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr,
+    MetadataLayout, PushStrategy,
 };
 pub use engine::Engine;
 #[allow(deprecated)]
@@ -108,14 +110,16 @@ pub use grid::GridCsr;
 pub use jit::{ActivationLog, IterationRecord};
 pub use metadata::MetadataStore;
 pub use metrics::{RunReport, RunResult};
+pub use par::WorkerPanic;
 pub use session::{BoundGraph, RunBuilder, Runtime};
+pub use supervise::{AbortReason, CancelToken, RunProgress};
 
 /// Convenience re-exports for programs and harnesses.
 pub mod prelude {
     pub use crate::acc::{AccProgram, CombineKind, DirectionCtx, SourcedProgram};
     pub use crate::config::{
-        DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr, MetadataLayout,
-        PushStrategy,
+        DegradePolicy, DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr,
+        MetadataLayout, PushStrategy,
     };
     pub use crate::engine::Engine;
     pub use crate::error::SimdxError;
@@ -126,4 +130,5 @@ pub mod prelude {
     pub use crate::metadata::MetadataStore;
     pub use crate::metrics::{RunReport, RunResult};
     pub use crate::session::{BoundGraph, RunBuilder, Runtime};
+    pub use crate::supervise::{AbortReason, CancelToken, RunProgress};
 }

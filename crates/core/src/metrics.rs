@@ -1,7 +1,9 @@
 //! Run-level reports returned by the engine.
 
 use crate::jit::ActivationLog;
+use crate::supervise::AbortReason;
 use simdx_gpu::executor::ExecutorStats;
+use std::time::Duration;
 
 /// Everything the evaluation harness needs from one engine run.
 #[derive(Clone, Debug, PartialEq)]
@@ -30,6 +32,20 @@ pub struct RunReport {
     pub edges_examined: u64,
     /// Per-iteration activation log (Fig. 8 data).
     pub log: ActivationLog,
+    /// *Host* wall-clock time of the run, measured from `execute()`
+    /// entry. Like `edges_examined`, host-side and outside the
+    /// bit-equality contract (the simulated time is `elapsed_ms`).
+    pub elapsed: Duration,
+    /// `None` for a run that converged normally. `Some(WorkerPanic)`
+    /// when the result came from a successful serial retry under
+    /// [`crate::config::DegradePolicy::RetrySerial`] — the answer is
+    /// still bit-exact, but the parallel attempt was abandoned.
+    pub aborted: Option<AbortReason>,
+    /// Supervision checks performed (iteration-boundary checks plus
+    /// in-sweep polls): the overhead meter for the supervision layer,
+    /// recorded by the `snapshot` bin. 0 when the run sets no token,
+    /// deadline or budget.
+    pub supervision_checks: u64,
 }
 
 impl RunReport {

@@ -24,9 +24,42 @@
 //! ranges; the pool's "one invocation per worker index per region"
 //! guarantee makes that aliasing-free.
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+//! Worker panics are *contained*: [`WorkerPool::try_run`] catches a
+//! panic on any worker (including the submitting thread), still drains
+//! the epoch so no worker is left touching the borrowed job, and
+//! returns a [`WorkerPanic`] describing the first failure. The pool is
+//! then **poisoned** — the sharding invariants of the aborted region
+//! may not hold, so every subsequent `try_run` refuses with the stored
+//! panic until the pool is rebuilt (`Runtime` does this transparently
+//! before the next run). The panicking [`WorkerPool::run`] wrapper
+//! keeps the fail-fast behaviour for callers without an error path.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// A contained panic from one pool worker: the typed form of what used
+/// to be a process abort. Converts into
+/// [`crate::error::SimdxError::WorkerPanicked`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Worker index that panicked (0 is the submitting thread).
+    pub worker: usize,
+    /// The panic payload, stringified.
+    pub payload: String,
+}
+
+/// Best-effort stringification of a panic payload (`&str` and `String`
+/// payloads — i.e. everything `panic!` produces — round-trip exactly).
+pub(crate) fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Contiguous chunk `[start, end)` of `len` items for worker `w` of
 /// `parts`: the canonical deterministic partition.
@@ -67,7 +100,11 @@ struct PoolState {
     job: Option<Job<'static>>,
     epoch: u64,
     remaining: usize,
-    panicked: bool,
+    /// First worker panic of the current epoch, if any.
+    epoch_panic: Option<WorkerPanic>,
+    /// Sticky: set when any region panicked; the pool refuses further
+    /// regions until rebuilt.
+    poisoned: Option<WorkerPanic>,
     shutdown: bool,
 }
 
@@ -98,7 +135,8 @@ impl WorkerPool {
                 job: None,
                 epoch: 0,
                 remaining: 0,
-                panicked: false,
+                epoch_panic: None,
+                poisoned: None,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -124,13 +162,25 @@ impl WorkerPool {
     /// Runs `f(w, &mut workers[w])` on every worker concurrently.
     /// `workers.len()` must equal [`Self::threads`].
     pub fn for_each_worker<T: Send>(&self, workers: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+        if let Err(p) = self.try_for_each_worker(workers, f) {
+            panic!("engine worker {} panicked: {}", p.worker, p.payload);
+        }
+    }
+
+    /// Fallible form of [`Self::for_each_worker`]: a contained worker
+    /// panic comes back as `Err` instead of aborting.
+    pub fn try_for_each_worker<T: Send>(
+        &self,
+        workers: &mut [T],
+        f: impl Fn(usize, &mut T) + Sync,
+    ) -> Result<(), WorkerPanic> {
         assert_eq!(workers.len(), self.threads, "one scratch slot per worker");
         let slots = SliceShards::new(workers, &self.unit_fences);
-        self.run(&|w| {
+        self.try_run(&|w| {
             // SAFETY: each worker index runs exactly once per region.
             let (_, slot) = unsafe { slots.shard(w) };
             f(w, &mut slot[0]);
-        });
+        })
     }
 
     /// Runs `f(w, &mut workers[w], shard_offset, shard)` on every worker
@@ -148,16 +198,29 @@ impl WorkerPool {
         bounds: &[u32],
         f: impl Fn(usize, &mut T, usize, &mut [U]) + Sync,
     ) {
+        if let Err(p) = self.try_for_each_worker_sharded(workers, data, bounds, f) {
+            panic!("engine worker {} panicked: {}", p.worker, p.payload);
+        }
+    }
+
+    /// Fallible form of [`Self::for_each_worker_sharded`].
+    pub fn try_for_each_worker_sharded<T: Send, U: Send>(
+        &self,
+        workers: &mut [T],
+        data: &mut [U],
+        bounds: &[u32],
+        f: impl Fn(usize, &mut T, usize, &mut [U]) + Sync,
+    ) -> Result<(), WorkerPanic> {
         assert_eq!(workers.len(), self.threads, "one scratch slot per worker");
         assert_eq!(bounds.len(), self.threads + 1, "one shard per worker");
         let slots = SliceShards::new(workers, &self.unit_fences);
         let shards = SliceShards::new(data, bounds);
-        self.run(&|w| {
+        self.try_run(&|w| {
             // SAFETY: each worker index runs exactly once per region.
             let (_, slot) = unsafe { slots.shard(w) };
             let (off, shard) = unsafe { shards.shard(w) };
             f(w, &mut slot[0], off, shard);
-        });
+        })
     }
 
     /// The two-slice form of [`Self::for_each_worker_sharded`]: worker
@@ -175,19 +238,36 @@ impl WorkerPool {
         bounds2: &[u32],
         f: impl Fn(usize, &mut T, usize, &mut [U], usize, &mut [V]) + Sync,
     ) {
+        if let Err(p) = self.try_for_each_worker_sharded2(workers, data, bounds, data2, bounds2, f)
+        {
+            panic!("engine worker {} panicked: {}", p.worker, p.payload);
+        }
+    }
+
+    /// Fallible form of [`Self::for_each_worker_sharded2`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_for_each_worker_sharded2<T: Send, U: Send, V: Send>(
+        &self,
+        workers: &mut [T],
+        data: &mut [U],
+        bounds: &[u32],
+        data2: &mut [V],
+        bounds2: &[u32],
+        f: impl Fn(usize, &mut T, usize, &mut [U], usize, &mut [V]) + Sync,
+    ) -> Result<(), WorkerPanic> {
         assert_eq!(workers.len(), self.threads, "one scratch slot per worker");
         assert_eq!(bounds.len(), self.threads + 1, "one shard per worker");
         assert_eq!(bounds2.len(), self.threads + 1, "one shard per worker");
         let slots = SliceShards::new(workers, &self.unit_fences);
         let shards = SliceShards::new(data, bounds);
         let shards2 = SliceShards::new(data2, bounds2);
-        self.run(&|w| {
+        self.try_run(&|w| {
             // SAFETY: each worker index runs exactly once per region.
             let (_, slot) = unsafe { slots.shard(w) };
             let (off, shard) = unsafe { shards.shard(w) };
             let (off2, shard2) = unsafe { shards2.shard(w) };
             f(w, &mut slot[0], off, shard, off2, shard2);
-        });
+        })
     }
 
     /// Number of workers (including the submitting thread).
@@ -195,16 +275,46 @@ impl WorkerPool {
         self.threads
     }
 
+    /// Whether a region panicked since construction. A poisoned pool
+    /// refuses further regions; rebuild it (the session `Runtime` does
+    /// so transparently before the next run).
+    pub fn is_poisoned(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .expect("pool lock")
+            .poisoned
+            .is_some()
+    }
+
     /// Runs `job(w)` once for every worker index `w in 0..threads`,
-    /// returning when all invocations completed. Panics if any worker
-    /// panicked.
-    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+    /// returning when all invocations completed — even on failure, so
+    /// the borrowed job is never left referenced. Returns the first
+    /// [`WorkerPanic`] if any worker (including the submitter, worker 0)
+    /// panicked; the pool is then poisoned and every later call returns
+    /// that same panic without running.
+    pub fn try_run(&self, job: &(dyn Fn(usize) + Sync)) -> Result<(), WorkerPanic> {
         if self.threads == 1 {
-            job(0);
-            return;
+            if let Some(p) = &self.shared.state.lock().expect("pool lock").poisoned {
+                return Err(p.clone());
+            }
+            return match catch_unwind(AssertUnwindSafe(|| job(0))) {
+                Ok(()) => Ok(()),
+                Err(payload) => {
+                    let panic = WorkerPanic {
+                        worker: 0,
+                        payload: payload_string(&*payload),
+                    };
+                    self.shared.state.lock().expect("pool lock").poisoned = Some(panic.clone());
+                    Err(panic)
+                }
+            };
         }
         {
             let mut state = self.shared.state.lock().expect("pool lock");
+            if let Some(p) = &state.poisoned {
+                return Err(p.clone());
+            }
             debug_assert!(state.remaining == 0, "overlapping pool regions");
             // Lifetime erasure: the pointer is only dereferenced by
             // workers between here and the completion wait below, and we
@@ -212,24 +322,41 @@ impl WorkerPool {
             state.job = Some(unsafe { std::mem::transmute::<Job<'_>, Job<'static>>(job) });
             state.epoch += 1;
             state.remaining = self.threads - 1;
-            state.panicked = false;
+            state.epoch_panic = None;
             self.shared.work_cv.notify_all();
         }
         // The submitter is worker 0. Defer its panic until the other
-        // workers are done with the borrowed job.
+        // workers are done with the borrowed job (drain the epoch).
         let mine = catch_unwind(AssertUnwindSafe(|| job(0)));
-        let panicked = {
-            let mut state = self.shared.state.lock().expect("pool lock");
-            while state.remaining > 0 {
-                state = self.shared.done_cv.wait(state).expect("pool wait");
-            }
-            state.job = None;
-            state.panicked
-        };
-        if let Err(payload) = mine {
-            resume_unwind(payload);
+        let mut state = self.shared.state.lock().expect("pool lock");
+        while state.remaining > 0 {
+            state = self.shared.done_cv.wait(state).expect("pool wait");
         }
-        assert!(!panicked, "engine worker panicked");
+        state.job = None;
+        // A submitter panic wins the report (lowest worker index); any
+        // concurrent worker panic still poisons identically.
+        let panic = match mine {
+            Err(payload) => Some(WorkerPanic {
+                worker: 0,
+                payload: payload_string(&*payload),
+            }),
+            Ok(()) => state.epoch_panic.take(),
+        };
+        match panic {
+            Some(p) => {
+                state.poisoned = Some(p.clone());
+                Err(p)
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Panicking wrapper over [`Self::try_run`] for callers without an
+    /// error path (tests, benches).
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        if let Err(p) = self.try_run(job) {
+            panic!("engine worker {} panicked: {}", p.worker, p.payload);
+        }
     }
 }
 
@@ -264,8 +391,13 @@ fn worker_loop(shared: &Shared, w: usize) {
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| job(w)));
         let mut state = shared.state.lock().expect("pool lock");
-        if outcome.is_err() {
-            state.panicked = true;
+        if let Err(payload) = outcome {
+            // First panic of the epoch wins the report; the rest are
+            // dropped (they are almost always the same root cause).
+            state.epoch_panic.get_or_insert_with(|| WorkerPanic {
+                worker: w,
+                payload: payload_string(&*payload),
+            });
         }
         state.remaining -= 1;
         if state.remaining == 0 {
@@ -407,18 +539,109 @@ mod tests {
     }
 
     #[test]
-    fn worker_panic_propagates() {
+    fn worker_panic_is_contained_and_poisons() {
         let pool = WorkerPool::new(3);
+        let err = pool
+            .try_run(&|w| {
+                if w == 2 {
+                    panic!("worker boom");
+                }
+            })
+            .expect_err("panic contained");
+        assert_eq!(err.worker, 2);
+        assert_eq!(err.payload, "worker boom");
+        assert!(pool.is_poisoned());
+        // Poisoned: further regions refuse with the same panic, without
+        // running the job.
+        let hits = AtomicU64::new(0);
+        let again = pool.try_run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(again, Err(err));
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn submitter_panic_is_contained_too() {
+        let pool = WorkerPool::new(2);
+        let err = pool
+            .try_run(&|w| {
+                if w == 0 {
+                    panic!("submitter boom");
+                }
+            })
+            .expect_err("panic contained");
+        assert_eq!(err.worker, 0);
+        assert_eq!(err.payload, "submitter boom");
+        assert!(pool.is_poisoned());
+    }
+
+    #[test]
+    fn run_wrapper_panics_on_contained_panic() {
+        let pool = WorkerPool::new(2);
         let result = catch_unwind(AssertUnwindSafe(|| {
             pool.run(&|w| {
-                if w == 2 {
+                if w == 1 {
                     panic!("worker boom");
                 }
             });
         }));
         assert!(result.is_err());
-        // The pool survives a panicked region.
-        pool.run(&|_| {});
+    }
+
+    #[test]
+    fn poisoned_pool_rebuilds_and_matches_serial() {
+        // The recovery path the session Runtime uses: poison a pool,
+        // rebuild it with the same width, and check the rebuilt pool's
+        // deterministic merge order matches the serial result bit-for-bit.
+        let data: Vec<u64> = (0..4096).map(|i| i * 2654435761 % 97).collect();
+        let serial_sum: u64 = data.iter().sum();
+
+        let pool = WorkerPool::new(4);
+        assert!(pool
+            .try_run(&|w| {
+                if w == 3 {
+                    panic!("injected");
+                }
+            })
+            .is_err());
+        assert!(pool.is_poisoned());
+
+        let rebuilt = WorkerPool::new(pool.threads());
+        drop(pool);
+        let mut partial = vec![0u64; 4];
+        rebuilt
+            .try_for_each_worker(&mut partial, |w, slot| {
+                let (lo, hi) = chunk_range(data.len(), 4, w);
+                *slot = data[lo..hi].iter().sum();
+            })
+            .expect("rebuilt pool is clean");
+        assert!(!rebuilt.is_poisoned());
+        assert_eq!(partial.iter().sum::<u64>(), serial_sum);
+    }
+
+    #[test]
+    fn pool_of_one_contains_panics() {
+        let pool = WorkerPool::new(1);
+        let err = pool
+            .try_run(&|_| panic!("inline boom"))
+            .expect_err("contained");
+        assert_eq!(err.worker, 0);
+        assert!(pool.is_poisoned());
+        assert!(pool.try_run(&|_| {}).is_err(), "stays poisoned");
+    }
+
+    #[test]
+    fn string_payloads_are_captured() {
+        let pool = WorkerPool::new(2);
+        let err = pool
+            .try_run(&|w| {
+                if w == 1 {
+                    panic!("formatted {}", 42);
+                }
+            })
+            .expect_err("contained");
+        assert_eq!(err.payload, "formatted 42");
     }
 
     #[test]

@@ -218,12 +218,9 @@ impl<M> IterScratch<M> {
     /// state a fresh engine allocates (allocations are kept — that is
     /// the point of the session API).
     ///
-    /// Deliberately untouched caches, safe across runs on one bound
-    /// graph:
-    /// * `vote_scan_tasks` — a pure function of `|V|` and cost
-    ///   constants, length-gated in the engine loop;
-    /// * `workers` — every parallel region clears the fields it uses
-    ///   before writing them.
+    /// The one deliberately untouched cache, safe across runs on one
+    /// bound graph: `vote_scan_tasks` — a pure function of `|V|` and
+    /// cost constants, length-gated in the engine loop.
     ///
     /// (The push destination fences live on the `BoundGraph`, not
     /// here: `Runtime::bind` computes them once per graph for every
@@ -234,7 +231,18 @@ impl<M> IterScratch<M> {
     /// every run, so stale stamps from a previous query could suppress
     /// aggregation-pull candidates. Truncating it forces the in-loop
     /// `u32::MAX` refill, identical to a fresh engine.
+    ///
+    /// The per-worker partitions are cleared here too. Every parallel
+    /// region clears the fields it uses before writing them, so for a
+    /// run that completes this is redundant — but a run aborted
+    /// mid-region (cancellation, deadline, contained worker panic)
+    /// leaves partial per-worker output behind, and the serial ballot
+    /// path swaps the live next-frontier buffer through
+    /// `workers[0].warp.active`. Clearing everything at the next
+    /// `execute()` entry makes aborted runs indistinguishable from
+    /// fresh engines.
     pub fn reset_for_run(&mut self) {
+        crate::fault::hit(crate::fault::FaultSite::ScratchReset);
         self.lists.clear();
         self.cands.clear();
         self.tasks.clear();
@@ -246,6 +254,18 @@ impl<M> IterScratch<M> {
         self.records.clear();
         self.bins.clear();
         self.next.clear();
+        for ws in &mut self.workers {
+            ws.lists.clear();
+            ws.cands.clear();
+            ws.tasks.clear();
+            ws.changed.clear();
+            ws.records.clear();
+            ws.applied.clear();
+            ws.writebacks.clear();
+            ws.warp.clear();
+            ws.degree_sum = 0;
+            ws.edges_examined = 0;
+        }
     }
 
     /// Debug-asserts that no per-run transient buffer carries state —
@@ -269,5 +289,26 @@ impl<M> IterScratch<M> {
         debug_assert_eq!(self.bins.total_recorded(), 0, "thread bins carry entries");
         debug_assert!(!self.bins.overflowed(), "thread-bin overflow flag stuck");
         debug_assert!(self.next.is_empty(), "next-frontier buffer not cleared");
+        for (w, ws) in self.workers.iter().enumerate() {
+            debug_assert!(ws.lists.is_empty(), "worker {w} worklists not cleared");
+            debug_assert!(ws.cands.is_empty(), "worker {w} candidates not cleared");
+            debug_assert!(ws.tasks.is_empty(), "worker {w} task costs not cleared");
+            debug_assert!(ws.changed.is_empty(), "worker {w} changed list not cleared");
+            debug_assert!(ws.records.is_empty(), "worker {w} records not cleared");
+            debug_assert!(
+                ws.applied.is_empty(),
+                "worker {w} applied counts not cleared"
+            );
+            debug_assert!(
+                ws.writebacks.is_empty(),
+                "worker {w} writebacks not cleared"
+            );
+            debug_assert!(
+                ws.warp.tasks.is_empty() && ws.warp.active.is_empty(),
+                "worker {w} warp-scan scratch not cleared"
+            );
+            debug_assert_eq!(ws.degree_sum, 0, "worker {w} degree sum not cleared");
+            debug_assert_eq!(ws.edges_examined, 0, "worker {w} edge meter not cleared");
+        }
     }
 }

@@ -89,17 +89,19 @@
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::time::Duration;
 
 use crate::acc::{AccProgram, SourcedProgram};
-use crate::config::{EngineConfig, FrontierRepr, PushStrategy};
+use crate::config::{DegradePolicy, EngineConfig, FrontierRepr, PushStrategy};
 use crate::engine::{Engine, SessionCtx};
 use crate::error::SimdxError;
 use crate::frontier::WORD_BITS;
 use crate::grid::GridCsr;
 use crate::jit::IterationRecord;
 use crate::metrics::RunResult;
-use crate::par::WorkerPool;
+use crate::par::{payload_string, WorkerPool};
 use crate::scratch::{IterScratch, PushFences};
+use crate::supervise::{AbortReason, CancelToken, Supervisor};
 use simdx_graph::csr::Direction;
 use simdx_graph::{Graph, VertexId};
 
@@ -117,7 +119,11 @@ type ScratchCache = HashMap<std::any::TypeId, Box<dyn Any>>;
 /// spawned exactly once, not per query.
 pub struct Runtime {
     config: EngineConfig,
-    pool: Option<WorkerPool>,
+    /// The persistent pool, behind a `RefCell` so a pool poisoned by a
+    /// contained worker panic can be transparently rebuilt (same
+    /// width) at the next bind or run — the `Runtime` survives its
+    /// workers.
+    pool: RefCell<Option<WorkerPool>>,
     threads: usize,
 }
 
@@ -132,9 +138,19 @@ impl Runtime {
         let threads = pool.as_ref().map_or(1, WorkerPool::threads);
         Ok(Self {
             config,
-            pool,
+            pool: RefCell::new(pool),
             threads,
         })
+    }
+
+    /// Replaces a poisoned pool with a freshly spawned one of the same
+    /// width. A healthy (or absent) pool is left untouched, so the
+    /// common path is one borrow and one flag load.
+    fn ensure_pool(&self) {
+        let mut pool = self.pool.borrow_mut();
+        if pool.as_ref().is_some_and(WorkerPool::is_poisoned) {
+            *pool = Some(WorkerPool::new(self.threads));
+        }
     }
 
     /// Creates a runtime from the default configuration with every
@@ -171,6 +187,19 @@ impl Runtime {
     /// sweep, noise next to any engine run (whose `init` alone is
     /// O(V)).
     pub fn bind<'rt, 'g>(&'rt self, graph: &'g Graph) -> BoundGraph<'rt, 'g> {
+        self.try_bind(graph)
+            .unwrap_or_else(|err| panic!("bind failed: {err}"))
+    }
+
+    /// Fallible [`Self::bind`]: a worker panic during the bind-time
+    /// grid bucketing sweep comes back as
+    /// [`SimdxError::WorkerPanicked`] (and poisons the pool, which the
+    /// next bind or run rebuilds) instead of aborting the caller.
+    pub fn try_bind<'rt, 'g>(
+        &'rt self,
+        graph: &'g Graph,
+    ) -> Result<BoundGraph<'rt, 'g>, SimdxError> {
+        self.ensure_pool();
         let fences = (self.threads > 1).then(|| {
             PushFences::compute(
                 graph.csr(Direction::Pull),
@@ -188,21 +217,27 @@ impl Runtime {
         // grid runtime can reach the grid push path regardless of the
         // configured policy.
         let grid = match (&fences, self.config.push) {
-            (Some(fences), PushStrategy::Grid) => Some(GridCsr::build_with_pool(
-                graph.csr(Direction::Push),
-                &fences.verts,
-                self.pool.as_ref().expect("parallel runtime owns a pool"),
-            )),
+            (Some(fences), PushStrategy::Grid) => {
+                let pool = self.pool.borrow();
+                Some(
+                    GridCsr::build_with_pool(
+                        graph.csr(Direction::Push),
+                        &fences.verts,
+                        pool.as_ref().expect("parallel runtime owns a pool"),
+                    )
+                    .map_err(SimdxError::from)?,
+                )
+            }
             _ => None,
         };
-        BoundGraph {
+        Ok(BoundGraph {
             runtime: self,
             graph,
             fences,
             grid,
             num_words: (graph.num_vertices() as usize).div_ceil(WORD_BITS),
             scratch: RefCell::new(ScratchCache::new()),
-        }
+        })
     }
 }
 
@@ -269,6 +304,9 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
             source: None,
             max_iterations: None,
             observer: None,
+            cancel: None,
+            deadline: None,
+            cycle_budget: None,
         }
     }
 
@@ -295,8 +333,10 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
         &self,
         program: &P,
         max_iterations: u32,
-        observer: Option<&mut (dyn FnMut(&IterationRecord) + '_)>,
+        mut observer: Option<&mut (dyn FnMut(&IterationRecord) + '_)>,
+        supervisor: &Supervisor,
     ) -> Result<RunResult<P::Meta>, SimdxError> {
+        self.runtime.ensure_pool();
         let mut cache = self.scratch.borrow_mut();
         let scratch = cache
             .entry(std::any::TypeId::of::<P::Meta>())
@@ -314,19 +354,97 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
             })
             .downcast_mut::<IterScratch<P::Meta>>()
             .expect("scratch cache keyed by metadata TypeId");
-        Engine::run_session(
-            program,
-            self.graph,
-            &self.runtime.config,
-            SessionCtx {
-                pool: self.runtime.pool.as_ref(),
+        let first = {
+            let pool = self.runtime.pool.borrow();
+            Self::run_once(
+                program,
+                self.graph,
+                &self.runtime.config,
+                pool.as_ref(),
                 scratch,
-                fences: self.fences.as_ref(),
-                grid: self.grid.as_ref(),
+                self.fences.as_ref(),
+                self.grid.as_ref(),
                 max_iterations,
-                observer,
-            },
-        )
+                match observer {
+                    Some(ref mut hook) => Some(&mut **hook),
+                    None => None,
+                },
+                supervisor,
+            )
+        };
+        match first {
+            Err(SimdxError::WorkerPanicked { .. })
+                if self.runtime.config.degrade == DegradePolicy::RetrySerial
+                    && self.runtime.threads > 1 =>
+            {
+                // Opt-in degrade: one serial retry of the same query
+                // over the same (reset-at-entry) scratch — no pool, no
+                // fences, no grid — flagged in the report so callers
+                // can see the query survived a worker fault. The
+                // poisoned pool is rebuilt at the next run's
+                // `ensure_pool`.
+                let mut result = Self::run_once(
+                    program,
+                    self.graph,
+                    &self.runtime.config,
+                    None,
+                    scratch,
+                    None,
+                    None,
+                    max_iterations,
+                    match observer {
+                        Some(ref mut hook) => Some(&mut **hook),
+                        None => None,
+                    },
+                    supervisor,
+                )?;
+                result.report.aborted = Some(AbortReason::WorkerPanic);
+                Ok(result)
+            }
+            other => other,
+        }
+    }
+
+    /// One engine attempt with panic containment: any panic escaping
+    /// the run — a contained pool panic is already a typed error, so
+    /// this catches the *host-side* ones (serial kernels, filters,
+    /// scratch reset) — comes back as [`SimdxError::WorkerPanicked`]
+    /// with worker 0 (the submitting thread).
+    #[allow(clippy::too_many_arguments)]
+    fn run_once<P: AccProgram>(
+        program: &P,
+        graph: &Graph,
+        config: &EngineConfig,
+        pool: Option<&WorkerPool>,
+        scratch: &mut IterScratch<P::Meta>,
+        fences: Option<&PushFences>,
+        grid: Option<&GridCsr>,
+        max_iterations: u32,
+        observer: Option<&mut (dyn FnMut(&IterationRecord) + '_)>,
+        supervisor: &Supervisor,
+    ) -> Result<RunResult<P::Meta>, SimdxError> {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Engine::run_session(
+                program,
+                graph,
+                config,
+                SessionCtx {
+                    pool,
+                    scratch,
+                    fences,
+                    grid,
+                    max_iterations,
+                    observer,
+                    supervisor,
+                },
+            )
+        }));
+        attempt.unwrap_or_else(|payload| {
+            Err(SimdxError::WorkerPanicked {
+                worker: 0,
+                payload: payload_string(&*payload),
+            })
+        })
     }
 }
 
@@ -350,12 +468,42 @@ pub struct RunBuilder<'b, 'rt, 'g, P: AccProgram> {
     max_iterations: Option<u32>,
     #[allow(clippy::type_complexity)]
     observer: Option<Box<dyn FnMut(&IterationRecord) + 'b>>,
+    cancel: Option<CancelToken>,
+    deadline: Option<Duration>,
+    cycle_budget: Option<u64>,
 }
 
 impl<'b, 'rt, 'g, P: AccProgram> RunBuilder<'b, 'rt, 'g, P> {
     /// Overrides the config's iteration cap for this query only.
     pub fn max_iterations(mut self, n: u32) -> Self {
         self.max_iterations = Some(n);
+        self
+    }
+
+    /// Attaches a shareable cancellation token: once
+    /// [`CancelToken::cancel`] is called (from any thread), the run
+    /// aborts at the next supervision check with
+    /// [`SimdxError::Cancelled`] carrying the partial progress.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Caps this query's wall-clock time, measured from `execute()`
+    /// entry. Exceeding it aborts with
+    /// [`SimdxError::DeadlineExceeded`].
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// Caps this query's *simulated* GPU cycles, checked at iteration
+    /// boundaries. Exceeding it aborts with
+    /// [`SimdxError::BudgetExhausted`]. Unlike the wall-clock knobs,
+    /// the budget is deterministic: the same query always aborts at
+    /// the same boundary.
+    pub fn cycle_budget(mut self, cycles: u64) -> Self {
+        self.cycle_budget = Some(cycles);
         self
     }
 
@@ -385,12 +533,13 @@ impl<'b, 'rt, 'g, P: AccProgram> RunBuilder<'b, 'rt, 'g, P> {
         let max_iterations = self
             .max_iterations
             .unwrap_or(self.bound.runtime.config.max_iterations);
+        let supervisor = Supervisor::new(self.cancel.clone(), self.deadline, self.cycle_budget);
         let observer = self
             .observer
             .as_mut()
             .map(|hook| &mut **hook as &mut dyn FnMut(&IterationRecord));
         self.bound
-            .execute_inner(&self.program, max_iterations, observer)
+            .execute_inner(&self.program, max_iterations, observer, &supervisor)
     }
 }
 
@@ -695,5 +844,232 @@ mod tests {
         assert_eq!(bound.num_bitmap_words(), 130usize.div_ceil(64));
         assert_eq!(bound.graph().num_vertices(), 130);
         assert_eq!(bound.runtime().threads(), 1);
+    }
+
+    #[test]
+    fn precancelled_token_aborts_before_the_first_iteration() {
+        let g = path_graph(64);
+        let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = bound
+            .run(Levels { src: 0 })
+            .cancel_token(token)
+            .execute()
+            .expect_err("cancelled");
+        match err {
+            SimdxError::Cancelled { progress } => {
+                assert_eq!(progress.iterations, 0);
+                assert_eq!(progress.edges_examined, 0);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // The session stays reusable and bit-equal after the abort.
+        let ok = bound.run(Levels { src: 0 }).execute().expect("clean rerun");
+        let fresh_rt = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let fresh = fresh_rt
+            .bind(&g)
+            .run(Levels { src: 0 })
+            .execute()
+            .expect("fresh");
+        assert_eq!(ok.meta, fresh.meta);
+        assert_eq!(ok.report.stats, fresh.report.stats);
+        assert_eq!(ok.report.aborted, None);
+    }
+
+    #[test]
+    fn zero_deadline_aborts_with_typed_error() {
+        let g = path_graph(64);
+        let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let err = bound
+            .run(Levels { src: 0 })
+            .deadline(Duration::ZERO)
+            .execute()
+            .expect_err("deadline");
+        assert!(matches!(err, SimdxError::DeadlineExceeded { .. }));
+        bound.run(Levels { src: 0 }).execute().expect("clean rerun");
+    }
+
+    #[test]
+    fn cycle_budget_aborts_deterministically_mid_run() {
+        let g = path_graph(200);
+        for exec in [ExecMode::Serial, ExecMode::Parallel { threads: 3 }] {
+            let runtime = Runtime::new(EngineConfig::unscaled().with_exec(exec)).expect("runtime");
+            let bound = runtime.bind(&g);
+            let run_budgeted = || {
+                bound
+                    .run(Levels { src: 0 })
+                    .cycle_budget(1)
+                    .execute()
+                    .expect_err("budget")
+            };
+            let (a, b) = (run_budgeted(), run_budgeted());
+            // Budget checks consume only the deterministic simulated
+            // cycle count, so the abort point is reproducible (the
+            // progress's wall-clock `elapsed` is excluded: it is the
+            // one non-deterministic field).
+            match (a, b) {
+                (
+                    SimdxError::BudgetExhausted {
+                        budget: ba,
+                        progress: pa,
+                    },
+                    SimdxError::BudgetExhausted {
+                        budget: bb,
+                        progress: pb,
+                    },
+                ) => {
+                    assert_eq!((ba, bb), (1, 1));
+                    assert_eq!(pa.iterations, pb.iterations);
+                    assert_eq!(pa.edges_examined, pb.edges_examined);
+                }
+                other => panic!("expected two BudgetExhausted aborts, got {other:?}"),
+            }
+            bound.run(Levels { src: 0 }).execute().expect("clean rerun");
+        }
+    }
+
+    #[test]
+    fn successful_runs_report_supervision_fields() {
+        let g = path_graph(32);
+        let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let plain = bound.run(Levels { src: 0 }).execute().expect("plain");
+        assert_eq!(plain.report.aborted, None);
+        assert_eq!(
+            plain.report.supervision_checks, 0,
+            "unsupervised runs never poll"
+        );
+        let supervised = bound
+            .run(Levels { src: 0 })
+            .deadline(Duration::from_secs(3600))
+            .execute()
+            .expect("supervised");
+        assert_eq!(supervised.report.aborted, None);
+        assert!(supervised.report.supervision_checks > 0);
+        // Supervision is host-side only: results stay bit-equal.
+        assert_eq!(plain.meta, supervised.meta);
+        assert_eq!(plain.report.stats, supervised.report.stats);
+    }
+
+    /// A levels program that panics exactly once (shared flag), to
+    /// model a transient worker fault without the fault-inject feature.
+    #[derive(Clone)]
+    struct PanicOnce {
+        inner: Levels,
+        armed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl AccProgram for PanicOnce {
+        type Meta = u32;
+        type Update = u32;
+
+        fn name(&self) -> &'static str {
+            "panic-once"
+        }
+
+        fn combine_kind(&self) -> CombineKind {
+            self.inner.combine_kind()
+        }
+
+        fn init(&self, g: &Graph) -> (Vec<u32>, Vec<VertexId>) {
+            self.inner.init(g)
+        }
+
+        fn compute(
+            &self,
+            src: VertexId,
+            dst: VertexId,
+            w: Weight,
+            m_src: &u32,
+            m_dst: &u32,
+        ) -> Option<u32> {
+            if self.armed.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                panic!("transient worker fault");
+            }
+            self.inner.compute(src, dst, w, m_src, m_dst)
+        }
+
+        fn combine(&self, a: u32, b: u32) -> u32 {
+            self.inner.combine(a, b)
+        }
+
+        fn apply(&self, v: VertexId, current: &u32, update: u32) -> Option<u32> {
+            self.inner.apply(v, current, update)
+        }
+
+        fn pull_candidate(&self, v: VertexId, meta: &u32) -> bool {
+            self.inner.pull_candidate(v, meta)
+        }
+    }
+
+    #[test]
+    fn degrade_retry_recovers_from_a_transient_worker_panic() {
+        let g = path_graph(150);
+        let armed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let program = PanicOnce {
+            inner: Levels { src: 0 },
+            armed: armed.clone(),
+        };
+        let cfg = EngineConfig::unscaled()
+            .with_exec(ExecMode::Parallel { threads: 3 })
+            .degrade_serial();
+        let runtime = Runtime::new(cfg.clone()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let recovered = bound.run(program.clone()).execute().expect("retried run");
+        assert!(
+            !armed.load(std::sync::atomic::Ordering::SeqCst),
+            "fault fired"
+        );
+        assert_eq!(recovered.report.aborted, Some(AbortReason::WorkerPanic));
+        // The retry ran serially over the reset scratch: bit-equal to
+        // a clean serial baseline.
+        let serial_rt = Runtime::new(EngineConfig::unscaled()).expect("serial runtime");
+        let baseline = serial_rt
+            .bind(&g)
+            .run(Levels { src: 0 })
+            .execute()
+            .expect("serial baseline");
+        assert_eq!(recovered.meta, baseline.meta);
+        assert_eq!(recovered.report.stats, baseline.report.stats);
+        // The poisoned pool is rebuilt transparently: the next query
+        // runs parallel again and matches the parallel baseline.
+        let next = bound.run(program).execute().expect("rebuilt pool run");
+        assert_eq!(next.report.aborted, None);
+        let parallel_rt = Runtime::new(cfg).expect("parallel runtime");
+        let parallel = parallel_rt
+            .bind(&g)
+            .run(Levels { src: 0 })
+            .execute()
+            .expect("parallel baseline");
+        assert_eq!(next.meta, parallel.meta);
+        assert_eq!(next.report.stats, parallel.report.stats);
+    }
+
+    #[test]
+    fn without_degrade_policy_a_worker_panic_is_a_typed_error() {
+        let g = path_graph(150);
+        let armed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let program = PanicOnce {
+            inner: Levels { src: 0 },
+            armed,
+        };
+        let cfg = EngineConfig::unscaled().with_exec(ExecMode::Parallel { threads: 3 });
+        let runtime = Runtime::new(cfg).expect("runtime");
+        let bound = runtime.bind(&g);
+        let err = bound.run(program.clone()).execute().expect_err("contained");
+        match err {
+            SimdxError::WorkerPanicked { payload, .. } => {
+                assert!(
+                    payload.contains("transient worker fault"),
+                    "payload: {payload}"
+                );
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // Pool rebuilt on the next run; the disarmed program succeeds.
+        bound.run(program).execute().expect("recovered run");
     }
 }

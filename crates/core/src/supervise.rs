@@ -1,0 +1,281 @@
+//! Run supervision: cancellation, deadlines and cycle budgets.
+//!
+//! The engine loop iterates until convergence — on adversarial or
+//! misconfigured inputs that is an unbounded loop, which a service
+//! answering concurrent queries cannot tolerate. This module provides
+//! the bounds:
+//!
+//! * [`CancelToken`] — a shareable atomic flag. Hand a clone to the
+//!   query (`RunBuilder::cancel_token`) and keep one; `cancel()` from
+//!   any thread makes the run return [`SimdxError::Cancelled`] at the
+//!   next supervision check.
+//! * `RunBuilder::deadline(Duration)` — a wall-clock bound checked at
+//!   iteration boundaries *and* every [`POLL_STRIDE`] tasks inside the
+//!   compute sweeps, so a single huge iteration cannot run away.
+//! * `RunBuilder::cycle_budget(u64)` — a bound on *simulated* device
+//!   cycles, checked at iteration boundaries (the executor's cycle
+//!   counter only advances between kernels).
+//!
+//! Every abort is a typed [`SimdxError`] carrying a [`RunProgress`]
+//! summary (iterations completed, edges examined, wall-clock elapsed),
+//! and an aborted run leaves the session fully reusable: scratch is
+//! reset at the next `execute()` entry, so the following clean run is
+//! bit-equal to a fresh engine (`tests/fault_injection.rs`,
+//! `tests/properties.rs`).
+//!
+//! Supervision is entirely host-side: it never alters metadata,
+//! activation logs or simulated cycle counts of a run that completes,
+//! so the bit-equality contract is untouched. Its wall-clock cost is
+//! measured by the `snapshot` bin (the `supervision` group in
+//! `BENCH_engine.json`) and pinned ≤ 2% on the reference run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::SimdxError;
+
+/// How often the compute sweeps poll for cancellation/deadline: once
+/// every this many tasks (frontier vertices), per worker. Coarse
+/// enough that an `Instant::now()` call never shows up in a profile,
+/// fine enough that a hub-dominated iteration is interrupted long
+/// before it finishes.
+pub(crate) const POLL_STRIDE: usize = 256;
+
+/// A shareable cancellation flag for in-flight runs.
+///
+/// Cloning is cheap (an `Arc` bump) and every clone observes the same
+/// flag; `cancel()` is sticky — a cancelled token stays cancelled, so
+/// reuse a fresh token per query if you pool them.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Safe from any thread; the engine observes
+    /// it at the next supervision check and returns
+    /// [`SimdxError::Cancelled`].
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a run stopped before convergence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The wall-clock deadline expired.
+    DeadlineExceeded,
+    /// The simulated-cycle budget was exhausted.
+    BudgetExhausted,
+    /// A worker panicked (the run may have been retried serially under
+    /// [`crate::config::DegradePolicy::RetrySerial`]).
+    WorkerPanic,
+}
+
+/// Partial-progress summary carried by every supervision abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunProgress {
+    /// BSP iterations fully completed before the abort.
+    pub iterations: u32,
+    /// Host-side compute-kernel edge traversals performed so far (same
+    /// meter as [`crate::metrics::RunReport::edges_examined`]).
+    pub edges_examined: u64,
+    /// Wall-clock time from `execute()` entry to the abort.
+    pub elapsed: Duration,
+}
+
+/// Per-run supervision state: the limits a query was built with plus
+/// the check counter. Shared by reference into every parallel worker
+/// closure (all state is atomic or immutable).
+#[derive(Debug)]
+pub(crate) struct Supervisor {
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+    cycle_budget: Option<u64>,
+    started: Instant,
+    /// Supervision checks performed (boundary checks + in-sweep polls),
+    /// reported as [`crate::metrics::RunReport::supervision_checks`].
+    checks: AtomicU64,
+}
+
+impl Supervisor {
+    /// Builds the supervisor for one query; `started` is now.
+    pub fn new(
+        cancel: Option<CancelToken>,
+        deadline: Option<Duration>,
+        cycle_budget: Option<u64>,
+    ) -> Self {
+        let started = Instant::now();
+        Self {
+            cancel,
+            deadline: deadline.map(|d| started + d),
+            cycle_budget,
+            started,
+            checks: AtomicU64::new(0),
+        }
+    }
+
+    /// A supervisor with no limits: every check is a cheap early-out.
+    #[cfg(test)]
+    pub fn unlimited() -> Self {
+        Self::new(None, None, None)
+    }
+
+    /// Whether any in-sweep-pollable limit (token or deadline) is set.
+    #[inline]
+    fn polls(&self) -> bool {
+        self.cancel.is_some() || self.deadline.is_some()
+    }
+
+    /// In-sweep poll: `true` means the sweep should stop early (the
+    /// iteration-boundary check will surface the typed error). Called
+    /// every [`POLL_STRIDE`] tasks from the compute loops — including
+    /// from pool workers — so it must stay cheap: with no token and no
+    /// deadline it is a two-branch early-out.
+    #[inline]
+    pub fn poll(&self) -> bool {
+        if !self.polls() {
+            return false;
+        }
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return true;
+        }
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Full boundary check (token, deadline, then cycle budget against
+    /// `cycles`). `None` means keep running.
+    pub fn check_boundary(&self, cycles: u64) -> Option<AbortReason> {
+        if !self.polls() && self.cycle_budget.is_none() {
+            return None;
+        }
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(AbortReason::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(AbortReason::DeadlineExceeded);
+        }
+        if self.cycle_budget.is_some_and(|b| cycles >= b) {
+            return Some(AbortReason::BudgetExhausted);
+        }
+        None
+    }
+
+    /// Supervision checks performed so far.
+    pub fn checks(&self) -> u64 {
+        self.checks.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time since the query started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The typed error for an abort observed at a supervision check.
+    pub fn abort_error(
+        &self,
+        reason: AbortReason,
+        iterations: u32,
+        edges_examined: u64,
+    ) -> SimdxError {
+        let progress = RunProgress {
+            iterations,
+            edges_examined,
+            elapsed: self.elapsed(),
+        };
+        match reason {
+            AbortReason::Cancelled => SimdxError::Cancelled { progress },
+            AbortReason::DeadlineExceeded => SimdxError::DeadlineExceeded { progress },
+            AbortReason::BudgetExhausted => SimdxError::BudgetExhausted {
+                budget: self.cycle_budget.unwrap_or(0),
+                progress,
+            },
+            // Panics are surfaced by the pool, not by a supervision
+            // check; mapping one here would lose the worker index.
+            AbortReason::WorkerPanic => unreachable!("worker panics carry their own error"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_is_shared_and_sticky() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled(), "cancel is idempotent");
+    }
+
+    #[test]
+    fn unlimited_supervisor_never_trips_and_never_counts() {
+        let sup = Supervisor::unlimited();
+        assert!(!sup.poll());
+        assert_eq!(sup.check_boundary(u64::MAX), None);
+        assert_eq!(sup.checks(), 0, "inactive supervision costs nothing");
+    }
+
+    #[test]
+    fn cancel_trips_poll_and_boundary() {
+        let token = CancelToken::new();
+        let sup = Supervisor::new(Some(token.clone()), None, None);
+        assert!(!sup.poll());
+        assert_eq!(sup.check_boundary(0), None);
+        token.cancel();
+        assert!(sup.poll());
+        assert_eq!(sup.check_boundary(0), Some(AbortReason::Cancelled));
+        assert!(sup.checks() >= 4);
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let sup = Supervisor::new(None, Some(Duration::ZERO), None);
+        assert!(sup.poll());
+        assert_eq!(sup.check_boundary(0), Some(AbortReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn budget_checked_only_at_boundaries() {
+        let sup = Supervisor::new(None, None, Some(100));
+        assert!(!sup.poll(), "budget is not in-sweep pollable");
+        assert_eq!(sup.check_boundary(99), None);
+        assert_eq!(sup.check_boundary(100), Some(AbortReason::BudgetExhausted));
+        let err = sup.abort_error(AbortReason::BudgetExhausted, 7, 42);
+        match err {
+            SimdxError::BudgetExhausted { budget, progress } => {
+                assert_eq!(budget, 100);
+                assert_eq!(progress.iterations, 7);
+                assert_eq!(progress.edges_examined, 42);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_takes_priority_over_deadline_and_budget() {
+        let token = CancelToken::new();
+        token.cancel();
+        let sup = Supervisor::new(Some(token), Some(Duration::ZERO), Some(0));
+        assert_eq!(sup.check_boundary(u64::MAX), Some(AbortReason::Cancelled));
+    }
+}

@@ -8,6 +8,7 @@
 //! CSR for both orientations.
 
 use crate::edgelist::EdgeList;
+use crate::error::GraphError;
 use crate::{EdgeIdx, VertexId, Weight};
 use serde::{Deserialize, Serialize};
 
@@ -39,15 +40,48 @@ impl Csr {
     ///
     /// `sort_neighbors` additionally sorts each adjacency list by target
     /// ID, which the engine relies on for coalesced neighbor access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any input [`Self::try_build`] rejects (weights not
+    /// parallel to edges, endpoint out of range).
     pub fn build(
         num_vertices: VertexId,
         edges: &[(VertexId, VertexId)],
         weights: Option<&[Weight]>,
         sort_neighbors: bool,
     ) -> Self {
+        Self::try_build(num_vertices, edges, weights, sort_neighbors)
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible [`Self::build`]: validates the inputs and returns a
+    /// typed [`GraphError`] instead of panicking — the ingestion path
+    /// for untrusted edge data.
+    pub fn try_build(
+        num_vertices: VertexId,
+        edges: &[(VertexId, VertexId)],
+        weights: Option<&[Weight]>,
+        sort_neighbors: bool,
+    ) -> Result<Self, GraphError> {
         let n = num_vertices as usize;
         if let Some(w) = weights {
-            assert_eq!(w.len(), edges.len(), "weights must be parallel to edges");
+            if w.len() != edges.len() {
+                return Err(GraphError::WeightsLengthMismatch {
+                    weights: w.len(),
+                    edges: edges.len(),
+                });
+            }
+        }
+        if let Some(&(src, dst)) = edges
+            .iter()
+            .find(|&&(s, d)| s >= num_vertices || d >= num_vertices)
+        {
+            return Err(GraphError::EndpointOutOfRange {
+                src,
+                dst,
+                num_vertices,
+            });
         }
         let mut offsets = vec![0 as EdgeIdx; n + 1];
         for &(s, _) in edges {
@@ -75,7 +109,68 @@ impl Csr {
         if sort_neighbors {
             csr.sort_adjacency();
         }
-        csr
+        Ok(csr)
+    }
+
+    /// Wraps pre-built CSR arrays after validating every structural
+    /// invariant the engine relies on: offsets spanning `[0, E]`
+    /// monotonically with every value addressable on this host,
+    /// targets in range, and weights (when present) parallel to
+    /// targets. This is the trusted-boundary constructor for decoded
+    /// or externally produced CSR data — unlike [`Self::try_build`] it
+    /// takes the arrays as-is, with no counting-sort rebuild.
+    pub fn try_new(
+        offsets: Vec<EdgeIdx>,
+        targets: Vec<VertexId>,
+        weights: Option<Vec<Weight>>,
+    ) -> Result<Self, GraphError> {
+        if offsets.is_empty() || offsets.len() - 1 > VertexId::MAX as usize {
+            return Err(GraphError::BadVertexCount {
+                offsets_len: offsets.len(),
+            });
+        }
+        let num_vertices = (offsets.len() - 1) as VertexId;
+        let num_edges = targets.len() as EdgeIdx;
+        let (first, last) = (offsets[0], *offsets.last().expect("non-empty offsets"));
+        if first != 0 || last != num_edges {
+            return Err(GraphError::OffsetEndpoints {
+                first,
+                last,
+                num_edges,
+            });
+        }
+        if let Some(v) = offsets.windows(2).position(|w| w[0] > w[1]) {
+            return Err(GraphError::NonMonotonicOffsets {
+                vertex: v as VertexId,
+            });
+        }
+        if let Some(&offset) = offsets.iter().find(|&&o| usize::try_from(o).is_err()) {
+            return Err(GraphError::EdgeCountOverflow { offset });
+        }
+        if let Some((edge, &target)) = targets
+            .iter()
+            .enumerate()
+            .find(|&(_, &t)| t >= num_vertices)
+        {
+            return Err(GraphError::TargetOutOfRange {
+                edge: edge as u64,
+                target,
+                num_vertices,
+            });
+        }
+        if let Some(w) = &weights {
+            if w.len() != targets.len() {
+                return Err(GraphError::WeightsLengthMismatch {
+                    weights: w.len(),
+                    edges: targets.len(),
+                });
+            }
+        }
+        Ok(Self {
+            offsets,
+            targets,
+            weights,
+        })
     }
 
     /// Sorts every adjacency list by target ID (weights follow targets).
@@ -388,5 +483,88 @@ mod tests {
     fn max_degree() {
         let csr = Csr::from_edge_list(&diamond());
         assert_eq!(csr.max_degree(), 2);
+    }
+
+    #[test]
+    fn try_new_accepts_a_valid_csr_verbatim() {
+        let built = Csr::from_edge_list(&diamond());
+        let wrapped = Csr::try_new(
+            built.offsets().to_vec(),
+            built.targets().to_vec(),
+            built.weights().map(<[Weight]>::to_vec),
+        )
+        .expect("valid parts");
+        assert_eq!(wrapped, built);
+    }
+
+    #[test]
+    fn try_new_rejects_each_broken_invariant() {
+        let base = Csr::from_edge_list(&diamond());
+        let offsets = || base.offsets().to_vec();
+        let targets = || base.targets().to_vec();
+
+        assert_eq!(
+            Csr::try_new(vec![], vec![], None),
+            Err(GraphError::BadVertexCount { offsets_len: 0 })
+        );
+
+        let mut bad = offsets();
+        *bad.last_mut().unwrap() += 1;
+        assert!(matches!(
+            Csr::try_new(bad, targets(), None),
+            Err(GraphError::OffsetEndpoints { .. })
+        ));
+
+        let mut bad = offsets();
+        bad[1] = 3;
+        bad[2] = 2;
+        assert_eq!(
+            Csr::try_new(bad, targets(), None),
+            Err(GraphError::NonMonotonicOffsets { vertex: 1 })
+        );
+
+        let mut bad = targets();
+        bad[3] = 99;
+        assert_eq!(
+            Csr::try_new(offsets(), bad, None),
+            Err(GraphError::TargetOutOfRange {
+                edge: 3,
+                target: 99,
+                num_vertices: 4
+            })
+        );
+
+        assert_eq!(
+            Csr::try_new(offsets(), targets(), Some(vec![1, 2])),
+            Err(GraphError::WeightsLengthMismatch {
+                weights: 2,
+                edges: 4
+            })
+        );
+    }
+
+    #[test]
+    fn try_build_rejects_out_of_range_endpoints_and_skewed_weights() {
+        assert_eq!(
+            Csr::try_build(2, &[(0, 1), (1, 5)], None, true),
+            Err(GraphError::EndpointOutOfRange {
+                src: 1,
+                dst: 5,
+                num_vertices: 2
+            })
+        );
+        assert_eq!(
+            Csr::try_build(2, &[(0, 1)], Some(&[1, 2]), true),
+            Err(GraphError::WeightsLengthMismatch {
+                weights: 2,
+                edges: 1
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be parallel to edges")]
+    fn build_still_panics_with_the_legacy_message() {
+        Csr::build(2, &[(0, 1)], Some(&[1, 2]), true);
     }
 }

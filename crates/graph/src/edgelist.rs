@@ -6,6 +6,7 @@
 //! the memory consumption" relative to CSR (§3.1, §7.1) — we model that
 //! in the baselines crate from the sizes reported here.
 
+use crate::error::GraphError;
 use crate::{VertexId, Weight};
 
 /// A list of directed edges, optionally weighted.
@@ -56,16 +57,27 @@ impl EdgeList {
         edges: Vec<(VertexId, VertexId)>,
         weights: Vec<Weight>,
     ) -> Self {
-        assert_eq!(
-            edges.len(),
-            weights.len(),
-            "weights must be parallel to edges"
-        );
-        Self {
+        Self::try_from_weighted(num_vertices, edges, weights).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible [`Self::from_weighted`]: a skewed weights vector comes
+    /// back as [`GraphError::WeightsLengthMismatch`].
+    pub fn try_from_weighted(
+        num_vertices: VertexId,
+        edges: Vec<(VertexId, VertexId)>,
+        weights: Vec<Weight>,
+    ) -> Result<Self, GraphError> {
+        if edges.len() != weights.len() {
+            return Err(GraphError::WeightsLengthMismatch {
+                weights: weights.len(),
+                edges: edges.len(),
+            });
+        }
+        Ok(Self {
             num_vertices,
             edges,
             weights: Some(weights),
-        }
+        })
     }
 
     /// Number of vertices.
@@ -101,12 +113,20 @@ impl EdgeList {
     /// edges would break the parallel-vector invariant) or if an endpoint
     /// is out of range.
     pub fn push(&mut self, src: VertexId, dst: VertexId) {
-        assert!(
-            self.weights.is_none(),
-            "edge list is weighted; use push_weighted"
-        );
-        assert!(src < self.num_vertices && dst < self.num_vertices);
+        self.try_push(src, dst)
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible [`Self::push`]: mixing weightedness or an out-of-range
+    /// endpoint is a typed [`GraphError`], and the list is left
+    /// unmodified on error.
+    pub fn try_push(&mut self, src: VertexId, dst: VertexId) -> Result<(), GraphError> {
+        if self.weights.is_some() {
+            return Err(GraphError::WeightedPush);
+        }
+        self.check_endpoints(src, dst)?;
         self.edges.push((src, dst));
+        Ok(())
     }
 
     /// Appends a weighted edge.
@@ -116,12 +136,23 @@ impl EdgeList {
     /// Panics if previous edges were pushed unweighted, or on an
     /// out-of-range endpoint.
     pub fn push_weighted(&mut self, src: VertexId, dst: VertexId, w: Weight) {
-        assert!(src < self.num_vertices && dst < self.num_vertices);
+        self.try_push_weighted(src, dst, w)
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible [`Self::push_weighted`]; the list is left unmodified
+    /// on error.
+    pub fn try_push_weighted(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        w: Weight,
+    ) -> Result<(), GraphError> {
+        self.check_endpoints(src, dst)?;
         if self.weights.is_none() {
-            assert!(
-                self.edges.is_empty(),
-                "edge list already has unweighted edges"
-            );
+            if !self.edges.is_empty() {
+                return Err(GraphError::UnweightedPush);
+            }
             self.weights = Some(Vec::new());
         }
         self.edges.push((src, dst));
@@ -129,6 +160,18 @@ impl EdgeList {
             .as_mut()
             .expect("weights vector was just ensured")
             .push(w);
+        Ok(())
+    }
+
+    fn check_endpoints(&self, src: VertexId, dst: VertexId) -> Result<(), GraphError> {
+        if src >= self.num_vertices || dst >= self.num_vertices {
+            return Err(GraphError::EndpointOutOfRange {
+                src,
+                dst,
+                num_vertices: self.num_vertices,
+            });
+        }
+        Ok(())
     }
 
     /// Adds the reverse of every edge, turning a directed list into the
@@ -264,6 +307,38 @@ mod tests {
         assert_eq!(removed, 2);
         assert_eq!(el.edges(), &[(0, 1), (1, 2)]);
         assert_eq!(el.weights(), Some(&[3, 4][..]));
+    }
+
+    #[test]
+    fn try_push_reports_typed_errors_and_leaves_the_list_intact() {
+        let mut el = EdgeList::new(2);
+        el.try_push(0, 1).expect("in range");
+        assert_eq!(
+            el.try_push(0, 2),
+            Err(GraphError::EndpointOutOfRange {
+                src: 0,
+                dst: 2,
+                num_vertices: 2
+            })
+        );
+        assert_eq!(
+            el.try_push_weighted(0, 1, 7),
+            Err(GraphError::UnweightedPush)
+        );
+        assert_eq!(el.num_edges(), 1, "failed pushes must not append");
+
+        let mut wl = EdgeList::new(2);
+        wl.try_push_weighted(0, 1, 7).expect("first weighted");
+        assert_eq!(wl.try_push(1, 0), Err(GraphError::WeightedPush));
+        assert_eq!(wl.weights(), Some(&[7][..]));
+
+        assert_eq!(
+            EdgeList::try_from_weighted(3, vec![(0, 1)], vec![1, 2]),
+            Err(GraphError::WeightsLengthMismatch {
+                weights: 2,
+                edges: 1
+            })
+        );
     }
 
     #[test]

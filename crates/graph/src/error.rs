@@ -1,0 +1,155 @@
+//! Typed ingestion errors.
+//!
+//! Graph construction historically policed its invariants with
+//! `assert!` — fine for generator-produced inputs, fatal for a service
+//! ingesting untrusted data. Every invariant now has a [`GraphError`]
+//! variant and a fallible constructor (`Csr::try_new`,
+//! `Csr::try_build`, `EdgeList::try_push`, ...); the legacy panicking
+//! entry points delegate to them and panic with the error's `Display`,
+//! preserving their historical messages.
+
+use crate::{EdgeIdx, VertexId};
+
+/// A structural invariant violated while building a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A weights vector is not parallel to the edges it annotates.
+    WeightsLengthMismatch {
+        /// Number of weights supplied.
+        weights: usize,
+        /// Number of edges they should annotate.
+        edges: usize,
+    },
+    /// An unweighted edge was appended to a weighted edge list.
+    WeightedPush,
+    /// A weighted edge was appended to a list with unweighted edges.
+    UnweightedPush,
+    /// An edge endpoint is outside `0..num_vertices`.
+    EndpointOutOfRange {
+        /// The offending edge's source.
+        src: VertexId,
+        /// The offending edge's destination.
+        dst: VertexId,
+        /// Vertex count of the list or CSR under construction.
+        num_vertices: VertexId,
+    },
+    /// A CSR target is outside `0..num_vertices`.
+    TargetOutOfRange {
+        /// Position of the edge in the targets array.
+        edge: u64,
+        /// The out-of-range destination.
+        target: VertexId,
+        /// Vertex count of the CSR under construction.
+        num_vertices: VertexId,
+    },
+    /// The CSR offsets array does not start at 0 / end at the edge count.
+    OffsetEndpoints {
+        /// `offsets.first()`, which must be 0.
+        first: EdgeIdx,
+        /// `offsets.last()`, which must equal `num_edges`.
+        last: EdgeIdx,
+        /// Length of the targets array.
+        num_edges: EdgeIdx,
+    },
+    /// The CSR offsets array decreases at some vertex.
+    NonMonotonicOffsets {
+        /// First vertex whose offset exceeds its successor's.
+        vertex: VertexId,
+    },
+    /// An offset (or edge count) does not fit the host's address space.
+    EdgeCountOverflow {
+        /// The unrepresentable offset value.
+        offset: EdgeIdx,
+    },
+    /// The offsets array is empty or larger than the vertex-ID space.
+    BadVertexCount {
+        /// `offsets.len()` as supplied.
+        offsets_len: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WeightsLengthMismatch { weights, edges } => write!(
+                f,
+                "weights must be parallel to edges ({weights} weights, {edges} edges)"
+            ),
+            Self::WeightedPush => write!(f, "edge list is weighted; use push_weighted"),
+            Self::UnweightedPush => write!(f, "edge list already has unweighted edges"),
+            Self::EndpointOutOfRange {
+                src,
+                dst,
+                num_vertices,
+            } => write!(
+                f,
+                "edge ({src}, {dst}) outside a graph with {num_vertices} vertices"
+            ),
+            Self::TargetOutOfRange {
+                edge,
+                target,
+                num_vertices,
+            } => write!(
+                f,
+                "edge {edge}: target {target} out of range for {num_vertices} vertices"
+            ),
+            Self::OffsetEndpoints {
+                first,
+                last,
+                num_edges,
+            } => write!(
+                f,
+                "offsets must span [0, {num_edges}], got [{first}, {last}]"
+            ),
+            Self::NonMonotonicOffsets { vertex } => {
+                write!(f, "offsets not monotone at vertex {vertex}")
+            }
+            Self::EdgeCountOverflow { offset } => {
+                write!(f, "offset {offset} exceeds the host address space")
+            }
+            Self::BadVertexCount { offsets_len } => write!(
+                f,
+                "offsets array of length {offsets_len} encodes no valid vertex count"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_the_legacy_assert_phrases() {
+        // Panicking wrappers format these errors, so `#[should_panic
+        // (expected = ...)]` call sites keep matching.
+        assert!(GraphError::WeightsLengthMismatch {
+            weights: 2,
+            edges: 3
+        }
+        .to_string()
+        .contains("weights must be parallel to edges"));
+        assert_eq!(
+            GraphError::WeightedPush.to_string(),
+            "edge list is weighted; use push_weighted"
+        );
+        assert_eq!(
+            GraphError::UnweightedPush.to_string(),
+            "edge list already has unweighted edges"
+        );
+    }
+
+    #[test]
+    fn display_names_the_offending_edge() {
+        let err = GraphError::TargetOutOfRange {
+            edge: 4,
+            target: 9,
+            num_vertices: 3,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("target 9"), "got: {msg}");
+        assert!(msg.contains("3 vertices"), "got: {msg}");
+    }
+}

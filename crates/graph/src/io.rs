@@ -6,6 +6,7 @@
 
 use crate::csr::Csr;
 use crate::edgelist::EdgeList;
+use crate::error::GraphError;
 use crate::{EdgeIdx, VertexId, Weight};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -108,25 +109,18 @@ pub fn decode_csr(mut data: &[u8]) -> Result<Csr, DecodeError> {
         None
     };
 
-    // Validate invariants before constructing.
-    if offsets.first() != Some(&0) || offsets.last() != Some(&(m as EdgeIdx)) {
-        return Err(DecodeError::Corrupt("offset endpoints"));
-    }
-    if offsets.windows(2).any(|w| w[0] > w[1]) {
-        return Err(DecodeError::Corrupt("offsets not monotone"));
-    }
-    if targets.iter().any(|&t| t as usize >= n) {
-        return Err(DecodeError::Corrupt("target out of range"));
-    }
-
-    // Rebuild through the public constructor so internal invariants hold.
-    let mut edges = Vec::with_capacity(m);
-    for v in 0..n {
-        for &t in &targets[offsets[v] as usize..offsets[v + 1] as usize] {
-            edges.push((v as VertexId, t));
-        }
-    }
-    Ok(Csr::build(n as VertexId, &edges, weights.as_deref(), false))
+    // The checked constructor validates every structural invariant and
+    // wraps the decoded arrays in place — no O(E) edge-list rebuild.
+    Csr::try_new(offsets, targets, weights).map_err(|err| {
+        DecodeError::Corrupt(match err {
+            GraphError::OffsetEndpoints { .. } => "offset endpoints",
+            GraphError::NonMonotonicOffsets { .. } => "offsets not monotone",
+            GraphError::TargetOutOfRange { .. } => "target out of range",
+            GraphError::WeightsLengthMismatch { .. } => "weights not parallel to targets",
+            GraphError::EdgeCountOverflow { .. } => "offset overflow",
+            _ => "invalid csr payload",
+        })
+    })
 }
 
 /// Parses a whitespace-separated `src dst [weight]` edge list. Lines

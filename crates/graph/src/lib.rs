@@ -22,6 +22,7 @@
 pub mod csr;
 pub mod datasets;
 pub mod edgelist;
+pub mod error;
 pub mod gen;
 pub mod io;
 pub mod stats;
@@ -29,6 +30,7 @@ pub mod weights;
 
 pub use csr::{Csr, Graph};
 pub use edgelist::EdgeList;
+pub use error::GraphError;
 
 /// Vertex identifier. The paper uses `uint32` vertex IDs (§7).
 pub type VertexId = u32;

@@ -3,7 +3,7 @@
 //! the dataset twins.
 
 use proptest::prelude::*;
-use simdx::algos::{bfs, kcore, reference, sssp, wcc};
+use simdx::algos::{bfs, kcore, reference, sssp, wcc, Bfs};
 use simdx::core::metadata::{CHUNK_ALIGN, CHUNK_LANES};
 use simdx::core::prelude::*;
 use simdx::core::{FilterPolicy, FrontierBitmap, GridCsr, MetadataStore};
@@ -313,6 +313,58 @@ proptest! {
         }
         let r = wcc::run(&g, EngineConfig::unscaled()).expect("wcc");
         prop_assert_eq!(r.meta, reference::wcc(g.out()));
+    }
+
+    /// Cancelling a run at an arbitrary iteration leaves the session
+    /// reusable: the next clean run over the same [`BoundGraph`] is
+    /// bit-equal to a fresh engine — the abort-safe-reuse half of the
+    /// supervision contract, at property scale, in both exec modes.
+    #[test]
+    fn cancelled_runs_leave_the_session_bit_equal(
+        (n, edges) in arb_edges(48, 150),
+        cancel_at in 0u32..6,
+    ) {
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(
+            edges.iter().map(|&(s, d)| (s % n, d % n)).collect::<Vec<_>>(),
+        ));
+        if g.num_vertices() == 0 {
+            return Ok(());
+        }
+        for exec in [ExecMode::Serial, ExecMode::Parallel { threads: 3 }] {
+            let cfg = EngineConfig::unscaled().with_exec(exec);
+            let baseline = bfs::run(&g, 0, cfg.clone()).expect("fresh baseline");
+            let runtime = Runtime::new(cfg).expect("runtime");
+            let bound = runtime.bind(&g);
+            let token = CancelToken::new();
+            let hook_token = token.clone();
+            let aborted = bound
+                .run(Bfs::new(0))
+                .cancel_token(token)
+                .observe(move |rec| {
+                    if rec.iteration >= cancel_at {
+                        hook_token.cancel();
+                    }
+                })
+                .execute();
+            match aborted {
+                // The abort is observed at the next supervision check.
+                Err(SimdxError::Cancelled { progress }) => prop_assert!(
+                    progress.iterations <= baseline.report.iterations,
+                    "progress past convergence: {:?}",
+                    progress
+                ),
+                // A cancel raised on the final iteration can lose the
+                // race with convergence; the finished run must then be
+                // untouched by supervision.
+                Ok(r) => prop_assert_eq!(&r.meta, &baseline.meta),
+                Err(other) => prop_assert!(false, "unexpected error: {:?}", other),
+            }
+            // The same session, clean run: bit-equal to a fresh engine.
+            let after = bound.run(Bfs::new(0)).execute().expect("reuse after abort");
+            prop_assert_eq!(&after.meta, &baseline.meta);
+            prop_assert_eq!(&after.report.log, &baseline.report.log);
+            prop_assert_eq!(&after.report.stats, &baseline.report.stats);
+        }
     }
 
     /// The ballot filter's output is always sorted, duplicate-free, and
