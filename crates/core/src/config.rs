@@ -5,28 +5,19 @@ use crate::frontier::ClassifyThresholds;
 use crate::fusion::FusionStrategy;
 use simdx_gpu::DeviceSpec;
 
-/// Parses an engine knob from the environment, fallibly.
-///
-/// All `SIMDX_*` knobs share the same contract: unset or empty selects
-/// `default`; values are matched case-insensitively; anything
-/// unrecognized is an [`SimdxError::InvalidKnob`], so a CI typo can
-/// never silently fall back to the default configuration. This is the
-/// path every session-API construction takes
-/// ([`EngineConfig::from_env`]); the cached per-process knob defaults
-/// share it through the `cached_*_knob` result caches below.
-fn try_env_knob<T>(
-    var: &'static str,
-    expected: &'static str,
-    default: T,
-    parse: impl FnOnce(&str) -> Option<T>,
-) -> Result<T, SimdxError> {
-    parse_knob(var, expected, default, std::env::var(var).ok(), parse)
-}
+// All `SIMDX_*` knobs share the same contract: unset or empty selects
+// the default; values are matched case-insensitively; anything
+// unrecognized is an `SimdxError::InvalidKnob`, so a CI typo can never
+// silently fall back to the default configuration. Each knob type
+// splits the contract into `try_from_env` (one fresh `getenv` — the
+// path every session-API construction takes via
+// `EngineConfig::from_env`) and a pure `try_from_raw` half.
 
-/// The pure half of [`try_env_knob`]: applies the knob contract to an
-/// already-read raw value, so tests can exercise rejection without
-/// mutating the process environment (libc `setenv` racing concurrent
-/// `getenv` from parallel tests is undefined behavior).
+/// Applies the knob contract to an already-read raw value — the pure
+/// half of every knob's `try_from_env`, so tests can exercise parsing
+/// and rejection without mutating the process environment (libc
+/// `setenv` racing concurrent `getenv` from parallel tests is
+/// undefined behavior).
 fn parse_knob<T>(
     var: &'static str,
     expected: &'static str,
@@ -55,10 +46,22 @@ fn parse_knob<T>(
 // friends) have no error channel, so each caches the *fallible* parse
 // result once: `Default` hands out the hard-coded fallback on a bad
 // value (never a panic — this used to abort the process), and
-// [`EngineConfig::validate`] consults `cached_knob_error` so every
-// session construction (`Runtime::new`, `EngineConfig::from_env`)
+// [`EngineConfig::validate`] consults `cached_knob_error` so a session
+// built from `Default` (`Runtime::new(EngineConfig::default())`)
 // surfaces the typo as a typed `SimdxError::InvalidConfig` — a CI typo
 // still cannot silently select the default configuration.
+//
+// THE CACHING CONTRACT: each cache reads its `SIMDX_*` variable once
+// per process, at the first `Default` construction. A knob set (or
+// fixed) *after* that point is invisible to `Default` and to
+// `validate` forever — that is the price of keeping
+// `EngineConfig::default()` allocation-free inside timed bench
+// regions. Embedders that change knobs at run time must construct
+// through [`EngineConfig::from_env`] / `Runtime::from_env`, which
+// bypass the caches entirely: fresh reads, and only the pure
+// [`EngineConfig::consistency`] half of validation (never
+// `cached_knob_error`), so neither a stale cached value nor a stale
+// cached *error* can leak into that path.
 
 /// First error among the cached per-process knob defaults, if any.
 pub(crate) fn cached_knob_error() -> Option<SimdxError> {
@@ -131,10 +134,16 @@ impl ExecMode {
     /// select `Serial`. Any other value is an
     /// [`SimdxError::InvalidKnob`].
     pub fn try_from_env() -> Result<Self, SimdxError> {
-        try_env_knob(
+        Self::try_from_raw(std::env::var("SIMDX_EXEC").ok())
+    }
+
+    /// The pure half of [`Self::try_from_env`] (see [`parse_knob`]).
+    pub(crate) fn try_from_raw(raw: Option<String>) -> Result<Self, SimdxError> {
+        parse_knob(
             "SIMDX_EXEC",
             "'serial', 'parallel' or 'parallel:N'",
             Self::Serial,
+            raw,
             |v| match v {
                 "serial" => Some(Self::Serial),
                 "parallel" => Some(Self::Parallel { threads: 0 }),
@@ -209,10 +218,16 @@ impl FrontierRepr {
     /// select `List`. Any other value is an
     /// [`SimdxError::InvalidKnob`].
     pub fn try_from_env() -> Result<Self, SimdxError> {
-        try_env_knob(
+        Self::try_from_raw(std::env::var("SIMDX_FRONTIER").ok())
+    }
+
+    /// The pure half of [`Self::try_from_env`] (see [`parse_knob`]).
+    pub(crate) fn try_from_raw(raw: Option<String>) -> Result<Self, SimdxError> {
+        parse_knob(
             "SIMDX_FRONTIER",
             "'list' or 'bitmap'",
             Self::List,
+            raw,
             |v| match v {
                 "list" => Some(Self::List),
                 "bitmap" => Some(Self::Bitmap),
@@ -277,10 +292,16 @@ impl MetadataLayout {
     /// `"chunked"` selects `Chunked`; `"flat"`, empty or unset select
     /// `Flat`. Any other value is an [`SimdxError::InvalidKnob`].
     pub fn try_from_env() -> Result<Self, SimdxError> {
-        try_env_knob(
+        Self::try_from_raw(std::env::var("SIMDX_LAYOUT").ok())
+    }
+
+    /// The pure half of [`Self::try_from_env`] (see [`parse_knob`]).
+    pub(crate) fn try_from_raw(raw: Option<String>) -> Result<Self, SimdxError> {
+        parse_knob(
             "SIMDX_LAYOUT",
             "'flat' or 'chunked'",
             Self::Flat,
+            raw,
             |v| match v {
                 "flat" => Some(Self::Flat),
                 "chunked" => Some(Self::Chunked),
@@ -345,11 +366,22 @@ impl PushStrategy {
     /// `"scan"` selects `Scan`; `"grid"`, empty or unset select
     /// `Grid`. Any other value is an [`SimdxError::InvalidKnob`].
     pub fn try_from_env() -> Result<Self, SimdxError> {
-        try_env_knob("SIMDX_PUSH", "'scan' or 'grid'", Self::Grid, |v| match v {
-            "scan" => Some(Self::Scan),
-            "grid" => Some(Self::Grid),
-            _ => None,
-        })
+        Self::try_from_raw(std::env::var("SIMDX_PUSH").ok())
+    }
+
+    /// The pure half of [`Self::try_from_env`] (see [`parse_knob`]).
+    pub(crate) fn try_from_raw(raw: Option<String>) -> Result<Self, SimdxError> {
+        parse_knob(
+            "SIMDX_PUSH",
+            "'scan' or 'grid'",
+            Self::Grid,
+            raw,
+            |v| match v {
+                "scan" => Some(Self::Scan),
+                "grid" => Some(Self::Grid),
+                _ => None,
+            },
+        )
     }
 
     /// Short label for reports and bench artifacts.
@@ -504,13 +536,32 @@ impl EngineConfig {
     /// environment on every call (no cache) — it is meant for
     /// session-construction time, not hot loops.
     pub fn from_env() -> Result<Self, SimdxError> {
+        Self::from_knob_values(
+            std::env::var("SIMDX_EXEC").ok(),
+            std::env::var("SIMDX_FRONTIER").ok(),
+            std::env::var("SIMDX_LAYOUT").ok(),
+            std::env::var("SIMDX_PUSH").ok(),
+        )
+    }
+
+    /// The pure half of [`Self::from_env`]: build a configuration from
+    /// raw knob strings (each `None` meaning "variable unset"), parse
+    /// them fallibly and check only [`Self::consistency`] — never the
+    /// per-process caches, since the raw values given here are by
+    /// definition fresh.
+    pub(crate) fn from_knob_values(
+        exec: Option<String>,
+        frontier: Option<String>,
+        layout: Option<String>,
+        push: Option<String>,
+    ) -> Result<Self, SimdxError> {
         let cfg = Self::with_knobs(
-            ExecMode::try_from_env()?,
-            FrontierRepr::try_from_env()?,
-            MetadataLayout::try_from_env()?,
-            PushStrategy::try_from_env()?,
+            ExecMode::try_from_raw(exec)?,
+            FrontierRepr::try_from_raw(frontier)?,
+            MetadataLayout::try_from_raw(layout)?,
+            PushStrategy::try_from_raw(push)?,
         );
-        cfg.validate()?;
+        cfg.consistency()?;
         Ok(cfg)
     }
 
@@ -518,14 +569,23 @@ impl EngineConfig {
     /// API ([`crate::session::Runtime::new`]) rejects broken configs up
     /// front instead of letting the engine panic mid-run.
     pub fn validate(&self) -> Result<(), SimdxError> {
-        let fail = |reason: String| Err(SimdxError::InvalidConfig { reason });
         // The cached per-process knob defaults swallow a malformed
         // SIMDX_* value into a fallback (Default has no error channel);
         // surface it here so every session construction fails typed
         // instead of silently running the fallback configuration.
+        // Configs built through `from_env` / `from_knob_values` skip
+        // this gate — their knobs were read fresh, not from the caches.
         if let Some(err) = cached_knob_error() {
-            return fail(format!("cached knob default is invalid: {err}"));
+            return Err(SimdxError::InvalidConfig {
+                reason: format!("cached knob default is invalid: {err}"),
+            });
         }
+        self.consistency()
+    }
+
+    /// The pure, environment-independent half of [`Self::validate`].
+    pub(crate) fn consistency(&self) -> Result<(), SimdxError> {
+        let fail = |reason: String| Err(SimdxError::InvalidConfig { reason });
         if self.threads_per_cta == 0 {
             return fail("threads_per_cta must be at least 1".to_string());
         }
@@ -706,15 +766,53 @@ mod tests {
     #[test]
     fn env_knob_contract() {
         // Unset and empty fall back to the default; matching is
-        // case-insensitive.
+        // case-insensitive. Driven through the pure half so the test
+        // never mutates the process environment.
         assert_eq!(
-            try_env_knob("SIMDX_NO_SUCH_KNOB", "anything", 7, |_| None),
+            parse_knob("SIMDX_NO_SUCH_KNOB", "anything", 7, None, |_| None),
             Ok(7)
         );
         assert_eq!(
-            try_env_knob("SIMDX_NO_SUCH_KNOB", "x", 0, |v| (v == "set").then_some(1)),
+            parse_knob("SIMDX_NO_SUCH_KNOB", "x", 0, None, |v| (v == "set")
+                .then_some(1)),
             Ok(0),
             "parser only runs on present, non-empty values"
+        );
+    }
+
+    #[test]
+    fn from_env_path_never_consults_the_stale_caches() {
+        // Populate the per-process caches with the clean-environment
+        // defaults first — this is the state a long-lived embedder is
+        // in when it later changes SIMDX_* and constructs a new
+        // runtime.
+        let _ = EngineConfig::default();
+        // The fresh-read path must honor the new raw values, not the
+        // cached defaults.
+        let cfg = EngineConfig::from_knob_values(
+            Some("parallel:3".to_string()),
+            Some("bitmap".to_string()),
+            Some("chunked".to_string()),
+            Some("scan".to_string()),
+        )
+        .expect("all four knob values are valid");
+        assert_eq!(cfg.exec, ExecMode::Parallel { threads: 3 });
+        assert_eq!(cfg.frontier, FrontierRepr::Bitmap);
+        assert_eq!(cfg.layout, MetadataLayout::Chunked);
+        assert_eq!(cfg.push, PushStrategy::Scan);
+        // And a typo surfaces as a typed error from the fresh read,
+        // regardless of what the caches hold.
+        let err = EngineConfig::from_knob_values(Some("warp9".to_string()), None, None, None)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimdxError::InvalidKnob {
+                    var: "SIMDX_EXEC",
+                    ..
+                }
+            ),
+            "wrong error: {err:?}"
         );
     }
 

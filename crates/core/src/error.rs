@@ -77,14 +77,26 @@ pub enum SimdxError {
         /// Work completed before the abort.
         progress: RunProgress,
     },
-    /// An engine worker panicked; the panic was contained, the pool
-    /// poisoned (the `Runtime` rebuilds it before the next run), and
-    /// the session remains usable.
+    /// An engine worker panicked; the panic was contained, the
+    /// poisoned pool discarded (the `Runtime`'s stash spawns a
+    /// replacement at the next checkout), and the session remains
+    /// usable — concurrent queries hold their own pools and are
+    /// unaffected.
     WorkerPanicked {
         /// Index of the worker that panicked (0 is the submitter).
         worker: usize,
         /// The panic payload, stringified.
         payload: String,
+    },
+    /// A [`crate::service::QueryPool`] submission found the bounded
+    /// queue full under
+    /// [`crate::service::AdmissionPolicy::Reject`]: the query was
+    /// never admitted (no ticket, no partial work) — retry later or
+    /// shed the load.
+    Overloaded {
+        /// The queue capacity that was exhausted
+        /// ([`crate::service::ServiceConfig::queue_depth`]).
+        capacity: usize,
     },
 }
 
@@ -142,6 +154,10 @@ impl std::fmt::Display for SimdxError {
             Self::WorkerPanicked { worker, payload } => {
                 write!(f, "engine worker {worker} panicked: {payload}")
             }
+            Self::Overloaded { capacity } => write!(
+                f,
+                "service overloaded: submission queue at capacity {capacity}"
+            ),
         }
     }
 }
@@ -266,6 +282,10 @@ mod tests {
                     payload: "index out of bounds".to_string(),
                 },
                 "engine worker 2 panicked: index out of bounds",
+            ),
+            (
+                SimdxError::Overloaded { capacity: 64 },
+                "service overloaded: submission queue at capacity 64",
             ),
         ];
         for (err, needle) in cases {

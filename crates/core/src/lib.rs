@@ -90,7 +90,9 @@ pub mod jit;
 pub mod metadata;
 pub mod metrics;
 pub mod par;
+mod pool;
 mod scratch;
+pub mod service;
 pub mod session;
 pub mod supervise;
 
@@ -111,6 +113,10 @@ pub use jit::{ActivationLog, IterationRecord};
 pub use metadata::MetadataStore;
 pub use metrics::{RunReport, RunResult};
 pub use par::WorkerPanic;
+pub use service::{
+    AdmissionPolicy, QueryClient, QueryPool, QueryRequest, QueryTicket, ServeOutcome, ServeReport,
+    ServiceConfig,
+};
 pub use session::{BoundGraph, RunBuilder, Runtime};
 pub use supervise::{AbortReason, CancelToken, RunProgress};
 
@@ -129,6 +135,9 @@ pub mod prelude {
     pub use crate::jit::IterationRecord;
     pub use crate::metadata::MetadataStore;
     pub use crate::metrics::{RunReport, RunResult};
+    pub use crate::service::{
+        AdmissionPolicy, QueryPool, QueryRequest, ServeReport, ServiceConfig,
+    };
     pub use crate::session::{BoundGraph, RunBuilder, Runtime};
     pub use crate::supervise::{AbortReason, CancelToken, RunProgress};
 }

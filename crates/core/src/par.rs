@@ -30,9 +30,21 @@
 //! returns a [`WorkerPanic`] describing the first failure. The pool is
 //! then **poisoned** — the sharding invariants of the aborted region
 //! may not hold, so every subsequent `try_run` refuses with the stored
-//! panic until the pool is rebuilt (`Runtime` does this transparently
-//! before the next run). The panicking [`WorkerPool::run`] wrapper
-//! keeps the fail-fast behaviour for callers without an error path.
+//! panic until the pool is rebuilt (the session's pool stash discards
+//! a poisoned pool at lease check-in and spawns a replacement at the
+//! next checkout). The panicking [`WorkerPool::run`] wrapper keeps the
+//! fail-fast behaviour for callers without an error path.
+//!
+//! # Sharing model
+//!
+//! `WorkerPool` is `Send + Sync` (asserted at the bottom of this
+//! module), but a pool runs **one region at a time**: `run` hands the
+//! single shared job slot to every worker and blocks until the epoch
+//! drains, so two overlapping regions on one pool would serialize at
+//! best and interleave worker indices at worst. Concurrent queries
+//! therefore never share a pool — `crate::pool::PoolStash` leases each
+//! query its own pool for the query's duration, which also confines
+//! poisoning to the query that caused it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
@@ -456,6 +468,16 @@ impl<'a, T> SliceShards<'a, T> {
         )
     }
 }
+
+// The session's pool stash moves pools between querying threads, so
+// `WorkerPool` must stay `Send + Sync` (it is, automatically: the job
+// slot holds `&(dyn Fn(usize) + Sync)`, which is both). The assertion
+// turns an accidental `!Send` field into a build failure instead of a
+// distant type error inside `crate::pool`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<WorkerPool>();
+};
 
 #[cfg(test)]
 mod tests {

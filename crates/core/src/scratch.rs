@@ -8,6 +8,15 @@
 //! every iteration clears in place and refills, and the parallel
 //! backend's per-worker partitions live in [`WorkerScratch`] so the hot
 //! path performs no allocation in steady state in either exec mode.
+//!
+//! Across runs, the session API pools arenas: a `BoundGraph` keeps a
+//! capped per-metadata-type inventory of idle [`IterScratch`] values
+//! (`crate::pool::ArenaPool`), so concurrent queries each check out
+//! their own arena and steady-state serving allocates nothing. This is
+//! why the arena must be `Send` whenever the metadata type is (see the
+//! compile-time assertion at the bottom of this module) — it travels
+//! between serving threads through the pool, though never *shared*:
+//! exactly one query owns an arena at a time.
 
 use crate::config::{FrontierRepr, MetadataLayout};
 use crate::filters::ballot::WarpScanScratch;
@@ -312,3 +321,14 @@ impl<M> IterScratch<M> {
         }
     }
 }
+
+// The session arena pool moves `IterScratch` between serving threads
+// (checkout on one, check-in possibly on another); `Send` for any
+// sendable metadata type is what makes that hand-off sound. Removing
+// any auto-trait here is an API break for `crate::session` — fail the
+// build rather than letting it regress silently.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<IterScratch<u32>>();
+    assert_send::<WorkerScratch<u32>>();
+};

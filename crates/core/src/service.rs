@@ -1,0 +1,619 @@
+//! Concurrent query serving: a bounded-queue `QueryPool` over one
+//! shared [`BoundGraph`].
+//!
+//! The session API makes concurrent queries *possible* (`Runtime` and
+//! `BoundGraph` are `Sync`; see `session`'s module docs for the
+//! sharing model); this module makes them *operable*. A
+//! [`QueryPool::serve`] call stands up the paper's target shape — one
+//! bound graph answering a stream of single-source queries for many
+//! clients — as a closed-loop service:
+//!
+//! * a **bounded submission queue** ([`ServiceConfig::queue_depth`])
+//!   with admission control: [`AdmissionPolicy::Block`] applies
+//!   backpressure to the producer, [`AdmissionPolicy::Reject`] fails
+//!   the submission with [`SimdxError::Overloaded`] so the caller can
+//!   shed load;
+//! * **N serving threads** ([`ServiceConfig::workers`]), each running
+//!   independent queries over the shared bind-time core — every thread
+//!   checks its own worker pool and scratch arena out of the session's
+//!   stashes, so queries never contend on engine state;
+//! * a **batching scheduler**: each serving thread drains up to
+//!   [`ServiceConfig::batch_max`] queued requests per turn and runs
+//!   them over a single scratch checkout (the `run_batch`
+//!   amortization, measured at 1.1–1.2×), without delaying a lone
+//!   request — batches form only from queue backlog;
+//! * **per-query supervision**: every [`QueryRequest`] carries its own
+//!   optional [`CancelToken`], deadline and cycle budget. Deadlines
+//!   are measured from *submission*, so time spent queued counts
+//!   against the query — a request that waited out its whole deadline
+//!   in the queue aborts immediately with
+//!   [`SimdxError::DeadlineExceeded`] instead of running late.
+//!
+//! Results are collected into a [`ServeReport`]: one [`ServeOutcome`]
+//! per accepted ticket (in ticket order) with its submission-to-result
+//! latency, plus the closed-loop elapsed time — everything a harness
+//! needs for queries/sec and p50/p99 latency (the `serving` snapshot
+//! group in `BENCH_engine.json`).
+//!
+//! Serving threads are *scoped* (`std::thread::scope`): they borrow
+//! the `BoundGraph` directly, so the service needs no `'static`
+//! plumbing and cannot outlive the graph it serves. The producer
+//! closure runs on the calling thread concurrently with the serving
+//! threads; when it returns, the queue closes, the workers drain every
+//! accepted request, and `serve` returns the report.
+//!
+//! Every query served concurrently remains **bit-equal** to running it
+//! alone on a fresh engine — same metadata, activation logs and
+//! simulated cycles (`tests/concurrent_serving.rs` asserts the matrix,
+//! including mid-stream cancellations and fault-injected worker
+//! panics).
+//!
+//! # Example
+//!
+//! ```
+//! use simdx_core::prelude::*;
+//! use simdx_core::service::{QueryPool, QueryRequest, ServiceConfig};
+//! use simdx_graph::{EdgeList, Graph, VertexId, Weight};
+//!
+//! #[derive(Clone)]
+//! struct Levels {
+//!     src: VertexId,
+//! }
+//! impl AccProgram for Levels {
+//!     type Meta = u32;
+//!     type Update = u32;
+//!     fn name(&self) -> &'static str { "levels" }
+//!     fn combine_kind(&self) -> CombineKind { CombineKind::Vote }
+//!     fn init(&self, g: &Graph) -> (Vec<u32>, Vec<VertexId>) {
+//!         let mut m = vec![u32::MAX; g.num_vertices() as usize];
+//!         m[self.src as usize] = 0;
+//!         (m, vec![self.src])
+//!     }
+//!     fn compute(&self, _s: VertexId, _d: VertexId, _w: Weight,
+//!                ms: &u32, md: &u32) -> Option<u32> {
+//!         (*ms != u32::MAX && *md == u32::MAX).then(|| ms + 1)
+//!     }
+//!     fn combine(&self, a: u32, b: u32) -> u32 { a.min(b) }
+//!     fn apply(&self, _v: VertexId, c: &u32, u: u32) -> Option<u32> {
+//!         (u < *c).then_some(u)
+//!     }
+//! }
+//! impl SourcedProgram for Levels {
+//!     fn with_source(mut self, src: VertexId) -> Self {
+//!         self.src = src;
+//!         self
+//!     }
+//! }
+//!
+//! let graph = Graph::directed_from_edges(
+//!     EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 3)]));
+//! let runtime = Runtime::new(EngineConfig::unscaled())?;
+//! let bound = runtime.bind(&graph);
+//!
+//! let report = QueryPool::serve(
+//!     &bound,
+//!     Levels { src: 0 },
+//!     ServiceConfig::default().workers(2),
+//!     |client| {
+//!         for seed in [0u32, 1, 2, 3] {
+//!             client.submit(QueryRequest::new(seed))?;
+//!         }
+//!         Ok(())
+//!     },
+//! )?;
+//! assert_eq!(report.outcomes.len(), 4);
+//! assert_eq!(
+//!     report.outcomes[1].result.as_ref().unwrap().meta,
+//!     vec![u32::MAX, 0, 1, 2],
+//! );
+//! # Ok::<(), SimdxError>(())
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::acc::SourcedProgram;
+use crate::error::SimdxError;
+use crate::metrics::RunResult;
+use crate::scratch::IterScratch;
+use crate::session::BoundGraph;
+use crate::supervise::{CancelToken, Supervisor};
+use simdx_graph::VertexId;
+
+/// What [`QueryClient::submit`] does when the submission queue is at
+/// [`ServiceConfig::queue_depth`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Block the producer until a serving thread drains a slot —
+    /// backpressure (default).
+    #[default]
+    Block,
+    /// Fail the submission with [`SimdxError::Overloaded`] — load
+    /// shedding; the query is never admitted and gets no ticket.
+    Reject,
+}
+
+/// Knobs for one [`QueryPool::serve`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Serving threads. Each runs independent queries over the shared
+    /// core with its own worker-pool and scratch checkouts, so total
+    /// host threads ≈ `workers × Runtime::threads`.
+    pub workers: usize,
+    /// Bounded submission-queue capacity (requests admitted but not
+    /// yet picked up by a serving thread).
+    pub queue_depth: usize,
+    /// Most queued requests one serving thread drains per turn onto a
+    /// single scratch checkout. `1` disables batching.
+    pub batch_max: usize,
+    /// Reaction to a full queue at submit time.
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for ServiceConfig {
+    /// Two serving threads, a 64-deep queue, batches of up to 8,
+    /// blocking admission.
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_depth: 64,
+            batch_max: 8,
+            admission: AdmissionPolicy::Block,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Builder: set the serving-thread count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Builder: set the submission-queue capacity.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Builder: set the per-turn batching cap.
+    pub fn batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max;
+        self
+    }
+
+    /// Builder: set the admission policy.
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    fn validate(&self) -> Result<(), SimdxError> {
+        let fail = |reason: String| Err(SimdxError::InvalidConfig { reason });
+        if self.workers == 0 {
+            return fail("service needs at least 1 serving thread".to_string());
+        }
+        if self.queue_depth == 0 {
+            return fail("service queue_depth must be at least 1".to_string());
+        }
+        if self.batch_max == 0 {
+            return fail("service batch_max must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// One query to submit: a seed plus optional per-query supervision.
+#[derive(Clone, Debug, Default)]
+pub struct QueryRequest {
+    seed: VertexId,
+    max_iterations: Option<u32>,
+    cancel: Option<CancelToken>,
+    deadline: Option<Duration>,
+    cycle_budget: Option<u64>,
+}
+
+impl QueryRequest {
+    /// A plain query rooted at `seed` (validated against the bound
+    /// graph when served, like [`crate::session::RunBuilder::source`]).
+    pub fn new(seed: VertexId) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the config's iteration cap for this query only.
+    pub fn max_iterations(mut self, n: u32) -> Self {
+        self.max_iterations = Some(n);
+        self
+    }
+
+    /// Attaches a cancellation token (keep a clone to cancel the query
+    /// from any thread, whether it is still queued or already running).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Caps this query's wall-clock time **from submission**: time
+    /// spent waiting in the queue counts, so an expired deadline
+    /// aborts the query the moment a serving thread picks it up.
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// Caps this query's simulated device cycles
+    /// ([`crate::session::RunBuilder::cycle_budget`]).
+    pub fn cycle_budget(mut self, cycles: u64) -> Self {
+        self.cycle_budget = Some(cycles);
+        self
+    }
+}
+
+/// Receipt for an admitted query: its index into
+/// [`ServeReport::outcomes`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryTicket {
+    index: usize,
+}
+
+impl QueryTicket {
+    /// The outcome slot this ticket's result lands in.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+/// The served result of one admitted query.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome<M> {
+    /// The query's seed vertex.
+    pub seed: VertexId,
+    /// The run's result — bit-equal to a solo run of the same query —
+    /// or its typed abort.
+    pub result: Result<RunResult<M>, SimdxError>,
+    /// Submission-to-completion latency (queue wait included).
+    pub latency: Duration,
+}
+
+/// Everything one [`QueryPool::serve`] call produced.
+#[derive(Clone, Debug)]
+pub struct ServeReport<M> {
+    /// One outcome per admitted ticket, in ticket order
+    /// ([`QueryTicket::index`] indexes this). Rejected submissions
+    /// ([`AdmissionPolicy::Reject`]) never got a ticket and do not
+    /// appear.
+    pub outcomes: Vec<ServeOutcome<M>>,
+    /// Serving-thread turns taken — `outcomes.len() / batches` is the
+    /// achieved batching factor.
+    pub batches: u64,
+    /// Wall-clock time of the whole closed loop (first submission
+    /// possible to last query drained).
+    pub elapsed: Duration,
+}
+
+impl<M> ServeReport<M> {
+    /// Served queries that completed without an error.
+    pub fn completed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.is_ok()).count()
+    }
+
+    /// Closed-loop throughput over every admitted query.
+    pub fn queries_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.outcomes.len() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Nearest-rank latency percentile (`p` in `[0, 100]`) over every
+    /// admitted query's submission-to-completion latency.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        if self.outcomes.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut lat: Vec<Duration> = self.outcomes.iter().map(|o| o.latency).collect();
+        lat.sort_unstable();
+        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
+        lat[rank.saturating_sub(1).min(lat.len() - 1)]
+    }
+}
+
+/// One admitted, not-yet-served request.
+struct Entry {
+    ticket: usize,
+    request: QueryRequest,
+    submitted: Instant,
+}
+
+struct QueueState {
+    queue: VecDeque<Entry>,
+    next_ticket: usize,
+    closed: bool,
+}
+
+/// The bounded submission queue shared by the producer and the serving
+/// threads. Plain `Mutex` + two `Condvar`s: submitters wait on
+/// `not_full` (blocking admission), serving threads on `not_empty`.
+struct SharedQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    depth: usize,
+    admission: AdmissionPolicy,
+}
+
+impl SharedQueue {
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// The producer's handle into a running [`QueryPool::serve`] call.
+pub struct QueryClient<'a> {
+    shared: &'a SharedQueue,
+}
+
+impl QueryClient<'_> {
+    /// Submits one query. Under [`AdmissionPolicy::Block`] this waits
+    /// for queue space; under [`AdmissionPolicy::Reject`] a full queue
+    /// fails with [`SimdxError::Overloaded`] and the query is never
+    /// admitted. On success the returned ticket indexes the query's
+    /// slot in [`ServeReport::outcomes`].
+    pub fn submit(&self, request: QueryRequest) -> Result<QueryTicket, SimdxError> {
+        let index;
+        {
+            let mut st = self.shared.lock();
+            while st.queue.len() >= self.shared.depth {
+                match self.shared.admission {
+                    AdmissionPolicy::Reject => {
+                        return Err(SimdxError::Overloaded {
+                            capacity: self.shared.depth,
+                        })
+                    }
+                    AdmissionPolicy::Block => {
+                        st = self
+                            .shared
+                            .not_full
+                            .wait(st)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+            }
+            index = st.next_ticket;
+            st.next_ticket += 1;
+            st.queue.push_back(Entry {
+                ticket: index,
+                request,
+                submitted: Instant::now(),
+            });
+        }
+        self.shared.not_empty.notify_one();
+        Ok(QueryTicket { index })
+    }
+
+    /// Requests currently admitted but not yet picked up.
+    pub fn queued(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+}
+
+/// The concurrent serving front-end; see the module docs.
+pub struct QueryPool;
+
+impl QueryPool {
+    /// Serves queries over `bound` with `config.workers` scoped
+    /// serving threads while `producer` — run on the calling thread —
+    /// submits them through the [`QueryClient`]. When the producer
+    /// returns, the queue closes, every admitted query is drained, and
+    /// the per-ticket outcomes come back as a [`ServeReport`].
+    ///
+    /// A producer error cancels nothing retroactively: already
+    /// admitted queries still run, but their outcomes are discarded
+    /// with the error. Propagate submission failures only when that is
+    /// acceptable (a load-shedding producer should tolerate
+    /// [`SimdxError::Overloaded`] instead).
+    pub fn serve<P, F>(
+        bound: &BoundGraph<'_, '_>,
+        program: P,
+        config: ServiceConfig,
+        producer: F,
+    ) -> Result<ServeReport<P::Meta>, SimdxError>
+    where
+        P: SourcedProgram,
+        F: FnOnce(&QueryClient<'_>) -> Result<(), SimdxError>,
+    {
+        config.validate()?;
+        let shared = SharedQueue {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::with_capacity(config.queue_depth),
+                next_ticket: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            depth: config.queue_depth,
+            admission: config.admission,
+        };
+        let slots: Mutex<Vec<Option<ServeOutcome<P::Meta>>>> = Mutex::new(Vec::new());
+        let batches = AtomicU64::new(0);
+        let started = Instant::now();
+        let produced = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..config.workers)
+                .map(|w| {
+                    let (shared, slots, batches, program) = (&shared, &slots, &batches, &program);
+                    std::thread::Builder::new()
+                        .name(format!("simdx-serve-{w}"))
+                        .spawn_scoped(scope, move || {
+                            serve_loop(bound, program, config.batch_max, shared, slots, batches);
+                        })
+                        .expect("spawn serving thread")
+                })
+                .collect();
+            let produced = producer(&QueryClient { shared: &shared });
+            shared.close();
+            for handle in handles {
+                // Engine panics are contained inside execute_query, so
+                // a serving thread only dies of a harness bug; don't
+                // swallow that.
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+            produced
+        });
+        produced?;
+        let outcomes = slots
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_iter()
+            .map(|slot| slot.expect("every admitted ticket is served"))
+            .collect();
+        Ok(ServeReport {
+            outcomes,
+            batches: batches.into_inner(),
+            elapsed: started.elapsed(),
+        })
+    }
+}
+
+/// One serving thread: drain up to `batch_max` requests per turn, run
+/// them over a single scratch checkout, publish each outcome.
+fn serve_loop<P: SourcedProgram>(
+    bound: &BoundGraph<'_, '_>,
+    program: &P,
+    batch_max: usize,
+    shared: &SharedQueue,
+    slots: &Mutex<Vec<Option<ServeOutcome<P::Meta>>>>,
+    batches: &AtomicU64,
+) {
+    loop {
+        let batch: Vec<Entry> = {
+            let mut st = shared.lock();
+            loop {
+                if !st.queue.is_empty() {
+                    let n = batch_max.min(st.queue.len());
+                    break st.queue.drain(..n).collect();
+                }
+                if st.closed {
+                    return;
+                }
+                st = shared
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        shared.not_full.notify_all();
+        let mut scratch = bound.checkout_scratch::<P::Meta>();
+        for entry in batch {
+            let outcome = serve_one(bound, program, &entry, &mut scratch);
+            let mut slots = slots.lock().unwrap_or_else(PoisonError::into_inner);
+            if slots.len() <= entry.ticket {
+                slots.resize_with(entry.ticket + 1, || None);
+            }
+            slots[entry.ticket] = Some(outcome);
+        }
+        bound.checkin_scratch(scratch);
+        batches.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn serve_one<P: SourcedProgram>(
+    bound: &BoundGraph<'_, '_>,
+    program: &P,
+    entry: &Entry,
+    scratch: &mut IterScratch<P::Meta>,
+) -> ServeOutcome<P::Meta> {
+    // The deadline covers submit→completion: shrink it by the queue
+    // wait (saturating to an immediate, typed abort when the query
+    // waited its whole deadline out in the queue).
+    let remaining = entry
+        .request
+        .deadline
+        .map(|d| d.saturating_sub(entry.submitted.elapsed()));
+    let supervisor = Supervisor::new(
+        entry.request.cancel.clone(),
+        remaining,
+        entry.request.cycle_budget,
+    );
+    let result = bound.execute_query(
+        program,
+        entry.request.seed,
+        entry.request.max_iterations,
+        &supervisor,
+        scratch,
+    );
+    ServeOutcome {
+        seed: entry.request.seed,
+        result,
+        latency: entry.submitted.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_config_validates_and_composes() {
+        let cfg = ServiceConfig::default()
+            .workers(4)
+            .queue_depth(16)
+            .batch_max(2)
+            .admission(AdmissionPolicy::Reject);
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.queue_depth, 16);
+        assert_eq!(cfg.batch_max, 2);
+        assert_eq!(cfg.admission, AdmissionPolicy::Reject);
+        assert!(cfg.validate().is_ok());
+        for broken in [
+            ServiceConfig::default().workers(0),
+            ServiceConfig::default().queue_depth(0),
+            ServiceConfig::default().batch_max(0),
+        ] {
+            assert!(matches!(
+                broken.validate(),
+                Err(SimdxError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn report_percentiles_use_nearest_rank() {
+        let report = ServeReport::<u32> {
+            outcomes: (1..=4u64)
+                .map(|ms| ServeOutcome {
+                    seed: 0,
+                    result: Err(SimdxError::OnlineOverflow { iteration: 0 }),
+                    latency: Duration::from_millis(ms),
+                })
+                .collect(),
+            batches: 1,
+            elapsed: Duration::from_millis(10),
+        };
+        assert_eq!(report.latency_percentile(50.0), Duration::from_millis(2));
+        assert_eq!(report.latency_percentile(99.0), Duration::from_millis(4));
+        assert_eq!(report.latency_percentile(0.0), Duration::from_millis(1));
+        assert_eq!(report.completed(), 0);
+        assert!(report.queries_per_sec() > 0.0);
+        let empty = ServeReport::<u32> {
+            outcomes: Vec::new(),
+            batches: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(empty.latency_percentile(99.0), Duration::ZERO);
+        assert_eq!(empty.queries_per_sec(), 0.0);
+    }
+}

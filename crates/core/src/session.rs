@@ -18,7 +18,32 @@
 //!   of the query itself; every allocation is reused.
 //!
 //! [`BoundGraph::run_batch`] executes a slice of query seeds over the
-//! shared scratch, returning one [`RunResult`] per seed.
+//! shared scratch, returning one [`RunResult`] per seed (fail-fast);
+//! [`BoundGraph::run_batch_partial`] returns one `Result` per seed, so
+//! completed reports survive a failing seed.
+//!
+//! # Concurrency
+//!
+//! `Runtime` and `BoundGraph` are `Send + Sync` (compile-time asserted
+//! at the bottom of this module): any number of threads may run
+//! queries over one bound graph concurrently. The sharing model:
+//!
+//! * The bind-time artifacts (push fences, grid CSR, bitmap word
+//!   count) are immutable after bind and live in an `Arc`-shared core.
+//! * Worker pools live in a [`PoolStash`]: each query checks one out
+//!   for its duration, so concurrent queries never share a pool, and a
+//!   pool poisoned by a contained worker panic is discarded at
+//!   check-in (replaced at the next checkout) without touching
+//!   in-flight peers.
+//! * Scratch arenas live in an [`ArenaPool`] keyed by the program's
+//!   metadata `TypeId`: checked out per query, created on a dry stash,
+//!   returned at completion (idle inventory capped; see
+//!   [`BoundGraph::clear_scratch`]).
+//!
+//! Concurrent queries remain under the bit-equality contract below —
+//! a query's result is independent of what runs beside it
+//! (`tests/concurrent_serving.rs`). [`crate::service::QueryPool`]
+//! builds a bounded-queue serving layer on top of this.
 //!
 //! # Determinism
 //!
@@ -86,9 +111,7 @@
 //! # Ok::<(), SimdxError>(())
 //! ```
 
-use std::any::Any;
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::acc::{AccProgram, SourcedProgram};
@@ -100,64 +123,67 @@ use crate::grid::GridCsr;
 use crate::jit::IterationRecord;
 use crate::metrics::RunResult;
 use crate::par::{payload_string, WorkerPool};
+use crate::pool::{ArenaPool, PoolStash};
 use crate::scratch::{IterScratch, PushFences};
 use crate::supervise::{AbortReason, CancelToken, Supervisor};
 use simdx_graph::csr::Direction;
 use simdx_graph::{Graph, VertexId};
 
-/// Scratch arenas are generic over the program's metadata type, so the
-/// cache is keyed by `TypeId::of::<P::Meta>()` — binding one graph and
-/// interleaving BFS (`u32`) and PageRank (`f32`) queries keeps one
-/// arena per metadata type, each reused across its queries.
-type ScratchCache = HashMap<std::any::TypeId, Box<dyn Any>>;
+/// Idle scratch arenas retained per metadata type by a
+/// [`BoundGraph`]'s arena pool. Bursts of concurrent queries beyond
+/// this still run (each creates an arena); only the *idle* inventory
+/// is capped, so a long-lived service cannot accumulate dead arenas.
+const SCRATCH_ARENAS_PER_TYPE: usize = 8;
 
-/// The long-lived engine runtime: a validated [`EngineConfig`] plus the
-/// persistent [`WorkerPool`] backing `ExecMode::Parallel`.
+/// The long-lived engine runtime: a validated [`EngineConfig`] plus a
+/// poison-safe stash of persistent worker pools backing
+/// `ExecMode::Parallel`.
 ///
 /// Build one per service (or per configuration under test), then
-/// [`bind`](Self::bind) graphs and run queries — the pool threads are
-/// spawned exactly once, not per query.
+/// [`bind`](Self::bind) graphs and run queries. `Runtime` is
+/// `Send + Sync`: any number of threads may query one runtime
+/// concurrently — each query checks a pool out of the stash for its
+/// duration (concurrent queries never share a pool), and a pool
+/// poisoned by a contained worker panic is discarded at check-in and
+/// replaced at the next checkout, so a fault in one query never
+/// corrupts an in-flight peer. A lone sequential caller reuses a
+/// single pool forever — the pool threads are spawned once, not per
+/// query.
 pub struct Runtime {
     config: EngineConfig,
-    /// The persistent pool, behind a `RefCell` so a pool poisoned by a
-    /// contained worker panic can be transparently rebuilt (same
-    /// width) at the next bind or run — the `Runtime` survives its
-    /// workers.
-    pool: RefCell<Option<WorkerPool>>,
-    threads: usize,
+    /// Idle worker pools of the resolved width; every query (and the
+    /// bind-time grid build) checks one out for its duration.
+    pools: PoolStash,
 }
 
 impl Runtime {
     /// Creates a runtime: validates the configuration, resolves the
-    /// worker count and spawns the pool (a resolved width of 1 runs
-    /// serially with no pool at all).
+    /// worker count and spawns the first pool (a resolved width of 1
+    /// runs serially with no pool at all).
     pub fn new(config: EngineConfig) -> Result<Self, SimdxError> {
         config.validate()?;
-        let threads = config.exec.worker_count().max(1);
-        let pool = (threads > 1).then(|| WorkerPool::new(threads));
-        let threads = pool.as_ref().map_or(1, WorkerPool::threads);
-        Ok(Self {
-            config,
-            pool: RefCell::new(pool),
-            threads,
-        })
+        Ok(Self::build(config))
     }
 
-    /// Replaces a poisoned pool with a freshly spawned one of the same
-    /// width. A healthy (or absent) pool is left untouched, so the
-    /// common path is one borrow and one flag load.
-    fn ensure_pool(&self) {
-        let mut pool = self.pool.borrow_mut();
-        if pool.as_ref().is_some_and(WorkerPool::is_poisoned) {
-            *pool = Some(WorkerPool::new(self.threads));
-        }
+    /// Constructor for an already-validated config: resolves the
+    /// worker count and pre-spawns the first pool, so construction
+    /// (not the first query) pays the thread-spawn cost.
+    fn build(config: EngineConfig) -> Self {
+        let pools = PoolStash::new(config.exec.worker_count().max(1));
+        drop(pools.checkout());
+        Self { config, pools }
     }
 
     /// Creates a runtime from the default configuration with every
     /// `SIMDX_*` knob parsed fallibly ([`EngineConfig::from_env`]) — a
     /// typo comes back as [`SimdxError::InvalidKnob`], never a panic.
+    ///
+    /// Unlike `Runtime::new(EngineConfig::default())`, this path reads
+    /// the environment *fresh* on every call: knobs set after the
+    /// first `EngineConfig::default()` of the process are honored
+    /// here, never served stale from the per-process default caches.
     pub fn from_env() -> Result<Self, SimdxError> {
-        Self::new(EngineConfig::from_env()?)
+        Ok(Self::build(EngineConfig::from_env()?))
     }
 
     /// The validated configuration in force for every query.
@@ -167,7 +193,7 @@ impl Runtime {
 
     /// Resolved host worker count (1 = serial).
     pub fn threads(&self) -> usize {
-        self.threads
+        self.pools.width()
     }
 
     /// Binds a graph: precomputes the CSR-derived state every query
@@ -199,11 +225,10 @@ impl Runtime {
         &'rt self,
         graph: &'g Graph,
     ) -> Result<BoundGraph<'rt, 'g>, SimdxError> {
-        self.ensure_pool();
-        let fences = (self.threads > 1).then(|| {
+        let fences = (self.threads() > 1).then(|| {
             PushFences::compute(
                 graph.csr(Direction::Pull),
-                self.threads,
+                self.threads(),
                 self.config.frontier,
                 self.config.layout,
             )
@@ -218,14 +243,15 @@ impl Runtime {
         // configured policy.
         let grid = match (&fences, self.config.push) {
             (Some(fences), PushStrategy::Grid) => {
-                let pool = self.pool.borrow();
+                // A worker panic during the build poisons the
+                // checked-out pool; the lease drop discards it.
+                let pool = self
+                    .pools
+                    .checkout()
+                    .expect("parallel runtime stashes pools");
                 Some(
-                    GridCsr::build_with_pool(
-                        graph.csr(Direction::Push),
-                        &fences.verts,
-                        pool.as_ref().expect("parallel runtime owns a pool"),
-                    )
-                    .map_err(SimdxError::from)?,
+                    GridCsr::build_with_pool(graph.csr(Direction::Push), &fences.verts, &pool)
+                        .map_err(SimdxError::from)?,
                 )
             }
             _ => None,
@@ -233,10 +259,12 @@ impl Runtime {
         Ok(BoundGraph {
             runtime: self,
             graph,
-            fences,
-            grid,
-            num_words: (graph.num_vertices() as usize).div_ceil(WORD_BITS),
-            scratch: RefCell::new(ScratchCache::new()),
+            core: Arc::new(BindArtifacts {
+                fences,
+                grid,
+                num_words: (graph.num_vertices() as usize).div_ceil(WORD_BITS),
+            }),
+            scratch: ArenaPool::new(SCRATCH_ARENAS_PER_TYPE),
         })
     }
 }
@@ -244,7 +272,7 @@ impl Runtime {
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runtime")
-            .field("threads", &self.threads)
+            .field("threads", &self.threads())
             .field("exec", &self.config.exec)
             .field("frontier", &self.config.frontier)
             .field("layout", &self.config.layout)
@@ -252,12 +280,11 @@ impl std::fmt::Debug for Runtime {
     }
 }
 
-/// A graph bound to a [`Runtime`]: precomputed per-graph engine state
-/// plus the reusable scratch arenas. Queries against the same
-/// `BoundGraph` reuse every allocation and the runtime's pool.
-pub struct BoundGraph<'rt, 'g> {
-    runtime: &'rt Runtime,
-    graph: &'g Graph,
+/// The immutable bind-time core of a [`BoundGraph`]: everything every
+/// query reads but none mutates, shared via [`Arc`] so serving layers
+/// can hold one handle per thread without re-borrowing the
+/// `BoundGraph` itself.
+struct BindArtifacts {
     /// Bind-time destination-shard fences (parallel mode only): the
     /// degree-balanced, chunk/word-aligned partition of
     /// `metadata_curr` the push kernels shard over.
@@ -269,7 +296,21 @@ pub struct BoundGraph<'rt, 'g> {
     /// `ceil(|V| / 64)` — the frontier-bitmap word count, precomputed
     /// so bitmap-mode scratch is sized before the first query.
     num_words: usize,
-    scratch: RefCell<ScratchCache>,
+}
+
+/// A graph bound to a [`Runtime`]: the immutable bind-time core plus a
+/// check-out/check-in pool of reusable scratch arenas. Queries against
+/// the same `BoundGraph` reuse every allocation and the runtime's
+/// pools — from one thread or many: `BoundGraph` is `Send + Sync`, and
+/// concurrent queries stay bit-equal to running them serially.
+pub struct BoundGraph<'rt, 'g> {
+    runtime: &'rt Runtime,
+    graph: &'g Graph,
+    /// The `Arc`-shared immutable bind-time artifacts.
+    core: Arc<BindArtifacts>,
+    /// Idle scratch arenas keyed by the program's metadata `TypeId`;
+    /// each query checks one out for its duration.
+    scratch: ArenaPool,
 }
 
 impl<'rt, 'g> BoundGraph<'rt, 'g> {
@@ -285,14 +326,30 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
 
     /// Number of 64-bit words a frontier bitmap over this graph uses.
     pub fn num_bitmap_words(&self) -> usize {
-        self.num_words
+        self.core.num_words
     }
 
     /// The bind-time grid CSR, present iff this is a parallel runtime
     /// under [`PushStrategy::Grid`] — exposed so harnesses can report
     /// its memory cost ([`GridCsr::footprint_bytes`]).
     pub fn grid(&self) -> Option<&GridCsr> {
-        self.grid.as_ref()
+        self.core.grid.as_ref()
+    }
+
+    /// Drops every *idle* scratch arena. Arenas checked out by
+    /// in-flight queries are unaffected (they re-enter the pool at
+    /// completion, up to the per-type cap), so this is safe to call
+    /// from a maintenance thread of a live service — e.g. after a
+    /// program type stops being queried, to release its dead arenas.
+    pub fn clear_scratch(&self) {
+        self.scratch.clear();
+    }
+
+    /// Idle scratch arenas currently pooled, across all metadata
+    /// types. Bounded: at most [`SCRATCH_ARENAS_PER_TYPE`] per type
+    /// regardless of how many queries ever ran.
+    pub fn idle_scratch_arenas(&self) -> usize {
+        self.scratch.idle_count()
     }
 
     /// Starts building one query. Terminal [`RunBuilder::execute`]
@@ -314,56 +371,144 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
     /// one report per query — bit-identical to running the seeds
     /// through individual [`Self::run`] calls (or fresh engines), just
     /// without any per-query setup. Fails fast on the first seed whose
-    /// run fails.
+    /// run fails, discarding the completed reports — use
+    /// [`Self::run_batch_partial`] when a typed abort on one seed must
+    /// not cost the others' results.
     pub fn run_batch<P: SourcedProgram>(
         &self,
         program: P,
         seeds: &[VertexId],
     ) -> Result<Vec<RunResult<P::Meta>>, SimdxError> {
-        seeds
-            .iter()
-            .map(|&seed| self.run(program.clone()).source(seed).execute())
-            .collect()
+        let mut scratch = self.checkout_scratch::<P::Meta>();
+        let mut out = Vec::with_capacity(seeds.len());
+        let mut failed = None;
+        for &seed in seeds {
+            let supervisor = Supervisor::new(None, None, None);
+            match self.execute_query(&program, seed, None, &supervisor, &mut scratch) {
+                Ok(result) => out.push(result),
+                Err(err) => {
+                    failed = Some(err);
+                    break;
+                }
+            }
+        }
+        self.checkin_scratch(scratch);
+        match failed {
+            Some(err) => Err(err),
+            None => Ok(out),
+        }
     }
 
-    /// The shared execute path: checks out (or creates) the scratch
-    /// arena for the program's metadata type and runs the engine over
-    /// the session's pool, fences and config.
-    fn execute_inner<P: AccProgram>(
+    /// [`Self::run_batch`] without the fail-fast data loss: one
+    /// `Result` per seed, in seed order, over one shared scratch
+    /// checkout. A seed that aborts (bad seed, deadline, worker panic)
+    /// costs only its own slot; every completed report survives, and
+    /// successful entries remain bit-identical to individual
+    /// [`Self::run`] calls.
+    pub fn run_batch_partial<P: SourcedProgram>(
         &self,
-        program: &P,
-        max_iterations: u32,
-        mut observer: Option<&mut (dyn FnMut(&IterationRecord) + '_)>,
-        supervisor: &Supervisor,
-    ) -> Result<RunResult<P::Meta>, SimdxError> {
-        self.runtime.ensure_pool();
-        let mut cache = self.scratch.borrow_mut();
-        let scratch = cache
-            .entry(std::any::TypeId::of::<P::Meta>())
-            .or_insert_with(|| {
-                let mut scratch = IterScratch::<P::Meta>::new(self.runtime.threads);
+        program: P,
+        seeds: &[VertexId],
+    ) -> Vec<Result<RunResult<P::Meta>, SimdxError>> {
+        let mut scratch = self.checkout_scratch::<P::Meta>();
+        let out = seeds
+            .iter()
+            .map(|&seed| {
+                let supervisor = Supervisor::new(None, None, None);
+                self.execute_query(&program, seed, None, &supervisor, &mut scratch)
+            })
+            .collect();
+        self.checkin_scratch(scratch);
+        out
+    }
+
+    /// Checks out (or creates, on a dry stash) a scratch arena for
+    /// metadata type `M`, pre-sized for this graph.
+    pub(crate) fn checkout_scratch<M: Send + 'static>(&self) -> IterScratch<M> {
+        self.scratch
+            .checkout::<IterScratch<M>>()
+            .unwrap_or_else(|| {
+                let mut scratch = IterScratch::<M>::new(self.runtime.threads());
                 if self.runtime.config.frontier == FrontierRepr::Bitmap {
-                    // Pre-size the reusable bitmaps to the bind-time
-                    // word count so the first query allocates nothing
+                    // Pre-size the reusable bitmaps to the bind-time word
+                    // count so the arena's first query allocates nothing
                     // mid-run either.
                     let n = self.graph.num_vertices() as usize;
                     scratch.changed_bits.reset(n);
                     scratch.cand_bits.reset(n);
                 }
-                Box::new(scratch) as Box<dyn Any>
+                scratch
             })
-            .downcast_mut::<IterScratch<P::Meta>>()
-            .expect("scratch cache keyed by metadata TypeId");
+    }
+
+    /// Returns a scratch arena to the pool for the next query (idle
+    /// inventory capped per type).
+    pub(crate) fn checkin_scratch<M: Send + 'static>(&self, scratch: IterScratch<M>) {
+        self.scratch.checkin(scratch);
+    }
+
+    /// One sourced query over caller-held scratch: seed validation,
+    /// supervision and the full execute path (including degrade
+    /// retry). The batch entry points and the serving layer
+    /// ([`crate::service::QueryPool`]) drive this directly so one
+    /// scratch checkout amortizes over many queries.
+    pub(crate) fn execute_query<P: SourcedProgram>(
+        &self,
+        program: &P,
+        seed: VertexId,
+        max_iterations: Option<u32>,
+        supervisor: &Supervisor,
+        scratch: &mut IterScratch<P::Meta>,
+    ) -> Result<RunResult<P::Meta>, SimdxError> {
+        let n = self.graph.num_vertices();
+        if seed >= n {
+            return Err(SimdxError::InvalidQuery {
+                reason: format!("source vertex {seed} out of range for a graph with {n} vertices"),
+            });
+        }
+        let program = program.clone().with_source(seed);
+        let max_iterations = max_iterations.unwrap_or(self.runtime.config.max_iterations);
+        self.execute_with(&program, max_iterations, None, supervisor, scratch)
+    }
+
+    /// The shared execute path: checks a scratch arena out of the pool
+    /// for the duration of the query.
+    fn execute_inner<P: AccProgram>(
+        &self,
+        program: &P,
+        max_iterations: u32,
+        observer: Option<&mut (dyn FnMut(&IterationRecord) + '_)>,
+        supervisor: &Supervisor,
+    ) -> Result<RunResult<P::Meta>, SimdxError> {
+        let mut scratch = self.checkout_scratch::<P::Meta>();
+        let result = self.execute_with(program, max_iterations, observer, supervisor, &mut scratch);
+        self.checkin_scratch(scratch);
+        result
+    }
+
+    /// Runs one query over caller-held scratch: checks a worker pool
+    /// out of the runtime's stash for the first attempt (a panicked
+    /// attempt poisons that pool, so the lease drop discards it
+    /// without touching concurrent queries' pools), then applies the
+    /// degrade policy.
+    fn execute_with<P: AccProgram>(
+        &self,
+        program: &P,
+        max_iterations: u32,
+        mut observer: Option<&mut (dyn FnMut(&IterationRecord) + '_)>,
+        supervisor: &Supervisor,
+        scratch: &mut IterScratch<P::Meta>,
+    ) -> Result<RunResult<P::Meta>, SimdxError> {
         let first = {
-            let pool = self.runtime.pool.borrow();
+            let pool = self.runtime.pools.checkout();
             Self::run_once(
                 program,
                 self.graph,
                 &self.runtime.config,
-                pool.as_ref(),
+                pool.as_deref(),
                 scratch,
-                self.fences.as_ref(),
-                self.grid.as_ref(),
+                self.core.fences.as_ref(),
+                self.core.grid.as_ref(),
                 max_iterations,
                 match observer {
                     Some(ref mut hook) => Some(&mut **hook),
@@ -375,14 +520,14 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
         match first {
             Err(SimdxError::WorkerPanicked { .. })
                 if self.runtime.config.degrade == DegradePolicy::RetrySerial
-                    && self.runtime.threads > 1 =>
+                    && self.runtime.threads() > 1 =>
             {
                 // Opt-in degrade: one serial retry of the same query
                 // over the same (reset-at-entry) scratch — no pool, no
                 // fences, no grid — flagged in the report so callers
                 // can see the query survived a worker fault. The
-                // poisoned pool is rebuilt at the next run's
-                // `ensure_pool`.
+                // poisoned pool was already discarded by its lease
+                // drop; the next checkout spawns a replacement.
                 let mut result = Self::run_once(
                     program,
                     self.graph,
@@ -457,6 +602,18 @@ impl std::fmt::Debug for BoundGraph<'_, '_> {
             .finish_non_exhaustive()
     }
 }
+
+// The ISSUE 7 contract, proved at compile time: the runtime and the
+// bound graph (whose core is the `Arc`-shared bind artifacts) are
+// shareable across serving threads. Removing this block does not make
+// the types `!Sync` — it only removes the proof; conversely, any
+// future field that reintroduces thread confinement (a `RefCell`, an
+// `Rc`) fails compilation here.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Runtime>();
+    assert_send_sync::<BoundGraph<'static, 'static>>();
+};
 
 /// One query under construction against a [`BoundGraph`]; terminal
 /// [`Self::execute`] runs it. Replaces the positional
@@ -1071,5 +1228,98 @@ mod tests {
         }
         // Pool rebuilt on the next run; the disarmed program succeeds.
         bound.run(program).execute().expect("recovered run");
+    }
+
+    #[test]
+    fn run_batch_partial_preserves_completed_reports() {
+        let g = path_graph(128);
+        let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let seeds = [3u32, 999, 64];
+        // The fail-fast wrapper loses seed 3's report to seed 999...
+        assert!(matches!(
+            bound.run_batch(Levels { src: 0 }, &seeds),
+            Err(SimdxError::InvalidQuery { .. })
+        ));
+        // ...the partial form returns every slot.
+        let partial = bound.run_batch_partial(Levels { src: 0 }, &seeds);
+        assert_eq!(partial.len(), seeds.len());
+        assert!(matches!(partial[1], Err(SimdxError::InvalidQuery { .. })));
+        for idx in [0usize, 2] {
+            let got = partial[idx].as_ref().expect("good seed");
+            let single = bound
+                .run(Levels { src: seeds[idx] })
+                .execute()
+                .expect("single run");
+            assert_eq!(got.meta, single.meta, "seed {}", seeds[idx]);
+            assert_eq!(got.report.stats, single.report.stats, "seed {}", seeds[idx]);
+        }
+    }
+
+    #[test]
+    fn scratch_pool_reaches_bounded_steady_state() {
+        let g = path_graph(96);
+        let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let bound = runtime.bind(&g);
+        assert_eq!(bound.idle_scratch_arenas(), 0, "no arenas before a query");
+        // Sequential queries of one metadata type reuse a single arena
+        // forever — the pool never grows past it.
+        for _ in 0..20 {
+            bound.run(Levels { src: 0 }).execute().expect("levels");
+        }
+        assert_eq!(bound.idle_scratch_arenas(), 1);
+        // A second metadata type adds exactly one more.
+        bound.run(Mass).execute().expect("mass");
+        assert_eq!(bound.idle_scratch_arenas(), 2);
+        // clear_scratch drops the idle inventory; the next query
+        // recreates its arena and stays bit-equal.
+        bound.clear_scratch();
+        assert_eq!(bound.idle_scratch_arenas(), 0);
+        let after = bound.run(Levels { src: 0 }).execute().expect("post-clear");
+        let fresh_rt = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let fresh = fresh_rt
+            .bind(&g)
+            .run(Levels { src: 0 })
+            .execute()
+            .expect("fresh");
+        assert_eq!(after.meta, fresh.meta);
+        assert_eq!(after.report.stats, fresh.report.stats);
+        assert_eq!(bound.idle_scratch_arenas(), 1);
+    }
+
+    #[test]
+    fn queries_from_many_threads_share_one_bound_graph() {
+        // Smoke test for the Sync contract (the full N×M stress matrix
+        // lives in `tests/concurrent_serving.rs`): four threads query
+        // one bound graph concurrently and every result is bit-equal
+        // to the single-threaded baseline.
+        let g = path_graph(200);
+        for exec in [ExecMode::Serial, ExecMode::Parallel { threads: 2 }] {
+            let cfg = EngineConfig::unscaled().with_exec(exec);
+            let runtime = Runtime::new(cfg).expect("runtime");
+            let bound = runtime.bind(&g);
+            let seeds = [0u32, 7, 64, 150];
+            let baselines: Vec<_> = seeds
+                .iter()
+                .map(|&s| bound.run(Levels { src: s }).execute().expect("baseline"))
+                .collect();
+            std::thread::scope(|scope| {
+                for (&seed, baseline) in seeds.iter().zip(&baselines) {
+                    let bound = &bound;
+                    scope.spawn(move || {
+                        for _ in 0..3 {
+                            let got = bound
+                                .run(Levels { src: 0 })
+                                .source(seed)
+                                .execute()
+                                .expect("concurrent run");
+                            assert_eq!(got.meta, baseline.meta, "seed {seed}");
+                            assert_eq!(got.report.stats, baseline.report.stats, "seed {seed}");
+                            assert_eq!(got.report.log, baseline.report.log, "seed {seed}");
+                        }
+                    });
+                }
+            });
+        }
     }
 }

@@ -28,6 +28,14 @@
 //! so the bit-equality contract is untouched. Its wall-clock cost is
 //! measured by the `snapshot` bin (the `supervision` group in
 //! `BENCH_engine.json`) and pinned ≤ 2% on the reference run.
+//!
+//! Under concurrent serving ([`crate::service::QueryPool`]) every
+//! query gets its own [`Supervisor`], built on the serving thread from
+//! the submitter's token/deadline — so `CancelToken` must be usable
+//! across threads and `Supervisor` shareable into pool workers; both
+//! are `Sync` (asserted at the bottom of this module). A service
+//! deadline is measured from *submission*: time spent queued shrinks
+//! the in-engine allowance.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -211,6 +219,17 @@ impl Supervisor {
         }
     }
 }
+
+// A `CancelToken` is cancelled from submitter threads while serving
+// threads poll it, and a `Supervisor` is shared by reference into
+// every pool worker of its query — both must stay `Send + Sync` for
+// `crate::service` to compile at all; the assertion pins the contract
+// where the types live.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CancelToken>();
+    assert_send_sync::<Supervisor>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,419 @@
+//! Concurrency half of the determinism contract: queries served over
+//! one shared [`BoundGraph`] — raw `std::thread` fan-out and the
+//! [`QueryPool`] front-end alike — must stay **bit-identical** to a
+//! fresh one-shot engine per query, no matter what runs beside them.
+//!
+//! The suite covers the four ways concurrency could break that:
+//!
+//! * plain interleaving — N threads × M queries over the shared core
+//!   vs. solo baselines, across {exec mode} × {frontier repr} ×
+//!   {push strategy};
+//! * supervision cross-talk — a cancelled or deadline-expired query
+//!   serving next to clean peers must abort *alone*;
+//! * admission control — a full bounded queue under
+//!   [`AdmissionPolicy::Reject`] sheds load deterministically and
+//!   never corrupts the queries it did admit;
+//! * fault containment (`--features fault-inject`) — a worker panic
+//!   injected mid-stream poisons only its own leased pool: exactly one
+//!   outcome fails typed, every peer stays bit-equal, and the session
+//!   serves the failed seed cleanly afterwards.
+//!
+//! Fault state is process-global, so every test body holds
+//! [`TEST_LOCK`]: a clean test racing the armed plan would absorb the
+//! single injected panic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use simdx::algos::{Bfs, Sssp};
+use simdx::core::jit::ActivationLog;
+use simdx::core::prelude::*;
+use simdx::graph::gen::Rmat;
+use simdx::graph::{weights, Graph, VertexId, Weight};
+use simdx_gpu::executor::ExecutorStats;
+
+/// Serializes the test bodies in this binary (see the module docs).
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Everything that must match bit for bit.
+#[derive(Debug, PartialEq)]
+struct Fingerprint<M: PartialEq + std::fmt::Debug> {
+    meta: Vec<M>,
+    iterations: u32,
+    stats: ExecutorStats,
+    log: ActivationLog,
+}
+
+fn fingerprint<M: PartialEq + std::fmt::Debug>(r: RunResult<M>) -> Fingerprint<M> {
+    Fingerprint {
+        meta: r.meta,
+        iterations: r.report.iterations,
+        stats: r.report.stats,
+        log: r.report.log,
+    }
+}
+
+/// The solo baseline: a fresh runtime and bind serving one query.
+fn solo<P: SourcedProgram>(
+    make: &impl Fn(u32) -> P,
+    seed: u32,
+    g: &Graph,
+    cfg: &EngineConfig,
+) -> Fingerprint<P::Meta>
+where
+    P::Meta: PartialEq + std::fmt::Debug,
+{
+    let runtime = Runtime::new(cfg.clone()).expect("runtime");
+    let bound = runtime.bind(g);
+    fingerprint(bound.run(make(seed)).execute().expect("solo run"))
+}
+
+/// {exec} × {frontier repr} × {push strategy} (push only varies the
+/// parallel cells: a serial run has a single shard either way).
+fn config_matrix() -> Vec<(String, EngineConfig)> {
+    let mut out = Vec::new();
+    for exec in [ExecMode::Serial, ExecMode::Parallel { threads: 3 }] {
+        let strategies: &[PushStrategy] = match exec {
+            ExecMode::Serial => &[PushStrategy::Grid],
+            ExecMode::Parallel { .. } => &[PushStrategy::Scan, PushStrategy::Grid],
+        };
+        for &push in strategies {
+            for repr in [FrontierRepr::List, FrontierRepr::Bitmap] {
+                out.push((
+                    format!("{}/{}/{}", exec.label(), repr.label(), push.label()),
+                    EngineConfig::default()
+                        .with_exec(exec)
+                        .with_frontier(repr)
+                        .with_push(push),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn rmat_graph() -> Graph {
+    Graph::directed_from_edges(Rmat::gtgraph(11, 8).generate(5))
+}
+
+fn weighted_rmat_graph() -> Graph {
+    Graph::directed_from_edges(weights::assign_default_weights(
+        &Rmat::gtgraph(11, 8).generate(5),
+        9,
+    ))
+}
+
+/// N plain threads × M queries each, all over ONE bound graph — the
+/// exact usage the pre-fix session API forbade (`RefCell` thread
+/// confinement). Every result must match a solo baseline bit for bit.
+#[test]
+fn thread_fanout_is_bit_equal_to_solo_baselines() {
+    let _guard = lock();
+    const THREADS: usize = 4;
+    let g = weighted_rmat_graph();
+    let seeds: Vec<u32> = vec![0, 5, 9, 0, 13, 2];
+    for (label, cfg) in config_matrix() {
+        let baselines: Vec<_> = seeds
+            .iter()
+            .map(|&s| solo(&Sssp::new, s, &g, &cfg))
+            .collect();
+        let runtime = Runtime::new(cfg.clone()).expect("runtime");
+        let bound = runtime.bind(&g);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let (bound, seeds, baselines, label) = (&bound, &seeds, &baselines, &label);
+                scope.spawn(move || {
+                    // Stagger the seed order per thread so concurrent
+                    // queries overlap different workloads.
+                    for i in 0..seeds.len() {
+                        let at = (i + t) % seeds.len();
+                        let got = fingerprint(
+                            bound
+                                .run(Sssp::new(seeds[at]))
+                                .execute()
+                                .expect("concurrent run"),
+                        );
+                        assert_eq!(
+                            got, baselines[at],
+                            "{label}: thread {t} seed {} diverged under concurrency",
+                            seeds[at]
+                        );
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The `QueryPool` front-end serves the same bits: every outcome in
+/// the report equals the solo baseline of its seed, every ticket slot
+/// is filled in order, and the closed loop accounts its batching.
+#[test]
+fn query_pool_serves_bit_equal_outcomes() {
+    let _guard = lock();
+    let g = rmat_graph();
+    let seeds: Vec<u32> = vec![0, 3, 7, 11, 0, 5, 9, 2];
+    for (label, cfg) in config_matrix() {
+        let baselines: Vec<_> = seeds
+            .iter()
+            .map(|&s| solo(&Bfs::new, s, &g, &cfg))
+            .collect();
+        let runtime = Runtime::new(cfg.clone()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let report = QueryPool::serve(
+            &bound,
+            Bfs::new(0),
+            ServiceConfig::default().workers(3).batch_max(2),
+            |client| {
+                for &seed in &seeds {
+                    let ticket = client.submit(QueryRequest::new(seed))?;
+                    assert!(ticket.index() < seeds.len());
+                }
+                Ok(())
+            },
+        )
+        .expect("serve");
+        assert_eq!(report.outcomes.len(), seeds.len(), "{label}");
+        assert_eq!(report.completed(), seeds.len(), "{label}");
+        assert!(report.batches as usize <= seeds.len(), "{label}");
+        assert!(report.queries_per_sec() > 0.0, "{label}");
+        assert!(report.latency_percentile(99.0) >= report.latency_percentile(50.0));
+        for (i, (outcome, baseline)) in report.outcomes.iter().zip(&baselines).enumerate() {
+            assert_eq!(outcome.seed, seeds[i], "{label}: ticket order broken");
+            let got = outcome.result.as_ref().expect("served query");
+            assert_eq!(
+                (&got.meta, got.report.iterations, &got.report.log),
+                (&baseline.meta, baseline.iterations, &baseline.log),
+                "{label}: served seed {} diverged from solo baseline",
+                seeds[i]
+            );
+        }
+    }
+}
+
+/// Supervision is per query: a pre-cancelled token and a zero deadline
+/// abort exactly their own queries — typed, with progress — while the
+/// clean peers in the same serve call stay bit-equal.
+#[test]
+fn cancellation_and_deadlines_abort_only_their_own_query() {
+    let _guard = lock();
+    let g = rmat_graph();
+    let cfg = EngineConfig::default().with_exec(ExecMode::Parallel { threads: 2 });
+    let baseline = solo(&Bfs::new, 0, &g, &cfg);
+    let runtime = Runtime::new(cfg).expect("runtime");
+    let bound = runtime.bind(&g);
+    let doomed = CancelToken::new();
+    doomed.cancel();
+    let report = QueryPool::serve(
+        &bound,
+        Bfs::new(0),
+        ServiceConfig::default().workers(2),
+        |client| {
+            client.submit(QueryRequest::new(0))?;
+            client.submit(QueryRequest::new(0).cancel_token(doomed.clone()))?;
+            client.submit(QueryRequest::new(0).deadline(Duration::ZERO))?;
+            client.submit(QueryRequest::new(0))?;
+            Ok(())
+        },
+    )
+    .expect("serve");
+    assert_eq!(report.outcomes.len(), 4);
+    match &report.outcomes[1].result {
+        Err(SimdxError::Cancelled { .. }) => {}
+        other => panic!("cancelled query: {other:?}"),
+    }
+    match &report.outcomes[2].result {
+        Err(SimdxError::DeadlineExceeded { .. }) => {}
+        other => panic!("deadline query: {other:?}"),
+    }
+    for &clean in &[0usize, 3] {
+        let got = report.outcomes[clean].result.as_ref().expect("clean peer");
+        assert_eq!(
+            (&got.meta, got.report.iterations, &got.report.log),
+            (&baseline.meta, baseline.iterations, &baseline.log),
+            "peer #{clean} was disturbed by a neighbouring abort"
+        );
+    }
+    // The session is untouched: the same seed still serves bit-equal.
+    let after = fingerprint(bound.run(Bfs::new(0)).execute().expect("after"));
+    assert_eq!(after, baseline);
+}
+
+/// A BFS-by-levels program whose `init` parks on a shared gate: while
+/// one query holds the lone serving thread, the bounded queue fills
+/// deterministically. Results are plain BFS levels, so the admitted
+/// queries still have an exact expected answer.
+#[derive(Clone)]
+struct GatedLevels {
+    src: VertexId,
+    entered: Arc<AtomicBool>,
+    release: Arc<AtomicBool>,
+}
+
+impl AccProgram for GatedLevels {
+    type Meta = u32;
+    type Update = u32;
+    fn name(&self) -> &'static str {
+        "gated-levels"
+    }
+    fn combine_kind(&self) -> CombineKind {
+        CombineKind::Vote
+    }
+    fn init(&self, g: &Graph) -> (Vec<u32>, Vec<VertexId>) {
+        self.entered.store(true, Ordering::SeqCst);
+        while !self.release.load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+        }
+        let mut m = vec![u32::MAX; g.num_vertices() as usize];
+        m[self.src as usize] = 0;
+        (m, vec![self.src])
+    }
+    fn compute(&self, _s: VertexId, _d: VertexId, _w: Weight, ms: &u32, md: &u32) -> Option<u32> {
+        (*ms != u32::MAX && *md == u32::MAX).then(|| ms + 1)
+    }
+    fn combine(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+    fn apply(&self, _v: VertexId, c: &u32, u: u32) -> Option<u32> {
+        (u < *c).then_some(u)
+    }
+}
+
+impl SourcedProgram for GatedLevels {
+    fn with_source(mut self, src: VertexId) -> Self {
+        self.src = src;
+        self
+    }
+}
+
+/// [`AdmissionPolicy::Reject`] sheds load deterministically: with one
+/// serving thread parked on the gate and a depth-1 queue already
+/// holding a request, every further submission is `Overloaded` — and
+/// the two admitted queries still complete exactly.
+#[test]
+fn reject_admission_sheds_load_without_corrupting_admitted_queries() {
+    let _guard = lock();
+    let g = rmat_graph();
+    let entered = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let program = GatedLevels {
+        src: 0,
+        entered: entered.clone(),
+        release: release.clone(),
+    };
+    let runtime = Runtime::new(EngineConfig::default()).expect("runtime");
+    let bound = runtime.bind(&g);
+    let baseline = fingerprint({
+        release.store(true, Ordering::SeqCst);
+        let r = bound.run(program.clone()).execute().expect("baseline");
+        release.store(false, Ordering::SeqCst);
+        entered.store(false, Ordering::SeqCst);
+        r
+    });
+    let report = QueryPool::serve(
+        &bound,
+        program,
+        ServiceConfig::default()
+            .workers(1)
+            .queue_depth(1)
+            .batch_max(1)
+            .admission(AdmissionPolicy::Reject),
+        |client| {
+            // First query: picked up by the lone serving thread, which
+            // parks on the gate inside `init`.
+            client.submit(QueryRequest::new(0))?;
+            while !entered.load(Ordering::SeqCst) {
+                std::hint::spin_loop();
+            }
+            // Second query: admitted into the depth-1 queue.
+            let queued = client.submit(QueryRequest::new(0))?;
+            assert_eq!(queued.index(), 1);
+            assert_eq!(client.queued(), 1);
+            // Every further submission must shed.
+            for _ in 0..3 {
+                match client.submit(QueryRequest::new(0)) {
+                    Err(SimdxError::Overloaded { capacity: 1 }) => {}
+                    other => panic!("expected Overloaded, got {other:?}"),
+                }
+            }
+            release.store(true, Ordering::SeqCst);
+            Ok(())
+        },
+    )
+    .expect("serve");
+    // Exactly the two admitted queries ran, both bit-equal.
+    assert_eq!(report.outcomes.len(), 2);
+    for outcome in &report.outcomes {
+        let got = outcome.result.as_ref().expect("admitted query");
+        assert_eq!(
+            (&got.meta, got.report.iterations, &got.report.log),
+            (&baseline.meta, baseline.iterations, &baseline.log),
+            "admitted query diverged after load shedding"
+        );
+    }
+}
+
+/// A worker panic injected mid-stream (`--features fault-inject`)
+/// fails exactly one query with a typed error, poisons only that
+/// query's leased pool, leaves every concurrent peer bit-equal, and
+/// the session serves the failed seed cleanly on the next call.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn injected_worker_panic_spares_concurrent_peers() {
+    use simdx::core::fault::{self, FaultPlan, FaultSite};
+
+    let _guard = lock();
+    let g = rmat_graph();
+    // Parallel push, pinned: the armed site is on every query's path.
+    let cfg = EngineConfig::default()
+        .with_exec(ExecMode::Parallel { threads: 3 })
+        .with_direction(DirectionPolicy::FixedPush);
+    let baseline = solo(&Bfs::new, 0, &g, &cfg);
+    let runtime = Runtime::new(cfg).expect("runtime");
+    let bound = runtime.bind(&g);
+    let report = {
+        // `panic_on` fires exactly once process-wide, on whichever
+        // serving thread reaches the push sweep first.
+        let _armed = fault::install(FaultPlan::new().panic_on(FaultSite::Push));
+        QueryPool::serve(
+            &bound,
+            Bfs::new(0),
+            ServiceConfig::default().workers(3).batch_max(2),
+            |client| {
+                for _ in 0..9 {
+                    client.submit(QueryRequest::new(0))?;
+                }
+                Ok(())
+            },
+        )
+        .expect("serve survives an injected panic")
+    };
+    assert_eq!(report.outcomes.len(), 9);
+    let mut panics = 0;
+    for outcome in &report.outcomes {
+        match &outcome.result {
+            Err(SimdxError::WorkerPanicked { payload, .. }) => {
+                assert!(payload.contains("injected"), "payload: {payload}");
+                panics += 1;
+            }
+            Ok(got) => assert_eq!(
+                (&got.meta, got.report.iterations, &got.report.log),
+                (&baseline.meta, baseline.iterations, &baseline.log),
+                "peer of the panicked query diverged"
+            ),
+            Err(other) => panic!("unexpected error beside the panic: {other:?}"),
+        }
+    }
+    assert_eq!(panics, 1, "the single armed fault must fail one query");
+    // The poisoned pool was discarded at lease check-in; the very next
+    // query over the same session is clean and bit-equal.
+    let after = fingerprint(bound.run(Bfs::new(0)).execute().expect("rerun"));
+    assert_eq!(after, baseline);
+}
