@@ -23,8 +23,12 @@
 //! workload ×4 pushed through a [`QueryPool`] at several serving
 //! widths with per-query supervision armed (live cancel token plus a
 //! far submission-measured deadline), reporting queries/sec and
-//! p50/p99 submission-to-completion latency per concurrency level
-//! (schema v7; every sample carries an `api` field: `fresh` = a new
+//! p50/p99 submission-to-completion latency per concurrency level.
+//! A seventh group, `resilience`, A/Bs the same serving batch with
+//! checkpoint capture off vs armed on every query
+//! ([`ServiceConfig::checkpoint_aborts`]), pinning the cost of
+//! keeping every in-flight query resumable ≤ 5%
+//! (schema v8; every sample carries an `api` field: `fresh` = a new
 //! runtime per query, `bound` = queries over one bound session).
 //!
 //! Usage:
@@ -488,10 +492,78 @@ fn main() {
         }
     }
 
+    // Checkpoint-capture overhead A/B (the resilience acceptance
+    // measurement): the same rmat14 serving batch pushed through
+    // `QueryPool::serve` twice — once on the default zero-overhead
+    // path and once with `checkpoint_aborts(true)`, which arms the
+    // per-iteration boundary snapshot (frontier + metadata + log
+    // clone) on every query even though nothing aborts. The delta is
+    // the entire cost of keeping every in-flight query resumable; the
+    // reference pin is overhead_pct <= 5 on this workload. Like the
+    // supervision A/B, the delta is sub-ms on a narrow host, so this
+    // group takes more best-of reps than the coarse A/Bs need.
+    struct ResilRow {
+        workers: usize,
+        queries: usize,
+        plain_ms: f64,
+        armed_ms: f64,
+    }
+    let resil_reps = args.reps.max(9);
+    let mut resil_rows: Vec<ResilRow> = Vec::new();
+    {
+        let runtime = Runtime::new(EngineConfig::default()).expect("runtime");
+        let bound = runtime.bind(&rmat14);
+        for workers in [1usize, 2] {
+            let serve_batch = |svc: ServiceConfig| -> f64 {
+                let report = QueryPool::serve(&bound, Bfs::new(0), svc, |client| {
+                    for &s in &serve_seeds {
+                        client.submit(QueryRequest::new(s))?;
+                    }
+                    Ok(())
+                })
+                .expect("serve");
+                assert_eq!(
+                    report.completed(),
+                    serve_seeds.len(),
+                    "resilience A/B must complete every query"
+                );
+                report.elapsed.as_secs_f64() * 1e3
+            };
+            let mut plain_best = f64::INFINITY;
+            let mut armed_best = f64::INFINITY;
+            for _ in 0..resil_reps {
+                let base = ServiceConfig::default().workers(workers);
+                plain_best = plain_best.min(serve_batch(base));
+                armed_best = armed_best.min(serve_batch(base.checkpoint_aborts(true)));
+            }
+            let overhead = if plain_best > 0.0 {
+                (armed_best - plain_best) / plain_best * 1e2
+            } else {
+                0.0
+            };
+            eprintln!(
+                "resilience × {workers} worker(s)  off {plain_best:>9.2} ms, armed \
+                 {armed_best:>9.2} ms ({overhead:+.2}%)",
+            );
+            if overhead > 5.0 {
+                eprintln!(
+                    "  WARN: checkpoint-capture overhead {overhead:.2}% exceeds the 5% \
+                     reference pin (noisy host or a regression in the capture path)"
+                );
+            }
+            resil_rows.push(ResilRow {
+                workers,
+                queries: serve_seeds.len(),
+                plain_ms: plain_best,
+                armed_ms: armed_best,
+            });
+        }
+    }
+
     // Hand-rolled JSON (the workspace builds without a registry; see
     // crates/compat/README.md).
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"simdx-bench-engine/7\",\n");
+    out.push_str("{\n  \"schema\": \"simdx-bench-engine/8\",\n");
     let _ = writeln!(out, "  \"scale\": {},", args.scale);
     let _ = writeln!(out, "  \"reps\": {},", args.reps);
     let _ = writeln!(
@@ -778,6 +850,34 @@ fn main() {
             row.batches
         );
         out.push_str(if i + 1 < serve_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
+
+    // The checkpointing-off-vs-armed serving A/B: overhead_pct is the
+    // whole cost of per-iteration boundary capture on the reference
+    // serving batch (pin: <= 5).
+    out.push_str("  \"resilience\": [\n");
+    for (i, row) in resil_rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"algorithm\": \"bfs\", \"graph\": \"rmat14\", \"queries\": {}, \
+             \"workers\": {}, \"checkpoints_off_ms\": {:.3}, \"checkpoints_armed_ms\": {:.3}, \
+             \"overhead_pct\": {:.3}}}",
+            row.queries,
+            row.workers,
+            row.plain_ms,
+            row.armed_ms,
+            if row.plain_ms > 0.0 {
+                (row.armed_ms - row.plain_ms) / row.plain_ms * 1e2
+            } else {
+                0.0
+            }
+        );
+        out.push_str(if i + 1 < resil_rows.len() {
             ",\n"
         } else {
             "\n"

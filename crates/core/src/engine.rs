@@ -94,6 +94,7 @@
 //! splits a chunk.
 
 use crate::acc::{AccProgram, CombineKind, DirectionCtx};
+use crate::checkpoint::RunCheckpoint;
 use crate::config::{DirectionPolicy, EngineConfig, FrontierRepr, MetadataLayout, PushStrategy};
 use crate::error::SimdxError;
 use crate::fault::{self, FaultSite};
@@ -120,7 +121,7 @@ use simdx_graph::{Graph, VertexId, Weight};
 /// queries — the pool outlives runs, the scratch arenas are reused, the
 /// push fences are computed once at bind time. The deprecated one-shot
 /// [`Engine::run`] materializes them fresh per call.
-pub(crate) struct SessionCtx<'a, 'o, M: 'static> {
+pub(crate) struct SessionCtx<'a, 'o, M: Copy + 'static> {
     /// Worker pool backing `ExecMode::Parallel` (`None` = serial path).
     pub pool: Option<&'a WorkerPool>,
     /// Reusable scratch arenas; worker slots must match the pool width.
@@ -145,6 +146,15 @@ pub(crate) struct SessionCtx<'a, 'o, M: 'static> {
     /// unlimited supervisor makes every check a cheap early-out, so
     /// unsupervised runs pay nothing measurable.
     pub supervisor: &'a Supervisor,
+    /// Checkpoint slot: when `Some`, the engine overwrites the slot
+    /// with a boundary snapshot at the top of every iteration. The
+    /// slot lives in the *caller's* frame, outside any panic guard, so
+    /// the last snapshot survives a contained worker panic.
+    pub checkpoint: Option<&'a mut Option<RunCheckpoint<M>>>,
+    /// Resume state: when `Some`, initialization restores this
+    /// snapshot instead of calling `program.init`, and the run
+    /// continues bit-equally from its boundary.
+    pub resume: Option<RunCheckpoint<M>>,
 }
 
 /// The one-shot SIMD-X engine: a program, a graph and a configuration.
@@ -225,6 +235,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             max_iterations,
             mut observer,
             supervisor,
+            checkpoint: mut ckpt_slot,
+            resume,
         } = ctx;
         let n = graph.num_vertices() as usize;
         let num_edges = graph.num_edges();
@@ -276,17 +288,54 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         }
         let layout = config.layout;
 
-        let (init_meta, mut frontier) = program.init(graph);
-        assert_eq!(
-            init_meta.len(),
-            n,
-            "init must produce one metadata per vertex"
-        );
-        let mut curr = MetadataStore::from_vec(layout, init_meta);
+        // Fresh runs initialize from the program; resumed runs restore
+        // the boundary snapshot verbatim — metadata, frontier, log,
+        // simulated-cycle counters and fusion launch residency — so the
+        // continuation is bit-equal to the uninterrupted run.
+        let (mut curr, mut frontier, mut log, mut prev_dir, mut iteration, init_edges) =
+            match resume {
+                Some(cp) => {
+                    fault::hit(FaultSite::Restore);
+                    debug_assert_eq!(
+                        cp.num_vertices as usize, n,
+                        "resume validated against the wrong graph"
+                    );
+                    debug_assert_eq!(
+                        cp.meta.layout(),
+                        layout,
+                        "resume validated against the wrong layout"
+                    );
+                    executor.restore_stats(cp.stats);
+                    plan.restore_launch_state(cp.fusion.0, cp.fusion.1);
+                    (
+                        cp.meta,
+                        cp.frontier,
+                        cp.log,
+                        cp.prev_dir,
+                        cp.iteration,
+                        cp.edges_examined,
+                    )
+                }
+                None => {
+                    let (init_meta, frontier) = program.init(graph);
+                    assert_eq!(
+                        init_meta.len(),
+                        n,
+                        "init must produce one metadata per vertex"
+                    );
+                    (
+                        MetadataStore::from_vec(layout, init_meta),
+                        frontier,
+                        ActivationLog::default(),
+                        Direction::Push,
+                        0u32,
+                        0u64,
+                    )
+                }
+            };
+        // At a boundary `prev == curr` (the publish step just ran), so
+        // one snapshot copy restores both stores on resume.
         let mut prev = curr.clone();
-        let mut log = ActivationLog::default();
-        let mut prev_dir = Direction::Push;
-        let mut iteration = 0u32;
         // Bitmap mode's worklist drain: when the previous iteration's
         // online filter left the next frontier in the thread bins,
         // this flag redirects every frontier consumer to
@@ -297,8 +346,9 @@ impl<'g, P: AccProgram> Engine<'g, P> {
         // traverse (push scatters, pull gathers). Deliberately outside
         // the bit-equality contract — it is how the tests pin the
         // scan strategy's threads× redundancy and the grid strategy's
-        // work-optimality.
-        let mut edges_examined = 0u64;
+        // work-optimality. A resumed run continues the checkpoint's
+        // meter so the final report matches the uninterrupted run.
+        let mut edges_examined = init_edges;
 
         loop {
             let frontier_len = if frontier_in_bins {
@@ -308,6 +358,61 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             };
             if frontier_len == 0 || program.converged(iteration, frontier_len, curr.as_slice()) {
                 break;
+            }
+            // Boundary capture: overwrite the caller's slot with a
+            // complete snapshot of this iteration's start. Placed
+            // *before* the iteration-limit check and the supervision
+            // boundary so every abort that can fire this iteration —
+            // limit, cancel, deadline, budget, or a panic mid-sweep —
+            // leaves the slot resumable. A bins-resident frontier is
+            // materialized in concatenation order (its concatenation
+            // costs were charged when the bins were filled, so the
+            // resumed list-resident replay stays bit-equal).
+            if let Some(slot) = ckpt_slot.as_deref_mut() {
+                fault::hit(FaultSite::Capture);
+                match slot {
+                    // Steady state: overwrite last iteration's snapshot
+                    // in place, reusing its metadata / frontier / log
+                    // allocations — captures after the first cost a few
+                    // memcpys, no allocator traffic.
+                    Some(cp)
+                        if cp.meta.layout() == curr.layout() && cp.meta.len() == curr.len() =>
+                    {
+                        cp.meta.as_mut_slice().copy_from_slice(curr.as_slice());
+                        cp.frontier.clear();
+                        if frontier_in_bins {
+                            bins.for_each_entry(|v| cp.frontier.push(v));
+                        } else {
+                            cp.frontier.extend_from_slice(&frontier);
+                        }
+                        cp.log.clone_from(&log);
+                        cp.prev_dir = prev_dir;
+                        cp.iteration = iteration;
+                        cp.edges_examined = edges_examined;
+                        cp.stats = executor.stats().clone();
+                        cp.fusion = plan.launch_state();
+                    }
+                    _ => {
+                        let mut snap_frontier = Vec::with_capacity(frontier_len as usize);
+                        if frontier_in_bins {
+                            bins.for_each_entry(|v| snap_frontier.push(v));
+                        } else {
+                            snap_frontier.extend_from_slice(&frontier);
+                        }
+                        *slot = Some(RunCheckpoint {
+                            algorithm: program.name().to_string(),
+                            num_vertices: n as u32,
+                            meta: curr.clone(),
+                            frontier: snap_frontier,
+                            log: log.clone(),
+                            prev_dir,
+                            iteration,
+                            edges_examined,
+                            stats: executor.stats().clone(),
+                            fusion: plan.launch_state(),
+                        });
+                    }
+                }
             }
             if iteration >= max_iterations {
                 return Err(SimdxError::IterationLimit { max_iterations });
@@ -821,8 +926,12 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             // Second supervision boundary: the compute sweeps poll the
             // token/deadline and bail out mid-list, so re-checking here
             // turns an in-sweep trip into the typed abort before the
-            // filter stage consumes the partial bins.
-            if let Some(reason) = supervisor.check_boundary(executor.stats().total_cycles) {
+            // filter stage consumes the partial bins. The cycle budget
+            // is *not* re-checked mid-iteration: budget aborts fire
+            // only at the top-of-iteration boundary, where the capture
+            // above just snapshotted, so a resumed run always clears
+            // the iteration it replays before the budget can re-trip.
+            if let Some(reason) = supervisor.check_mid_iteration() {
                 return Err(supervisor.abort_error(reason, iteration, edges_examined));
             }
 

@@ -97,6 +97,24 @@ pub enum SimdxError {
         /// The queue capacity that was exhausted
         /// ([`crate::service::ServiceConfig::queue_depth`]).
         capacity: usize,
+        /// Queue occupancy observed at rejection. Always equals
+        /// `capacity` today (a submission is only rejected when the
+        /// queue is full), but carried separately so producers can
+        /// implement informed backoff without hard-coding that
+        /// equality.
+        depth: usize,
+    },
+    /// The [`crate::service::QueryPool`]'s circuit breaker is open
+    /// after too many consecutive worker panics
+    /// ([`crate::service::ServiceConfig::breaker_threshold`]): the
+    /// submission was shed without being admitted. Unlike
+    /// [`Self::Overloaded`] this is not a capacity signal — the
+    /// service is refusing work to protect itself while it probes its
+    /// way back to health.
+    Unavailable {
+        /// How long until the breaker half-opens and admits a probe —
+        /// the producer's backoff hint.
+        retry_after: std::time::Duration,
     },
 }
 
@@ -154,9 +172,13 @@ impl std::fmt::Display for SimdxError {
             Self::WorkerPanicked { worker, payload } => {
                 write!(f, "engine worker {worker} panicked: {payload}")
             }
-            Self::Overloaded { capacity } => write!(
+            Self::Overloaded { capacity, depth } => write!(
                 f,
-                "service overloaded: submission queue at capacity {capacity}"
+                "service overloaded: submission queue at capacity {capacity} (depth {depth})"
+            ),
+            Self::Unavailable { retry_after } => write!(
+                f,
+                "service unavailable: circuit breaker open, retry after {retry_after:?}"
             ),
         }
     }
@@ -284,8 +306,17 @@ mod tests {
                 "engine worker 2 panicked: index out of bounds",
             ),
             (
-                SimdxError::Overloaded { capacity: 64 },
-                "service overloaded: submission queue at capacity 64",
+                SimdxError::Overloaded {
+                    capacity: 64,
+                    depth: 64,
+                },
+                "service overloaded: submission queue at capacity 64 (depth 64)",
+            ),
+            (
+                SimdxError::Unavailable {
+                    retry_after: std::time::Duration::from_millis(250),
+                },
+                "service unavailable: circuit breaker open, retry after 250ms",
             ),
         ];
         for (err, needle) in cases {

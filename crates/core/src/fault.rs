@@ -7,7 +7,8 @@
 //! With the feature enabled, [`install`] arms a [`FaultPlan`] that
 //! fires panics or delays at named [`FaultSite`]s the engine passes
 //! through ([`hit`] calls are baked into the ballot filter, the push
-//! and pull sweeps, the bind-time grid build, and the scratch reset).
+//! and pull sweeps, the bind-time grid build, the scratch reset, and
+//! the checkpoint capture/restore path).
 //! Panics fired inside pool workers exercise the containment path in
 //! `par.rs`; panics fired on the submitter thread exercise the
 //! `catch_unwind` in `session.rs`. `tests/fault_injection.rs` drives
@@ -38,10 +39,14 @@ pub enum FaultSite {
     GridBuild,
     /// `IterScratch::reset_for_run` at `execute()` entry.
     ScratchReset,
+    /// The boundary checkpoint capture in `Engine::run_session`.
+    Capture,
+    /// The checkpoint restore at resumed-run initialization.
+    Restore,
 }
 
 /// Number of distinct [`FaultSite`]s (per-site hit counters).
-const NUM_SITES: usize = 5;
+const NUM_SITES: usize = 7;
 
 impl FaultSite {
     fn index(self) -> usize {
@@ -51,6 +56,8 @@ impl FaultSite {
             Self::Pull => 2,
             Self::GridBuild => 3,
             Self::ScratchReset => 4,
+            Self::Capture => 5,
+            Self::Restore => 6,
         }
     }
 
@@ -62,6 +69,8 @@ impl FaultSite {
             Self::Pull => "pull",
             Self::GridBuild => "grid-build",
             Self::ScratchReset => "scratch-reset",
+            Self::Capture => "capture",
+            Self::Restore => "restore",
         }
     }
 
@@ -72,6 +81,8 @@ impl FaultSite {
             "pull" => Some(Self::Pull),
             "grid-build" => Some(Self::GridBuild),
             "scratch-reset" => Some(Self::ScratchReset),
+            "capture" => Some(Self::Capture),
+            "restore" => Some(Self::Restore),
             _ => None,
         }
     }
@@ -187,7 +198,7 @@ mod enabled {
                 let site = FaultSite::parse(site).ok_or_else(|| {
                     format!(
                         "SIMDX_FAULTS entry `{entry}`: unknown site `{site}` \
-                         (expected ballot|push|pull|grid-build|scratch-reset)"
+                         (expected ballot|push|pull|grid-build|scratch-reset|capture|restore)"
                     )
                 })?;
                 let (action, nth) = match action.split_once('@') {

@@ -161,6 +161,19 @@ impl FusionPlan {
     pub fn uses_global_barrier(&self) -> bool {
         !matches!(self.strategy, FusionStrategy::None)
     }
+
+    /// Launch-residency state `(running, all_launched)`, captured by
+    /// the engine's checkpoint path so a resumed run charges launches
+    /// exactly where the uninterrupted run would have.
+    pub(crate) fn launch_state(&self) -> (Option<Direction>, bool) {
+        (self.running, self.all_launched)
+    }
+
+    /// Restores launch-residency state captured by [`Self::launch_state`].
+    pub(crate) fn restore_launch_state(&mut self, running: Option<Direction>, all_launched: bool) {
+        self.running = running;
+        self.all_launched = all_launched;
+    }
 }
 
 #[cfg(test)]

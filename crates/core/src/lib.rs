@@ -78,6 +78,7 @@
 //! ```
 
 pub mod acc;
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -97,6 +98,7 @@ pub mod session;
 pub mod supervise;
 
 pub use acc::{AccProgram, CombineKind, DirectionCtx, SourcedProgram};
+pub use checkpoint::{RunAborted, RunCheckpoint};
 pub use config::{
     DegradePolicy, DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr,
     MetadataLayout, PushStrategy,
@@ -114,15 +116,16 @@ pub use metadata::MetadataStore;
 pub use metrics::{RunReport, RunResult};
 pub use par::WorkerPanic;
 pub use service::{
-    AdmissionPolicy, QueryClient, QueryPool, QueryRequest, QueryTicket, ServeOutcome, ServeReport,
-    ServiceConfig,
+    AdmissionPolicy, CloseMode, QueryClient, QueryPool, QueryRequest, QueryTicket, RetryPolicy,
+    ServeOutcome, ServeReport, ServiceConfig,
 };
-pub use session::{BoundGraph, RunBuilder, Runtime};
+pub use session::{BoundGraph, ResumableRunBuilder, RunBuilder, Runtime, SeedOutcome};
 pub use supervise::{AbortReason, CancelToken, RunProgress};
 
 /// Convenience re-exports for programs and harnesses.
 pub mod prelude {
     pub use crate::acc::{AccProgram, CombineKind, DirectionCtx, SourcedProgram};
+    pub use crate::checkpoint::{RunAborted, RunCheckpoint};
     pub use crate::config::{
         DegradePolicy, DirectionPolicy, EngineConfig, ExecMode, FilterPolicy, FrontierRepr,
         MetadataLayout, PushStrategy,
@@ -136,8 +139,9 @@ pub mod prelude {
     pub use crate::metadata::MetadataStore;
     pub use crate::metrics::{RunReport, RunResult};
     pub use crate::service::{
-        AdmissionPolicy, QueryPool, QueryRequest, ServeReport, ServiceConfig,
+        AdmissionPolicy, CloseMode, QueryPool, QueryRequest, RetryPolicy, ServeReport,
+        ServiceConfig,
     };
-    pub use crate::session::{BoundGraph, RunBuilder, Runtime};
+    pub use crate::session::{BoundGraph, ResumableRunBuilder, RunBuilder, Runtime, SeedOutcome};
     pub use crate::supervise::{AbortReason, CancelToken, RunProgress};
 }

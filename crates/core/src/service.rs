@@ -115,11 +115,12 @@ use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::acc::SourcedProgram;
+use crate::checkpoint::RunCheckpoint;
 use crate::error::SimdxError;
 use crate::metrics::RunResult;
 use crate::scratch::IterScratch;
 use crate::session::BoundGraph;
-use crate::supervise::{CancelToken, Supervisor};
+use crate::supervise::{CancelToken, RunProgress, Supervisor};
 use simdx_graph::VertexId;
 
 /// What [`QueryClient::submit`] does when the submission queue is at
@@ -133,6 +134,73 @@ pub enum AdmissionPolicy {
     /// Fail the submission with [`SimdxError::Overloaded`] — load
     /// shedding; the query is never admitted and gets no ticket.
     Reject,
+}
+
+/// How many times a serving thread attempts one query, and how long it
+/// waits between attempts.
+///
+/// Attempts after the first *resume from the query's last boundary
+/// checkpoint* ([`RunCheckpoint`]) rather than restarting, so a
+/// deadline set 1 ms too tight costs one iteration of progress, not
+/// the whole run. Retryable aborts are the transient ones —
+/// [`SimdxError::WorkerPanicked`], [`SimdxError::DeadlineExceeded`]
+/// and [`SimdxError::BudgetExhausted`]; a cancellation
+/// ([`SimdxError::Cancelled`]) is the caller's decision and is never
+/// retried. On a retried attempt the deadline allowance is granted
+/// fresh from the attempt's start and the cycle budget is granted on
+/// top of the checkpoint's spent cycles — otherwise the retry would
+/// re-trip at the same boundary it just aborted at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per query, first included. `1` (the default)
+    /// disables retries *and* the per-query checkpoint capture — the
+    /// zero-overhead path.
+    pub max_attempts: u32,
+    /// Base wait before the second attempt; doubles per further
+    /// attempt (attempt `k` waits `backoff × 2^(k-2)`). Zero (the
+    /// default) retries immediately.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Builder: total attempts per query (≥ 1).
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Builder: base backoff before the second attempt (doubles per
+    /// further attempt).
+    pub fn backoff(mut self, base: Duration) -> Self {
+        self.backoff = base;
+        self
+    }
+}
+
+/// How [`QueryClient::close`] shuts the pool down.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CloseMode {
+    /// Stop admitting, finish everything already admitted (the same
+    /// drain `serve` performs when the producer returns).
+    #[default]
+    Drain,
+    /// Stop admitting *and* stop working: in-flight queries abort at
+    /// their next supervision check (as [`SimdxError::Cancelled`],
+    /// carrying their boundary checkpoint when
+    /// [`ServiceConfig::checkpoint_aborts`] or a multi-attempt
+    /// [`RetryPolicy`] armed capture), and queued-but-unserved queries
+    /// come back as zero-progress cancellations. Every admitted ticket
+    /// still gets an outcome.
+    Abort,
 }
 
 /// Knobs for one [`QueryPool::serve`] call.
@@ -150,17 +218,37 @@ pub struct ServiceConfig {
     pub batch_max: usize,
     /// Reaction to a full queue at submit time.
     pub admission: AdmissionPolicy,
+    /// Per-query retry-with-resume policy. The default single attempt
+    /// keeps serving on the zero-capture-overhead path.
+    pub retry: RetryPolicy,
+    /// Consecutive final-outcome worker panics that open the circuit
+    /// breaker. `0` (the default) disables the breaker entirely.
+    pub breaker_threshold: u32,
+    /// How long an open breaker sheds before half-opening to admit a
+    /// single probe query.
+    pub breaker_cooldown: Duration,
+    /// Arm boundary checkpointing even without retries, so every
+    /// aborted outcome carries its [`RunCheckpoint`] back to the
+    /// submitter ([`ServeOutcome::checkpoint`]) — the abort-mode
+    /// shutdown's hand-back, or manual resume via
+    /// [`crate::session::BoundGraph::resume`]. Off by default: capture
+    /// costs one metadata copy per iteration.
+    pub checkpoint_aborts: bool,
 }
 
 impl Default for ServiceConfig {
     /// Two serving threads, a 64-deep queue, batches of up to 8,
-    /// blocking admission.
+    /// blocking admission; no retries, no breaker, no checkpointing.
     fn default() -> Self {
         Self {
             workers: 2,
             queue_depth: 64,
             batch_max: 8,
             admission: AdmissionPolicy::Block,
+            retry: RetryPolicy::default(),
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_millis(100),
+            checkpoint_aborts: false,
         }
     }
 }
@@ -190,6 +278,29 @@ impl ServiceConfig {
         self
     }
 
+    /// Builder: set the retry-with-resume policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder: enable the circuit breaker — open after `threshold`
+    /// consecutive worker-panic outcomes, shed with
+    /// [`SimdxError::Unavailable`] for `cooldown`, then half-open a
+    /// probe.
+    pub fn breaker(mut self, threshold: u32, cooldown: Duration) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Builder: arm checkpoint capture on every query so aborted
+    /// outcomes carry a resumable [`RunCheckpoint`].
+    pub fn checkpoint_aborts(mut self, arm: bool) -> Self {
+        self.checkpoint_aborts = arm;
+        self
+    }
+
     fn validate(&self) -> Result<(), SimdxError> {
         let fail = |reason: String| Err(SimdxError::InvalidConfig { reason });
         if self.workers == 0 {
@@ -201,7 +312,20 @@ impl ServiceConfig {
         if self.batch_max == 0 {
             return fail("service batch_max must be at least 1".to_string());
         }
+        if self.retry.max_attempts == 0 {
+            return fail("retry max_attempts must be at least 1 (1 = no retries)".to_string());
+        }
+        if self.breaker_threshold > 0 && self.breaker_cooldown.is_zero() {
+            return fail("breaker_cooldown must be non-zero when the breaker is armed".to_string());
+        }
         Ok(())
+    }
+
+    /// Whether serving arms the engine's per-iteration checkpoint
+    /// capture: explicitly requested, or implied by a multi-attempt
+    /// retry policy (a retry without a checkpoint is just a restart).
+    fn arms_checkpoints(&self) -> bool {
+        self.checkpoint_aborts || self.retry.max_attempts > 1
     }
 }
 
@@ -270,19 +394,31 @@ impl QueryTicket {
 
 /// The served result of one admitted query.
 #[derive(Clone, Debug)]
-pub struct ServeOutcome<M> {
+pub struct ServeOutcome<M: Copy> {
     /// The query's seed vertex.
     pub seed: VertexId,
     /// The run's result — bit-equal to a solo run of the same query —
     /// or its typed abort.
     pub result: Result<RunResult<M>, SimdxError>,
-    /// Submission-to-completion latency (queue wait included).
+    /// Submission-to-completion latency (queue wait included, retries
+    /// included).
     pub latency: Duration,
+    /// Serving attempts this query took (1 = served without retrying;
+    /// 0 never occurs for a served query — a queued query cancelled by
+    /// an abort-mode close reports 0 attempts).
+    pub attempts: u32,
+    /// The query's last boundary checkpoint when it aborted with
+    /// capture armed ([`ServiceConfig::checkpoint_aborts`] or a
+    /// multi-attempt [`RetryPolicy`] with attempts exhausted) — resume
+    /// it with [`crate::session::BoundGraph::resume`]. `None` on
+    /// success, with capture unarmed, or when the abort struck before
+    /// the first iteration boundary.
+    pub checkpoint: Option<RunCheckpoint<M>>,
 }
 
 /// Everything one [`QueryPool::serve`] call produced.
 #[derive(Clone, Debug)]
-pub struct ServeReport<M> {
+pub struct ServeReport<M: Copy> {
     /// One outcome per admitted ticket, in ticket order
     /// ([`QueryTicket::index`] indexes this). Rejected submissions
     /// ([`AdmissionPolicy::Reject`]) never got a ticket and do not
@@ -296,7 +432,7 @@ pub struct ServeReport<M> {
     pub elapsed: Duration,
 }
 
-impl<M> ServeReport<M> {
+impl<M: Copy> ServeReport<M> {
     /// Served queries that completed without an error.
     pub fn completed(&self) -> usize {
         self.outcomes.iter().filter(|o| o.result.is_ok()).count()
@@ -336,6 +472,22 @@ struct QueueState {
     queue: VecDeque<Entry>,
     next_ticket: usize,
     closed: bool,
+    /// Set by [`CloseMode::Abort`]: serving threads hand queued entries
+    /// back as zero-progress cancellations instead of running them.
+    aborted: bool,
+}
+
+/// The circuit breaker's mutable half. Closed (healthy) when
+/// `opened_at` is `None`; open (shedding) while `opened_at` is within
+/// the cooldown; half-open (one probe in flight) when `probing`.
+struct BreakerState {
+    /// Consecutive worker-panic final outcomes observed while closed.
+    consecutive: u32,
+    /// When the breaker last opened; `None` = closed.
+    opened_at: Option<Instant>,
+    /// A half-open probe query has been admitted and its outcome is
+    /// still pending; further submissions shed until it lands.
+    probing: bool,
 }
 
 /// The bounded submission queue shared by the producer and the serving
@@ -347,6 +499,14 @@ struct SharedQueue {
     not_full: Condvar,
     depth: usize,
     admission: AdmissionPolicy,
+    /// `Some` when [`ServiceConfig::breaker_threshold`] > 0.
+    breaker: Option<Mutex<BreakerState>>,
+    breaker_threshold: u32,
+    breaker_cooldown: Duration,
+    /// Pool-wide shutdown token; cancelled by [`CloseMode::Abort`] and
+    /// attached to every query's supervisor so in-flight runs abort at
+    /// their next supervision check.
+    shutdown: CancelToken,
 }
 
 impl SharedQueue {
@@ -357,6 +517,58 @@ impl SharedQueue {
     fn close(&self) {
         self.lock().closed = true;
         self.not_empty.notify_all();
+    }
+
+    /// Breaker gate at submit time: `Err(Unavailable)` sheds the
+    /// submission, `Ok(())` admits it (possibly as the half-open
+    /// probe).
+    fn breaker_admit(&self) -> Result<(), SimdxError> {
+        let Some(breaker) = &self.breaker else {
+            return Ok(());
+        };
+        let mut st = breaker.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(opened) = st.opened_at {
+            let elapsed = opened.elapsed();
+            if elapsed < self.breaker_cooldown {
+                return Err(SimdxError::Unavailable {
+                    retry_after: self.breaker_cooldown - elapsed,
+                });
+            }
+            // Cooled down: half-open. Admit exactly one probe; shed the
+            // rest until its outcome lands.
+            if st.probing {
+                return Err(SimdxError::Unavailable {
+                    retry_after: self.breaker_cooldown,
+                });
+            }
+            st.probing = true;
+        }
+        Ok(())
+    }
+
+    /// Feeds one query's *final* outcome (retries already exhausted or
+    /// not configured) into the breaker. Only worker panics count as
+    /// failures: supervision aborts and invalid queries say nothing
+    /// about service health.
+    fn breaker_record(&self, panicked: bool) {
+        let Some(breaker) = &self.breaker else {
+            return;
+        };
+        let mut st = breaker.lock().unwrap_or_else(PoisonError::into_inner);
+        if panicked {
+            st.consecutive += 1;
+            if st.probing || st.consecutive >= self.breaker_threshold {
+                // Threshold tripped, or the half-open probe died:
+                // (re)open for a fresh cooldown.
+                st.opened_at = Some(Instant::now());
+                st.probing = false;
+                st.consecutive = 0;
+            }
+        } else {
+            st.consecutive = 0;
+            st.opened_at = None;
+            st.probing = false;
+        }
     }
 }
 
@@ -369,17 +581,30 @@ impl QueryClient<'_> {
     /// Submits one query. Under [`AdmissionPolicy::Block`] this waits
     /// for queue space; under [`AdmissionPolicy::Reject`] a full queue
     /// fails with [`SimdxError::Overloaded`] and the query is never
-    /// admitted. On success the returned ticket indexes the query's
-    /// slot in [`ServeReport::outcomes`].
+    /// admitted. An open circuit breaker sheds the submission with
+    /// [`SimdxError::Unavailable`] before it touches the queue, and a
+    /// closed pool ([`Self::close`]) rejects it as
+    /// [`SimdxError::InvalidQuery`]. On success the returned ticket
+    /// indexes the query's slot in [`ServeReport::outcomes`].
     pub fn submit(&self, request: QueryRequest) -> Result<QueryTicket, SimdxError> {
+        self.shared.breaker_admit()?;
         let index;
         {
             let mut st = self.shared.lock();
-            while st.queue.len() >= self.shared.depth {
+            loop {
+                if st.closed {
+                    return Err(SimdxError::InvalidQuery {
+                        reason: "query pool is closed".to_string(),
+                    });
+                }
+                if st.queue.len() < self.shared.depth {
+                    break;
+                }
                 match self.shared.admission {
                     AdmissionPolicy::Reject => {
                         return Err(SimdxError::Overloaded {
                             capacity: self.shared.depth,
+                            depth: st.queue.len(),
                         })
                     }
                     AdmissionPolicy::Block => {
@@ -406,6 +631,35 @@ impl QueryClient<'_> {
     /// Requests currently admitted but not yet picked up.
     pub fn queued(&self) -> usize {
         self.shared.lock().queue.len()
+    }
+
+    /// Closes the pool from inside the producer. Later [`Self::submit`]
+    /// calls fail with [`SimdxError::InvalidQuery`]; what happens to
+    /// already-admitted work depends on the mode:
+    ///
+    /// - [`CloseMode::Drain`] finishes everything admitted — identical
+    ///   to returning from the producer, just earlier.
+    /// - [`CloseMode::Abort`] cancels the pool-wide shutdown token so
+    ///   in-flight queries abort at their next supervision check
+    ///   ([`SimdxError::Cancelled`], checkpoint attached when capture
+    ///   is armed), and queued-but-unserved queries come back as
+    ///   zero-progress, zero-attempt cancellations. Every admitted
+    ///   ticket still gets its outcome slot in the report.
+    ///
+    /// Idempotent; an `Abort` after a `Drain` still escalates.
+    pub fn close(&self, mode: CloseMode) {
+        {
+            let mut st = self.shared.lock();
+            st.closed = true;
+            if mode == CloseMode::Abort {
+                st.aborted = true;
+            }
+        }
+        if mode == CloseMode::Abort {
+            self.shared.shutdown.cancel();
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
     }
 }
 
@@ -440,11 +694,22 @@ impl QueryPool {
                 queue: VecDeque::with_capacity(config.queue_depth),
                 next_ticket: 0,
                 closed: false,
+                aborted: false,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             depth: config.queue_depth,
             admission: config.admission,
+            breaker: (config.breaker_threshold > 0).then(|| {
+                Mutex::new(BreakerState {
+                    consecutive: 0,
+                    opened_at: None,
+                    probing: false,
+                })
+            }),
+            breaker_threshold: config.breaker_threshold,
+            breaker_cooldown: config.breaker_cooldown,
+            shutdown: CancelToken::new(),
         };
         let slots: Mutex<Vec<Option<ServeOutcome<P::Meta>>>> = Mutex::new(Vec::new());
         let batches = AtomicU64::new(0);
@@ -456,7 +721,7 @@ impl QueryPool {
                     std::thread::Builder::new()
                         .name(format!("simdx-serve-{w}"))
                         .spawn_scoped(scope, move || {
-                            serve_loop(bound, program, config.batch_max, shared, slots, batches);
+                            serve_loop(bound, program, &config, shared, slots, batches);
                         })
                         .expect("spawn serving thread")
                 })
@@ -493,17 +758,31 @@ impl QueryPool {
 fn serve_loop<P: SourcedProgram>(
     bound: &BoundGraph<'_, '_>,
     program: &P,
-    batch_max: usize,
+    config: &ServiceConfig,
     shared: &SharedQueue,
     slots: &Mutex<Vec<Option<ServeOutcome<P::Meta>>>>,
     batches: &AtomicU64,
 ) {
+    let arm = config.arms_checkpoints();
     loop {
         let batch: Vec<Entry> = {
             let mut st = shared.lock();
             loop {
+                if st.aborted {
+                    // Abort-mode close: hand every still-queued entry
+                    // back as a zero-progress cancellation instead of
+                    // running it. In-flight peers abort on their own
+                    // via the shutdown token.
+                    let orphans: Vec<Entry> = st.queue.drain(..).collect();
+                    drop(st);
+                    shared.not_full.notify_all();
+                    for entry in orphans {
+                        publish(slots, entry.ticket, cancelled_unserved(&entry));
+                    }
+                    return;
+                }
                 if !st.queue.is_empty() {
-                    let n = batch_max.min(st.queue.len());
+                    let n = config.batch_max.min(st.queue.len());
                     break st.queue.drain(..n).collect();
                 }
                 if st.closed {
@@ -518,47 +797,152 @@ fn serve_loop<P: SourcedProgram>(
         shared.not_full.notify_all();
         let mut scratch = bound.checkout_scratch::<P::Meta>();
         for entry in batch {
-            let outcome = serve_one(bound, program, &entry, &mut scratch);
-            let mut slots = slots.lock().unwrap_or_else(PoisonError::into_inner);
-            if slots.len() <= entry.ticket {
-                slots.resize_with(entry.ticket + 1, || None);
-            }
-            slots[entry.ticket] = Some(outcome);
+            let outcome = serve_one(
+                bound,
+                program,
+                &entry,
+                &mut scratch,
+                config.retry,
+                arm,
+                &shared.shutdown,
+            );
+            shared.breaker_record(matches!(
+                outcome.result,
+                Err(SimdxError::WorkerPanicked { .. })
+            ));
+            publish(slots, entry.ticket, outcome);
         }
         bound.checkin_scratch(scratch);
         batches.fetch_add(1, Ordering::Relaxed);
     }
 }
 
+/// Lands one outcome in its ticket's slot.
+fn publish<M: Copy>(
+    slots: &Mutex<Vec<Option<ServeOutcome<M>>>>,
+    ticket: usize,
+    outcome: ServeOutcome<M>,
+) {
+    let mut slots = slots.lock().unwrap_or_else(PoisonError::into_inner);
+    if slots.len() <= ticket {
+        slots.resize_with(ticket + 1, || None);
+    }
+    slots[ticket] = Some(outcome);
+}
+
+/// The outcome of a queued query orphaned by an abort-mode close: a
+/// zero-progress, zero-attempt cancellation — it never started, so
+/// there is nothing to checkpoint.
+fn cancelled_unserved<M: Copy>(entry: &Entry) -> ServeOutcome<M> {
+    ServeOutcome {
+        seed: entry.request.seed,
+        result: Err(SimdxError::Cancelled {
+            progress: RunProgress {
+                iterations: 0,
+                edges_examined: 0,
+                elapsed: entry.submitted.elapsed(),
+            },
+        }),
+        latency: entry.submitted.elapsed(),
+        attempts: 0,
+        checkpoint: None,
+    }
+}
+
+/// Runs one query to its final outcome: up to `retry.max_attempts`
+/// attempts, each after the first resuming from the previous attempt's
+/// boundary checkpoint (when `arm` captured one).
 fn serve_one<P: SourcedProgram>(
     bound: &BoundGraph<'_, '_>,
     program: &P,
     entry: &Entry,
     scratch: &mut IterScratch<P::Meta>,
+    retry: RetryPolicy,
+    arm: bool,
+    shutdown: &CancelToken,
 ) -> ServeOutcome<P::Meta> {
-    // The deadline covers submit→completion: shrink it by the queue
-    // wait (saturating to an immediate, typed abort when the query
-    // waited its whole deadline out in the queue).
-    let remaining = entry
-        .request
-        .deadline
-        .map(|d| d.saturating_sub(entry.submitted.elapsed()));
-    let supervisor = Supervisor::new(
-        entry.request.cancel.clone(),
-        remaining,
-        entry.request.cycle_budget,
-    );
-    let result = bound.execute_query(
-        program,
-        entry.request.seed,
-        entry.request.max_iterations,
-        &supervisor,
-        scratch,
-    );
-    ServeOutcome {
-        seed: entry.request.seed,
-        result,
-        latency: entry.submitted.elapsed(),
+    let mut slot: Option<RunCheckpoint<P::Meta>> = None;
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        // The deadline covers submit→completion on the first attempt:
+        // shrink it by the queue wait (saturating to an immediate,
+        // typed abort when the query waited its whole deadline out in
+        // the queue). Retried attempts get the full allowance fresh
+        // from their own start — otherwise a deadline-tripped query
+        // would re-trip before resuming a single iteration.
+        let remaining = entry.request.deadline.map(|d| {
+            if attempts == 1 {
+                d.saturating_sub(entry.submitted.elapsed())
+            } else {
+                d
+            }
+        });
+        let resume = slot.take();
+        // A resumed attempt's cycle budget is granted on top of the
+        // checkpoint's already-spent cycles (the `BoundGraph::resume`
+        // contract), so every retry buys forward progress instead of
+        // re-tripping at the boundary it just aborted at.
+        let cycle_budget = entry
+            .request
+            .cycle_budget
+            .map(|b| b.saturating_add(resume.as_ref().map_or(0, RunCheckpoint::cycles)));
+        let supervisor = Supervisor::new(entry.request.cancel.clone(), remaining, cycle_budget)
+            .with_shutdown(shutdown.clone());
+        let result = if arm {
+            bound.execute_query_resumable(
+                program,
+                entry.request.seed,
+                entry.request.max_iterations,
+                &supervisor,
+                scratch,
+                resume,
+                &mut slot,
+            )
+        } else {
+            bound.execute_query(
+                program,
+                entry.request.seed,
+                entry.request.max_iterations,
+                &supervisor,
+                scratch,
+            )
+        };
+        match result {
+            Ok(run) => {
+                return ServeOutcome {
+                    seed: entry.request.seed,
+                    result: Ok(run),
+                    latency: entry.submitted.elapsed(),
+                    attempts,
+                    checkpoint: None,
+                }
+            }
+            Err(error) => {
+                // Transient aborts retry; a cancellation is the
+                // caller's decision (and an abort-mode shutdown's), and
+                // an invalid query will never get better.
+                let transient = matches!(
+                    error,
+                    SimdxError::WorkerPanicked { .. }
+                        | SimdxError::DeadlineExceeded { .. }
+                        | SimdxError::BudgetExhausted { .. }
+                );
+                if transient && attempts < retry.max_attempts && !shutdown.is_cancelled() {
+                    if !retry.backoff.is_zero() {
+                        std::thread::sleep(retry.backoff * 2u32.saturating_pow(attempts - 1));
+                    }
+                    continue;
+                }
+                return ServeOutcome {
+                    seed: entry.request.seed,
+                    result: Err(error),
+                    latency: entry.submitted.elapsed(),
+                    attempts,
+                    checkpoint: slot.take(),
+                };
+            }
+        }
     }
 }
 
@@ -572,22 +956,120 @@ mod tests {
             .workers(4)
             .queue_depth(16)
             .batch_max(2)
-            .admission(AdmissionPolicy::Reject);
+            .admission(AdmissionPolicy::Reject)
+            .retry(
+                RetryPolicy::default()
+                    .max_attempts(3)
+                    .backoff(Duration::from_millis(5)),
+            )
+            .breaker(2, Duration::from_millis(50))
+            .checkpoint_aborts(true);
         assert_eq!(cfg.workers, 4);
         assert_eq!(cfg.queue_depth, 16);
         assert_eq!(cfg.batch_max, 2);
         assert_eq!(cfg.admission, AdmissionPolicy::Reject);
+        assert_eq!(
+            cfg.retry,
+            RetryPolicy {
+                max_attempts: 3,
+                backoff: Duration::from_millis(5)
+            }
+        );
+        assert_eq!(cfg.breaker_threshold, 2);
+        assert_eq!(cfg.breaker_cooldown, Duration::from_millis(50));
+        assert!(cfg.checkpoint_aborts);
         assert!(cfg.validate().is_ok());
         for broken in [
             ServiceConfig::default().workers(0),
             ServiceConfig::default().queue_depth(0),
             ServiceConfig::default().batch_max(0),
+            ServiceConfig::default().retry(RetryPolicy::default().max_attempts(0)),
+            ServiceConfig::default().breaker(1, Duration::ZERO),
         ] {
             assert!(matches!(
                 broken.validate(),
                 Err(SimdxError::InvalidConfig { .. })
             ));
         }
+    }
+
+    #[test]
+    fn default_config_stays_on_the_zero_overhead_path() {
+        let cfg = ServiceConfig::default();
+        assert_eq!(cfg.retry, RetryPolicy::default());
+        assert_eq!(cfg.retry.max_attempts, 1);
+        assert_eq!(cfg.breaker_threshold, 0);
+        assert!(!cfg.checkpoint_aborts);
+        assert!(!cfg.arms_checkpoints());
+        // Retries imply capture; so does an explicit request.
+        assert!(ServiceConfig::default()
+            .retry(RetryPolicy::default().max_attempts(2))
+            .arms_checkpoints());
+        assert!(ServiceConfig::default()
+            .checkpoint_aborts(true)
+            .arms_checkpoints());
+    }
+
+    #[test]
+    fn breaker_opens_sheds_and_probes_back() {
+        let shared = SharedQueue {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                next_ticket: 0,
+                closed: false,
+                aborted: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            depth: 4,
+            admission: AdmissionPolicy::Reject,
+            breaker: Some(Mutex::new(BreakerState {
+                consecutive: 0,
+                opened_at: None,
+                probing: false,
+            })),
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(20),
+            shutdown: CancelToken::new(),
+        };
+        // Healthy: admits freely; one panic is below threshold.
+        assert!(shared.breaker_admit().is_ok());
+        shared.breaker_record(true);
+        assert!(shared.breaker_admit().is_ok());
+        // Second consecutive panic trips the threshold: open, shedding
+        // with a retry-after hint.
+        shared.breaker_record(true);
+        match shared.breaker_admit() {
+            Err(SimdxError::Unavailable { retry_after }) => {
+                assert!(retry_after <= Duration::from_millis(20));
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        // A success between panics resets the consecutive count.
+        std::thread::sleep(Duration::from_millis(25));
+        // Cooldown elapsed: half-open admits exactly one probe...
+        assert!(shared.breaker_admit().is_ok());
+        // ...and sheds everything else while the probe is pending.
+        assert!(matches!(
+            shared.breaker_admit(),
+            Err(SimdxError::Unavailable { .. })
+        ));
+        // Probe panicking reopens for a fresh cooldown.
+        shared.breaker_record(true);
+        assert!(matches!(
+            shared.breaker_admit(),
+            Err(SimdxError::Unavailable { .. })
+        ));
+        std::thread::sleep(Duration::from_millis(25));
+        // Probe succeeding closes the breaker again.
+        assert!(shared.breaker_admit().is_ok());
+        shared.breaker_record(false);
+        assert!(shared.breaker_admit().is_ok());
+        shared.breaker_record(true);
+        assert!(
+            shared.breaker_admit().is_ok(),
+            "count restarted after close"
+        );
     }
 
     #[test]
@@ -598,6 +1080,8 @@ mod tests {
                     seed: 0,
                     result: Err(SimdxError::OnlineOverflow { iteration: 0 }),
                     latency: Duration::from_millis(ms),
+                    attempts: 1,
+                    checkpoint: None,
                 })
                 .collect(),
             batches: 1,

@@ -115,6 +115,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::acc::{AccProgram, SourcedProgram};
+use crate::checkpoint::{RunAborted, RunCheckpoint};
 use crate::config::{DegradePolicy, EngineConfig, FrontierRepr, PushStrategy};
 use crate::engine::{Engine, SessionCtx};
 use crate::error::SimdxError;
@@ -128,6 +129,11 @@ use crate::scratch::{IterScratch, PushFences};
 use crate::supervise::{AbortReason, CancelToken, Supervisor};
 use simdx_graph::csr::Direction;
 use simdx_graph::{Graph, VertexId};
+
+/// One entry of [`BoundGraph::run_batch_partial`]'s return value: the
+/// seed's completed report, or a boxed [`RunAborted`] carrying that
+/// seed's last boundary checkpoint (when one was reached).
+pub type SeedOutcome<M> = Result<RunResult<M>, Box<RunAborted<M>>>;
 
 /// Idle scratch arenas retained per metadata type by a
 /// [`BoundGraph`]'s arena pool. Bursts of concurrent queries beyond
@@ -367,6 +373,35 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
         }
     }
 
+    /// Continues an aborted run from its boundary [`RunCheckpoint`],
+    /// bit-equal to the run never having been interrupted (identical
+    /// metadata, activation logs and simulated cycle counts — the
+    /// resume contract, pinned by `tests/properties.rs`).
+    ///
+    /// The checkpoint is validated against this graph, the program and
+    /// the runtime's metadata layout at [`ResumableRunBuilder::execute`]
+    /// time; a mismatch comes back as [`SimdxError::InvalidQuery`]
+    /// *with the checkpoint handed back* inside the [`RunAborted`], so
+    /// a misdirected resume never loses the snapshot. The resumed run
+    /// is itself checkpoint-armed: a second abort yields a fresh,
+    /// further-along checkpoint.
+    ///
+    /// Supervision budgets compose naturally: a
+    /// [`ResumableRunBuilder::cycle_budget`] on a resumed run is
+    /// *additional* simulated cycles on top of the checkpoint's spent
+    /// count, and a [`ResumableRunBuilder::deadline`] is measured from
+    /// the resumed `execute()` entry.
+    pub fn resume<P: AccProgram>(
+        &self,
+        program: P,
+        checkpoint: RunCheckpoint<P::Meta>,
+    ) -> ResumableRunBuilder<'_, 'rt, 'g, P> {
+        ResumableRunBuilder {
+            inner: self.run(program),
+            resume: Some(checkpoint),
+        }
+    }
+
     /// Executes one query per seed over the shared scratch, returning
     /// one report per query — bit-identical to running the seeds
     /// through individual [`Self::run`] calls (or fresh engines), just
@@ -405,17 +440,38 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
     /// costs only its own slot; every completed report survives, and
     /// successful entries remain bit-identical to individual
     /// [`Self::run`] calls.
+    ///
+    /// Checkpointing is armed per seed: an aborted seed's `Err` is a
+    /// [`RunAborted`] carrying that seed's last boundary
+    /// [`RunCheckpoint`] (if one was reached), so callers can
+    /// [`Self::resume`] individual batch members instead of discarding
+    /// them.
     pub fn run_batch_partial<P: SourcedProgram>(
         &self,
         program: P,
         seeds: &[VertexId],
-    ) -> Vec<Result<RunResult<P::Meta>, SimdxError>> {
+    ) -> Vec<SeedOutcome<P::Meta>> {
         let mut scratch = self.checkout_scratch::<P::Meta>();
         let out = seeds
             .iter()
             .map(|&seed| {
                 let supervisor = Supervisor::new(None, None, None);
-                self.execute_query(&program, seed, None, &supervisor, &mut scratch)
+                let mut slot = None;
+                self.execute_query_resumable(
+                    &program,
+                    seed,
+                    None,
+                    &supervisor,
+                    &mut scratch,
+                    None,
+                    &mut slot,
+                )
+                .map_err(|error| {
+                    Box::new(RunAborted {
+                        error,
+                        checkpoint: slot.take(),
+                    })
+                })
             })
             .collect();
         self.checkin_scratch(scratch);
@@ -468,7 +524,52 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
         }
         let program = program.clone().with_source(seed);
         let max_iterations = max_iterations.unwrap_or(self.runtime.config.max_iterations);
-        self.execute_with(&program, max_iterations, None, supervisor, scratch)
+        self.execute_with(
+            &program,
+            max_iterations,
+            None,
+            supervisor,
+            scratch,
+            None,
+            None,
+        )
+    }
+
+    /// [`Self::execute_query`] with the checkpoint machinery exposed:
+    /// `resume` restores a prior boundary snapshot (the run continues
+    /// bit-equally from it), and `slot` is armed so every iteration
+    /// boundary overwrites it — the batch entry points and the serving
+    /// layer's retry loop ([`crate::service::RetryPolicy`]) drive
+    /// this. The slot lives in the *caller's* frame, outside the panic
+    /// guard, so it survives a contained worker panic.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn execute_query_resumable<P: SourcedProgram>(
+        &self,
+        program: &P,
+        seed: VertexId,
+        max_iterations: Option<u32>,
+        supervisor: &Supervisor,
+        scratch: &mut IterScratch<P::Meta>,
+        resume: Option<RunCheckpoint<P::Meta>>,
+        slot: &mut Option<RunCheckpoint<P::Meta>>,
+    ) -> Result<RunResult<P::Meta>, SimdxError> {
+        let n = self.graph.num_vertices();
+        if seed >= n {
+            return Err(SimdxError::InvalidQuery {
+                reason: format!("source vertex {seed} out of range for a graph with {n} vertices"),
+            });
+        }
+        let program = program.clone().with_source(seed);
+        let max_iterations = max_iterations.unwrap_or(self.runtime.config.max_iterations);
+        self.execute_with(
+            &program,
+            max_iterations,
+            None,
+            supervisor,
+            scratch,
+            resume,
+            Some(slot),
+        )
     }
 
     /// The shared execute path: checks a scratch arena out of the pool
@@ -481,7 +582,15 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
         supervisor: &Supervisor,
     ) -> Result<RunResult<P::Meta>, SimdxError> {
         let mut scratch = self.checkout_scratch::<P::Meta>();
-        let result = self.execute_with(program, max_iterations, observer, supervisor, &mut scratch);
+        let result = self.execute_with(
+            program,
+            max_iterations,
+            observer,
+            supervisor,
+            &mut scratch,
+            None,
+            None,
+        );
         self.checkin_scratch(scratch);
         result
     }
@@ -491,6 +600,7 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
     /// attempt poisons that pool, so the lease drop discards it
     /// without touching concurrent queries' pools), then applies the
     /// degrade policy.
+    #[allow(clippy::too_many_arguments)]
     fn execute_with<P: AccProgram>(
         &self,
         program: &P,
@@ -498,6 +608,8 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
         mut observer: Option<&mut (dyn FnMut(&IterationRecord) + '_)>,
         supervisor: &Supervisor,
         scratch: &mut IterScratch<P::Meta>,
+        resume: Option<RunCheckpoint<P::Meta>>,
+        mut ckpt: Option<&mut Option<RunCheckpoint<P::Meta>>>,
     ) -> Result<RunResult<P::Meta>, SimdxError> {
         let first = {
             let pool = self.runtime.pools.checkout();
@@ -515,6 +627,8 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
                     None => None,
                 },
                 supervisor,
+                resume.clone(),
+                ckpt.as_deref_mut(),
             )
         };
         match first {
@@ -527,7 +641,11 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
                 // fences, no grid — flagged in the report so callers
                 // can see the query survived a worker fault. The
                 // poisoned pool was already discarded by its lease
-                // drop; the next checkout spawns a replacement.
+                // drop; the next checkout spawns a replacement. The
+                // checkpoint slot is deliberately *not* cleared: the
+                // panicked attempt's last boundary snapshot stays
+                // valid, and the retry overwrites it at its own first
+                // boundary.
                 let mut result = Self::run_once(
                     program,
                     self.graph,
@@ -542,6 +660,8 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
                         None => None,
                     },
                     supervisor,
+                    resume,
+                    ckpt,
                 )?;
                 result.report.aborted = Some(AbortReason::WorkerPanic);
                 Ok(result)
@@ -567,7 +687,12 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
         max_iterations: u32,
         observer: Option<&mut (dyn FnMut(&IterationRecord) + '_)>,
         supervisor: &Supervisor,
+        resume: Option<RunCheckpoint<P::Meta>>,
+        checkpoint: Option<&mut Option<RunCheckpoint<P::Meta>>>,
     ) -> Result<RunResult<P::Meta>, SimdxError> {
+        // `checkpoint` borrows a slot in a frame *outside* this catch:
+        // when the attempt panics, the slot still holds the last
+        // boundary snapshot the engine wrote before the fault.
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             Engine::run_session(
                 program,
@@ -581,6 +706,8 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
                     max_iterations,
                     observer,
                     supervisor,
+                    checkpoint,
+                    resume,
                 },
             )
         }));
@@ -674,6 +801,20 @@ impl<'b, 'rt, 'g, P: AccProgram> RunBuilder<'b, 'rt, 'g, P> {
         self
     }
 
+    /// Opts this query into boundary checkpointing: the engine
+    /// snapshots the run state at the top of every iteration, and any
+    /// abort comes back as a [`RunAborted`] carrying the last snapshot
+    /// — resumable via [`BoundGraph::resume`]. The plain
+    /// [`Self::execute`] path is untouched (zero capture overhead);
+    /// opting in costs one metadata-store copy per iteration, pinned
+    /// ≤ 5% by the `resilience` snapshot group.
+    pub fn checkpoint_on_abort(self) -> ResumableRunBuilder<'b, 'rt, 'g, P> {
+        ResumableRunBuilder {
+            inner: self,
+            resume: None,
+        }
+    }
+
     /// Executes the query over the session's shared pool and scratch,
     /// returning the final metadata and run report.
     pub fn execute(mut self) -> Result<RunResult<P::Meta>, SimdxError> {
@@ -708,6 +849,163 @@ impl<P: SourcedProgram> RunBuilder<'_, '_, '_, P> {
     pub fn source(mut self, src: VertexId) -> Self {
         self.program = self.program.with_source(src);
         self.source = Some(src);
+        self
+    }
+}
+
+/// A checkpoint-armed query: either a fresh run that opted in via
+/// [`RunBuilder::checkpoint_on_abort`], or a continuation built by
+/// [`BoundGraph::resume`]. Terminal [`Self::execute`] returns aborts
+/// as [`RunAborted`] (boxed — the snapshot inside is as big as the
+/// metadata store) so the caller can resume instead of restarting.
+pub struct ResumableRunBuilder<'b, 'rt, 'g, P: AccProgram> {
+    inner: RunBuilder<'b, 'rt, 'g, P>,
+    resume: Option<RunCheckpoint<P::Meta>>,
+}
+
+impl<'b, 'rt, 'g, P: AccProgram> ResumableRunBuilder<'b, 'rt, 'g, P> {
+    /// Overrides the config's iteration cap for this query only. On a
+    /// resumed run the cap counts *total* iterations from the original
+    /// start — the same meaning the uninterrupted run gives it.
+    pub fn max_iterations(mut self, n: u32) -> Self {
+        self.inner = self.inner.max_iterations(n);
+        self
+    }
+
+    /// Attaches a shareable cancellation token
+    /// ([`RunBuilder::cancel_token`]).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.inner = self.inner.cancel_token(token);
+        self
+    }
+
+    /// Caps this attempt's wall-clock time, measured from `execute()`
+    /// entry ([`RunBuilder::deadline`]) — a resumed attempt gets a
+    /// fresh allowance.
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.inner = self.inner.deadline(limit);
+        self
+    }
+
+    /// Caps this attempt's *additional* simulated GPU cycles. On a
+    /// fresh run this is [`RunBuilder::cycle_budget`]; on a resumed
+    /// run the allowance is granted on top of the checkpoint's
+    /// already-spent cycles (the supervisor sees their sum), so
+    /// resuming with the same budget makes forward progress instead of
+    /// re-tripping at the same boundary.
+    pub fn cycle_budget(mut self, cycles: u64) -> Self {
+        self.inner = self.inner.cycle_budget(cycles);
+        self
+    }
+
+    /// Installs a per-iteration observer ([`RunBuilder::observe`]).
+    /// On a resumed run the hook fires from the checkpoint's iteration
+    /// onward — completed iterations are not replayed.
+    pub fn observe(mut self, hook: impl FnMut(&IterationRecord) + 'b) -> Self {
+        self.inner = self.inner.observe(hook);
+        self
+    }
+
+    /// Executes the query with boundary checkpointing armed. Success
+    /// is the ordinary [`RunResult`]; any abort comes back as a
+    /// [`RunAborted`] whose `checkpoint` holds the last boundary
+    /// snapshot (or the validated-but-unusable resume checkpoint when
+    /// validation itself failed, so the snapshot is never lost).
+    #[allow(clippy::result_large_err)] // boxed: the Err is pointer-sized
+    pub fn execute(mut self) -> Result<RunResult<P::Meta>, Box<RunAborted<P::Meta>>> {
+        // Validate a resume checkpoint against the graph, program and
+        // layout before touching any run state; hand it back on
+        // failure.
+        if let Some(cp) = &self.resume {
+            let n = self.inner.bound.graph.num_vertices();
+            let layout = self.inner.bound.runtime.config.layout;
+            let mismatch = if cp.num_vertices != n {
+                Some(format!(
+                    "checkpoint was captured on a graph with {} vertices, \
+                     this graph has {n}",
+                    cp.num_vertices
+                ))
+            } else if cp.algorithm != self.inner.program.name() {
+                Some(format!(
+                    "checkpoint belongs to algorithm `{}`, not `{}`",
+                    cp.algorithm,
+                    self.inner.program.name()
+                ))
+            } else if cp.meta.layout() != layout {
+                Some(format!(
+                    "checkpoint uses metadata layout {:?}, this runtime uses {layout:?}",
+                    cp.meta.layout()
+                ))
+            } else {
+                None
+            };
+            if let Some(reason) = mismatch {
+                return Err(Box::new(RunAborted {
+                    error: SimdxError::InvalidQuery { reason },
+                    checkpoint: self.resume,
+                }));
+            }
+        }
+        if let Some(src) = self.inner.source {
+            let n = self.inner.bound.graph.num_vertices();
+            if src >= n {
+                return Err(Box::new(RunAborted {
+                    error: SimdxError::InvalidQuery {
+                        reason: format!(
+                            "source vertex {src} out of range for a graph with {n} vertices"
+                        ),
+                    },
+                    checkpoint: self.resume,
+                }));
+            }
+        }
+        let bound = self.inner.bound;
+        let max_iterations = self
+            .inner
+            .max_iterations
+            .unwrap_or(bound.runtime.config.max_iterations);
+        // A resumed run's cycle budget is *relative*: grant it on top
+        // of the cycles the checkpoint already spent, so the restored
+        // counters don't instantly re-trip the supervisor.
+        let cycle_budget = self.inner.cycle_budget.map(|budget| {
+            budget.saturating_add(self.resume.as_ref().map_or(0, RunCheckpoint::cycles))
+        });
+        let supervisor =
+            Supervisor::new(self.inner.cancel.clone(), self.inner.deadline, cycle_budget);
+        let observer = self
+            .inner
+            .observer
+            .as_mut()
+            .map(|hook| &mut **hook as &mut dyn FnMut(&IterationRecord));
+        // The slot outlives the panic guard inside `run_once`: a
+        // contained panic still returns the last boundary snapshot.
+        let mut slot = None;
+        let mut scratch = bound.checkout_scratch::<P::Meta>();
+        let result = bound.execute_with(
+            &self.inner.program,
+            max_iterations,
+            observer,
+            &supervisor,
+            &mut scratch,
+            self.resume,
+            Some(&mut slot),
+        );
+        bound.checkin_scratch(scratch);
+        result.map_err(|error| {
+            Box::new(RunAborted {
+                error,
+                checkpoint: slot,
+            })
+        })
+    }
+}
+
+impl<P: SourcedProgram> ResumableRunBuilder<'_, '_, '_, P> {
+    /// Re-roots the query at `src` ([`RunBuilder::source`]). Only
+    /// meaningful for fresh checkpoint-armed runs: a resumed run's
+    /// state already encodes its source.
+    pub fn source(mut self, src: VertexId) -> Self {
+        self.inner = self.inner.source(src);
         self
     }
 }
@@ -1241,10 +1539,18 @@ mod tests {
             bound.run_batch(Levels { src: 0 }, &seeds),
             Err(SimdxError::InvalidQuery { .. })
         ));
-        // ...the partial form returns every slot.
+        // ...the partial form returns every slot. The bad seed aborted
+        // before any boundary, so its `RunAborted` carries no
+        // checkpoint.
         let partial = bound.run_batch_partial(Levels { src: 0 }, &seeds);
         assert_eq!(partial.len(), seeds.len());
-        assert!(matches!(partial[1], Err(SimdxError::InvalidQuery { .. })));
+        match &partial[1] {
+            Err(aborted) => {
+                assert!(matches!(aborted.error, SimdxError::InvalidQuery { .. }));
+                assert!(aborted.checkpoint.is_none());
+            }
+            Ok(_) => panic!("the bad seed must abort"),
+        }
         for idx in [0usize, 2] {
             let got = partial[idx].as_ref().expect("good seed");
             let single = bound
@@ -1254,6 +1560,160 @@ mod tests {
             assert_eq!(got.meta, single.meta, "seed {}", seeds[idx]);
             assert_eq!(got.report.stats, single.report.stats, "seed {}", seeds[idx]);
         }
+    }
+
+    #[test]
+    fn arming_checkpoints_does_not_change_results() {
+        let g = path_graph(100);
+        let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let plain = bound.run(Levels { src: 0 }).execute().expect("plain");
+        let armed = bound
+            .run(Levels { src: 0 })
+            .checkpoint_on_abort()
+            .execute()
+            .expect("armed");
+        assert_eq!(plain.meta, armed.meta);
+        assert_eq!(plain.report.log, armed.report.log);
+        assert_eq!(plain.report.stats, armed.report.stats);
+    }
+
+    #[test]
+    fn checkpointed_abort_resumes_bit_equal_to_uninterrupted() {
+        let g = path_graph(200);
+        for exec in [ExecMode::Serial, ExecMode::Parallel { threads: 3 }] {
+            let runtime = Runtime::new(EngineConfig::unscaled().with_exec(exec)).expect("runtime");
+            let bound = runtime.bind(&g);
+            let baseline = bound.run(Levels { src: 0 }).execute().expect("baseline");
+            let aborted = bound
+                .run(Levels { src: 0 })
+                .max_iterations(3)
+                .checkpoint_on_abort()
+                .execute()
+                .expect_err("capped");
+            assert_eq!(
+                aborted.error,
+                SimdxError::IterationLimit { max_iterations: 3 }
+            );
+            let cp = aborted.checkpoint.expect("boundary reached");
+            assert_eq!(cp.iteration(), 3, "limit trips at the capped boundary");
+            let resumed = bound
+                .resume(Levels { src: 0 }, cp)
+                .execute()
+                .expect("resumed");
+            assert_eq!(resumed.meta, baseline.meta);
+            assert_eq!(resumed.report.log, baseline.report.log);
+            assert_eq!(resumed.report.stats, baseline.report.stats);
+            assert_eq!(resumed.report.iterations, baseline.report.iterations);
+            assert_eq!(
+                resumed.report.edges_examined,
+                baseline.report.edges_examined
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_resume_hands_the_checkpoint_back() {
+        let g = path_graph(64);
+        let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let aborted = bound
+            .run(Levels { src: 0 })
+            .max_iterations(2)
+            .checkpoint_on_abort()
+            .execute()
+            .expect_err("capped");
+        let cp = aborted.checkpoint.expect("checkpoint");
+        // Resuming against the wrong graph is a typed error that
+        // returns the snapshot instead of losing it.
+        let other = path_graph(32);
+        let other_bound = runtime.bind(&other);
+        let err = other_bound
+            .resume(Levels { src: 0 }, cp)
+            .execute()
+            .expect_err("wrong graph");
+        assert!(matches!(err.error, SimdxError::InvalidQuery { .. }));
+        let cp = err.checkpoint.expect("handed back");
+        assert_eq!(cp.iteration(), 2);
+        // The recovered checkpoint still resumes on the right graph.
+        let resumed = bound
+            .resume(Levels { src: 0 }, cp)
+            .execute()
+            .expect("resumed");
+        let baseline = bound.run(Levels { src: 0 }).execute().expect("baseline");
+        assert_eq!(resumed.meta, baseline.meta);
+        assert_eq!(resumed.report.stats, baseline.report.stats);
+    }
+
+    #[test]
+    fn resumed_cycle_budget_grants_additional_cycles() {
+        let g = path_graph(40);
+        let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let baseline = bound.run(Levels { src: 0 }).execute().expect("baseline");
+        let aborted = bound
+            .run(Levels { src: 0 })
+            .cycle_budget(1)
+            .checkpoint_on_abort()
+            .execute()
+            .expect_err("budget");
+        assert!(matches!(aborted.error, SimdxError::BudgetExhausted { .. }));
+        let cp = aborted.checkpoint.expect("checkpoint");
+        let first = cp.iteration();
+        assert!(first >= 1, "one iteration completed before the trip");
+        // The same per-attempt budget on a resume is granted on top of
+        // the checkpoint's spent cycles — forward progress, not an
+        // instant re-trip at the same boundary.
+        let aborted = bound
+            .resume(Levels { src: 0 }, cp)
+            .cycle_budget(1)
+            .execute()
+            .expect_err("still budgeted");
+        assert!(matches!(aborted.error, SimdxError::BudgetExhausted { .. }));
+        let cp = aborted.checkpoint.expect("checkpoint");
+        assert!(cp.iteration() > first, "resume advanced the run");
+        // An unbudgeted resume finishes bit-equal to the baseline.
+        let resumed = bound
+            .resume(Levels { src: 0 }, cp)
+            .execute()
+            .expect("resumed");
+        assert_eq!(resumed.meta, baseline.meta);
+        assert_eq!(resumed.report.log, baseline.report.log);
+        assert_eq!(resumed.report.stats, baseline.report.stats);
+    }
+
+    #[test]
+    fn run_batch_partial_aborts_carry_resumable_checkpoints() {
+        let g = path_graph(96);
+        let cfg = EngineConfig::unscaled();
+        let runtime = Runtime::new(cfg).expect("runtime");
+        let bound = runtime.bind(&g);
+        // Seed 95 is the far end of the path: a tight global iteration
+        // cap aborts it mid-run while seed 48's shorter run completes.
+        let mut capped = Runtime::new(EngineConfig::unscaled()).expect("capped runtime");
+        capped.config.max_iterations = 60;
+        let capped_bound = capped.bind(&g);
+        let partial = capped_bound.run_batch_partial(Levels { src: 0 }, &[48, 0]);
+        let ok = partial[0].as_ref().expect("short seed completes");
+        let baseline = bound
+            .run(Levels { src: 48 })
+            .execute()
+            .expect("seed 48 baseline");
+        assert_eq!(ok.meta, baseline.meta);
+        let aborted = partial[1].as_ref().expect_err("long seed capped");
+        assert_eq!(
+            aborted.error,
+            SimdxError::IterationLimit { max_iterations: 60 }
+        );
+        let cp = aborted.checkpoint.clone().expect("checkpoint captured");
+        assert_eq!(cp.iteration(), 60);
+        let resumed = bound
+            .resume(Levels { src: 0 }, cp)
+            .execute()
+            .expect("resumed batch member");
+        let full = bound.run(Levels { src: 0 }).execute().expect("baseline");
+        assert_eq!(resumed.meta, full.meta);
+        assert_eq!(resumed.report.stats, full.report.stats);
     }
 
     #[test]

@@ -113,6 +113,10 @@ pub(crate) struct Supervisor {
     cancel: Option<CancelToken>,
     deadline: Option<Instant>,
     cycle_budget: Option<u64>,
+    /// Pool-wide shutdown token ([`crate::service::CloseMode::Abort`]):
+    /// observed exactly like `cancel`, but shared by every query of a
+    /// closing `QueryPool` rather than owned by one submitter.
+    shutdown: Option<CancelToken>,
     started: Instant,
     /// Supervision checks performed (boundary checks + in-sweep polls),
     /// reported as [`crate::metrics::RunReport::supervision_checks`].
@@ -131,9 +135,20 @@ impl Supervisor {
             cancel,
             deadline: deadline.map(|d| started + d),
             cycle_budget,
+            shutdown: None,
             started,
             checks: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a pool-wide shutdown token: once cancelled (from any
+    /// thread), this run aborts at its next supervision check with
+    /// [`SimdxError::Cancelled`] — indistinguishable from a per-query
+    /// cancellation, which is the point: an abort-mode pool shutdown
+    /// reuses the whole cancellation path, checkpoints included.
+    pub fn with_shutdown(mut self, token: CancelToken) -> Self {
+        self.shutdown = Some(token);
+        self
     }
 
     /// A supervisor with no limits: every check is a cheap early-out.
@@ -142,10 +157,11 @@ impl Supervisor {
         Self::new(None, None, None)
     }
 
-    /// Whether any in-sweep-pollable limit (token or deadline) is set.
+    /// Whether any in-sweep-pollable limit (token, shutdown or
+    /// deadline) is set.
     #[inline]
     fn polls(&self) -> bool {
-        self.cancel.is_some() || self.deadline.is_some()
+        self.cancel.is_some() || self.shutdown.is_some() || self.deadline.is_some()
     }
 
     /// In-sweep poll: `true` means the sweep should stop early (the
@@ -162,6 +178,13 @@ impl Supervisor {
         if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
             return true;
         }
+        if self
+            .shutdown
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+        {
+            return true;
+        }
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
@@ -175,11 +198,46 @@ impl Supervisor {
         if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
             return Some(AbortReason::Cancelled);
         }
+        if self
+            .shutdown
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+        {
+            return Some(AbortReason::Cancelled);
+        }
         if self.deadline.is_some_and(|d| Instant::now() >= d) {
             return Some(AbortReason::DeadlineExceeded);
         }
         if self.cycle_budget.is_some_and(|b| cycles >= b) {
             return Some(AbortReason::BudgetExhausted);
+        }
+        None
+    }
+
+    /// Mid-iteration re-check: token, shutdown and deadline only. The
+    /// simulated-cycle budget is deliberately excluded — it is enforced
+    /// at iteration boundaries only, so a budget abort always coincides
+    /// with a resumable boundary snapshot and a resumed run (whose
+    /// budget is granted on top of the checkpoint's spent cycles) is
+    /// guaranteed to clear the iteration it re-executes instead of
+    /// re-tripping mid-sweep at the same cycle count forever.
+    pub fn check_mid_iteration(&self) -> Option<AbortReason> {
+        if !self.polls() {
+            return None;
+        }
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(AbortReason::Cancelled);
+        }
+        if self
+            .shutdown
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+        {
+            return Some(AbortReason::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(AbortReason::DeadlineExceeded);
         }
         None
     }
@@ -288,6 +346,17 @@ mod tests {
             }
             other => panic!("wrong error: {other:?}"),
         }
+    }
+
+    #[test]
+    fn shutdown_token_trips_like_cancellation() {
+        let shutdown = CancelToken::new();
+        let sup = Supervisor::new(None, None, None).with_shutdown(shutdown.clone());
+        assert!(!sup.poll());
+        assert_eq!(sup.check_boundary(0), None);
+        shutdown.cancel();
+        assert!(sup.poll());
+        assert_eq!(sup.check_boundary(0), Some(AbortReason::Cancelled));
     }
 
     #[test]

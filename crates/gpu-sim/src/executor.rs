@@ -140,6 +140,16 @@ impl GpuExecutor {
         self.stats = ExecutorStats::default();
     }
 
+    /// Restores a previously captured statistics snapshot, as if every
+    /// recorded charge had been made on this executor. The engine's
+    /// checkpoint/resume path uses this to keep simulated-cycle
+    /// accounting continuous across an abort: a resumed run charges on
+    /// top of the restored counters and stays bit-equal to the
+    /// uninterrupted run.
+    pub fn restore_stats(&mut self, stats: ExecutorStats) {
+        self.stats = stats;
+    }
+
     /// Total simulated milliseconds so far.
     pub fn elapsed_ms(&self) -> f64 {
         self.device.cycles_to_ms(self.stats.total_cycles)

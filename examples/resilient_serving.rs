@@ -1,0 +1,118 @@
+//! Resilient serving: checkpointed retries under injected faults.
+//!
+//! Stands up a `QueryPool` with a `RetryPolicy`, arms deterministic
+//! worker panics mid-stream (when built with `--features fault-inject`)
+//! and gives every query a deadline — then shows that every ticket
+//! still completes, because a tripped attempt hands its
+//! iteration-boundary checkpoint back to the scheduler and the retry
+//! resumes from it instead of starting over. Per-ticket attempt counts
+//! make the recovery visible.
+//!
+//! ```text
+//! cargo run --release --features fault-inject --example resilient_serving
+//! ```
+//!
+//! Without the feature the same binary runs clean: no faults fire and
+//! every ticket completes on its first attempt.
+
+use std::time::Duration;
+
+use simdx::algos::Bfs;
+use simdx::core::{
+    EngineConfig, ExecMode, QueryPool, QueryRequest, RetryPolicy, Runtime, ServiceConfig,
+    SimdxError,
+};
+use simdx::graph::gen::Rmat;
+use simdx::graph::Graph;
+
+fn main() -> Result<(), SimdxError> {
+    let graph = Graph::directed_from_edges(Rmat::gtgraph(12, 8).generate(5));
+    println!(
+        "graph: {} vertices, {} directed edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let runtime =
+        Runtime::new(EngineConfig::default().with_exec(ExecMode::Parallel { threads: 2 }))?;
+    let bound = runtime.bind(&graph);
+
+    // Arm two mid-stream worker panics: the 3rd and 9th push sweeps
+    // die. Each kills one in-flight attempt; the retry resumes from the
+    // checkpoint captured at the last iteration boundary.
+    #[cfg(feature = "fault-inject")]
+    let _faults = {
+        use simdx::core::fault::{self, FaultPlan, FaultSite};
+        // The pool contains worker panics; keep the demo output to one
+        // line per fault instead of a full backtrace.
+        std::panic::set_hook(Box::new(|info| {
+            let payload = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("<non-string payload>");
+            eprintln!("[worker panic contained] {payload}");
+        }));
+        println!("fault injection: push sweeps 3 and 9 will panic\n");
+        fault::install(
+            FaultPlan::new()
+                .panic_at(FaultSite::Push, 3)
+                .panic_at(FaultSite::Push, 9),
+        )
+    };
+    #[cfg(not(feature = "fault-inject"))]
+    println!("fault injection disabled (rebuild with --features fault-inject)\n");
+
+    // Up to three attempts per ticket with a short backoff between
+    // them. A retry policy past one attempt arms checkpoint capture,
+    // so a panicked or deadline-tripped attempt resumes instead of
+    // recomputing from the seed.
+    let seeds: Vec<u32> = (0..12).map(|i| (i * 97) % graph.num_vertices()).collect();
+    let report = QueryPool::serve(
+        &bound,
+        Bfs::new(0),
+        ServiceConfig::default().workers(2).batch_max(2).retry(
+            RetryPolicy::default()
+                .max_attempts(3)
+                .backoff(Duration::from_millis(2)),
+        ),
+        |client| {
+            for &seed in &seeds {
+                // Tight-ish deadline measured from submission; a
+                // deadline trip is transient and retried just like a
+                // panic, with a fresh allowance.
+                client.submit(QueryRequest::new(seed).deadline(Duration::from_secs(5)))?;
+            }
+            Ok(())
+        },
+    )?;
+
+    println!("per-ticket outcomes:");
+    for (ticket, outcome) in report.outcomes.iter().enumerate() {
+        let status = match &outcome.result {
+            Ok(r) => format!("ok, {} iterations", r.report.iterations),
+            Err(e) => format!("failed: {e}"),
+        };
+        println!(
+            "  ticket {ticket:>2}  seed {:>4}  attempts {}  {}",
+            outcome.seed, outcome.attempts, status
+        );
+    }
+
+    let retried = report.outcomes.iter().filter(|o| o.attempts > 1).count();
+    println!(
+        "\n{} of {} queries completed ({} recovered via checkpointed retry) in {:.1} ms",
+        report.completed(),
+        report.outcomes.len(),
+        retried,
+        report.elapsed.as_secs_f64() * 1e3,
+    );
+    assert_eq!(
+        report.completed(),
+        report.outcomes.len(),
+        "every query must complete despite injected faults"
+    );
+
+    Ok(())
+}

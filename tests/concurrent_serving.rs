@@ -339,7 +339,10 @@ fn reject_admission_sheds_load_without_corrupting_admitted_queries() {
             // Every further submission must shed.
             for _ in 0..3 {
                 match client.submit(QueryRequest::new(0)) {
-                    Err(SimdxError::Overloaded { capacity: 1 }) => {}
+                    Err(SimdxError::Overloaded {
+                        capacity: 1,
+                        depth: 1,
+                    }) => {}
                     other => panic!("expected Overloaded, got {other:?}"),
                 }
             }
@@ -358,6 +361,206 @@ fn reject_admission_sheds_load_without_corrupting_admitted_queries() {
             "admitted query diverged after load shedding"
         );
     }
+}
+
+/// `CloseMode::Drain` from inside the producer: everything already
+/// admitted completes bit-equal, and every later submission fails with
+/// a typed error instead of being silently dropped.
+#[test]
+fn drain_close_finishes_admitted_work_and_rejects_new_submissions() {
+    let _guard = lock();
+    let g = rmat_graph();
+    let cfg = EngineConfig::default();
+    let baseline = solo(&Bfs::new, 0, &g, &cfg);
+    let runtime = Runtime::new(cfg).expect("runtime");
+    let bound = runtime.bind(&g);
+    let report = QueryPool::serve(
+        &bound,
+        Bfs::new(0),
+        ServiceConfig::default().workers(2),
+        |client| {
+            for _ in 0..4 {
+                client.submit(QueryRequest::new(0))?;
+            }
+            client.close(CloseMode::Drain);
+            match client.submit(QueryRequest::new(0)) {
+                Err(SimdxError::InvalidQuery { reason }) => {
+                    assert!(reason.contains("closed"), "reason: {reason}");
+                }
+                other => panic!("submit after close must fail typed, got {other:?}"),
+            }
+            Ok(())
+        },
+    )
+    .expect("serve");
+    assert_eq!(report.outcomes.len(), 4);
+    assert_eq!(report.completed(), 4, "drain finishes every admitted query");
+    for outcome in &report.outcomes {
+        let got = outcome.result.as_ref().expect("drained query");
+        assert_eq!(
+            (&got.meta, got.report.iterations, &got.report.log),
+            (&baseline.meta, baseline.iterations, &baseline.log),
+            "drained query diverged"
+        );
+    }
+}
+
+/// `CloseMode::Abort` with checkpointing armed: the in-flight query
+/// aborts at its next supervision check and hands its boundary snapshot
+/// back through the outcome (resumable to a bit-equal completion), and
+/// queued-but-unserved queries come back as zero-progress, zero-attempt
+/// cancellations — every admitted ticket still gets an outcome.
+#[test]
+fn abort_close_cancels_outstanding_queries_and_hands_back_checkpoints() {
+    let _guard = lock();
+    let g = rmat_graph();
+    let entered = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let program = GatedLevels {
+        src: 0,
+        entered: entered.clone(),
+        release: release.clone(),
+    };
+    let runtime = Runtime::new(EngineConfig::default()).expect("runtime");
+    let bound = runtime.bind(&g);
+    let baseline = fingerprint({
+        release.store(true, Ordering::SeqCst);
+        let r = bound.run(program.clone()).execute().expect("baseline");
+        release.store(false, Ordering::SeqCst);
+        entered.store(false, Ordering::SeqCst);
+        r
+    });
+    let report = QueryPool::serve(
+        &bound,
+        program.clone(),
+        ServiceConfig::default()
+            .workers(1)
+            .queue_depth(8)
+            .checkpoint_aborts(true),
+        |client| {
+            // First query: picked up by the lone serving thread, which
+            // parks on the gate inside `init`.
+            client.submit(QueryRequest::new(0))?;
+            while !entered.load(Ordering::SeqCst) {
+                std::hint::spin_loop();
+            }
+            // Two more queries queue behind it, then the pool aborts.
+            client.submit(QueryRequest::new(0))?;
+            client.submit(QueryRequest::new(0))?;
+            client.close(CloseMode::Abort);
+            assert!(
+                matches!(
+                    client.submit(QueryRequest::new(0)),
+                    Err(SimdxError::InvalidQuery { .. })
+                ),
+                "submit after abort-close must fail typed"
+            );
+            release.store(true, Ordering::SeqCst);
+            Ok(())
+        },
+    )
+    .expect("serve");
+    assert_eq!(report.outcomes.len(), 3, "every admitted ticket reports");
+    // The in-flight query: cancelled at its first boundary, snapshot
+    // handed back.
+    let inflight = &report.outcomes[0];
+    assert!(
+        matches!(inflight.result, Err(SimdxError::Cancelled { .. })),
+        "in-flight query aborts as Cancelled, got {:?}",
+        inflight.result
+    );
+    assert_eq!(inflight.attempts, 1);
+    let cp = inflight.checkpoint.clone().expect("snapshot handed back");
+    let resumed = fingerprint(
+        bound
+            .resume(program, cp)
+            .execute()
+            .expect("handed-back checkpoint resumes"),
+    );
+    assert_eq!(resumed, baseline, "resumed abort-close query diverged");
+    // The queued-but-unserved queries: zero progress, zero attempts.
+    for outcome in &report.outcomes[1..] {
+        match &outcome.result {
+            Err(SimdxError::Cancelled { progress }) => {
+                assert_eq!(progress.iterations, 0);
+                assert_eq!(progress.edges_examined, 0);
+            }
+            other => panic!("unserved query must cancel, got {other:?}"),
+        }
+        assert_eq!(outcome.attempts, 0);
+        assert!(outcome.checkpoint.is_none());
+    }
+}
+
+/// Repeated injected panics trip the circuit breaker: after
+/// `breaker_threshold` consecutive worker-panic outcomes the pool sheds
+/// further submissions with [`SimdxError::Unavailable`] carrying a
+/// retry-after hint bounded by the cooldown.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn breaker_opens_under_repeated_panics_and_sheds() {
+    use simdx::core::fault::{self, FaultPlan, FaultSite};
+
+    let _guard = lock();
+    let g = rmat_graph();
+    let cfg = EngineConfig::default()
+        .with_exec(ExecMode::Parallel { threads: 3 })
+        .with_direction(DirectionPolicy::FixedPush);
+    let runtime = Runtime::new(cfg).expect("runtime");
+    let bound = runtime.bind(&g);
+    let cooldown = Duration::from_secs(30);
+    // Arm a panic on every one of the first 20 push-sweep hits so each
+    // admitted query fails — the breaker's consecutive count can only
+    // grow, making the open state deterministic regardless of timing.
+    let mut plan = FaultPlan::new();
+    for nth in 1..=20 {
+        plan = plan.panic_at(FaultSite::Push, nth);
+    }
+    let shed = {
+        let _armed = fault::install(plan);
+        let mut shed = None;
+        QueryPool::serve(
+            &bound,
+            Bfs::new(0),
+            ServiceConfig::default()
+                .workers(1)
+                .batch_max(1)
+                .breaker(2, cooldown),
+            |client| {
+                client.submit(QueryRequest::new(0))?;
+                client.submit(QueryRequest::new(0))?;
+                // Both queries panic; once their outcomes land the
+                // breaker is open and every further submission sheds.
+                for _ in 0..2000 {
+                    match client.submit(QueryRequest::new(0)) {
+                        Err(SimdxError::Unavailable { retry_after }) => {
+                            shed = Some(retry_after);
+                            break;
+                        }
+                        Ok(_) => std::thread::sleep(Duration::from_millis(5)),
+                        Err(other) => panic!("unexpected submit error: {other:?}"),
+                    }
+                }
+                Ok(())
+            },
+        )
+        .expect("serve");
+        shed
+    };
+    let retry_after = shed.expect("breaker never opened");
+    assert!(
+        retry_after <= cooldown,
+        "retry-after hint must be bounded by the cooldown, got {retry_after:?}"
+    );
+    // The breaker is per-serve state: a fresh serve call admits again.
+    let report = QueryPool::serve(
+        &bound,
+        Bfs::new(0),
+        ServiceConfig::default().breaker(2, cooldown),
+        |client| client.submit(QueryRequest::new(0)).map(|_| ()),
+    )
+    .expect("fresh serve");
+    assert_eq!(report.completed(), 1, "disarmed session serves cleanly");
 }
 
 /// A worker panic injected mid-stream (`--features fault-inject`)
@@ -416,4 +619,60 @@ fn injected_worker_panic_spares_concurrent_peers() {
     // query over the same session is clean and bit-equal.
     let after = fingerprint(bound.run(Bfs::new(0)).execute().expect("rerun"));
     assert_eq!(after, baseline);
+}
+
+/// The same 9-query matrix with `RetryPolicy { max_attempts: 2 }`: the
+/// injected mid-stream worker panic is absorbed by a checkpointed
+/// retry, so **zero** queries fail — the hit query reports two
+/// attempts, its peers one, and every result stays bit-equal to the
+/// solo baseline.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn retry_policy_absorbs_an_injected_worker_panic() {
+    use simdx::core::fault::{self, FaultPlan, FaultSite};
+
+    let _guard = lock();
+    let g = rmat_graph();
+    let cfg = EngineConfig::default()
+        .with_exec(ExecMode::Parallel { threads: 3 })
+        .with_direction(DirectionPolicy::FixedPush);
+    let baseline = solo(&Bfs::new, 0, &g, &cfg);
+    let runtime = Runtime::new(cfg).expect("runtime");
+    let bound = runtime.bind(&g);
+    let report = {
+        let _armed = fault::install(FaultPlan::new().panic_on(FaultSite::Push));
+        QueryPool::serve(
+            &bound,
+            Bfs::new(0),
+            ServiceConfig::default()
+                .workers(3)
+                .batch_max(2)
+                .retry(RetryPolicy::default().max_attempts(2)),
+            |client| {
+                for _ in 0..9 {
+                    client.submit(QueryRequest::new(0))?;
+                }
+                Ok(())
+            },
+        )
+        .expect("serve")
+    };
+    assert_eq!(report.outcomes.len(), 9);
+    assert_eq!(report.completed(), 9, "retries must leave zero failures");
+    let mut retried = 0;
+    for outcome in &report.outcomes {
+        let got = outcome.result.as_ref().expect("no failed queries");
+        assert_eq!(
+            (&got.meta, got.report.iterations, &got.report.log),
+            (&baseline.meta, baseline.iterations, &baseline.log),
+            "retried or peer query diverged from the solo baseline"
+        );
+        assert!(outcome.checkpoint.is_none(), "successes carry no snapshot");
+        match outcome.attempts {
+            1 => {}
+            2 => retried += 1,
+            n => panic!("attempts capped at 2, got {n}"),
+        }
+    }
+    assert_eq!(retried, 1, "exactly the hit query takes a second attempt");
 }

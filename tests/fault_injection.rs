@@ -101,6 +101,9 @@ fn aim_at(site: FaultSite, cfg: EngineConfig) -> EngineConfig {
         FaultSite::Ballot => cfg.with_filter(FilterPolicy::BallotOnly),
         // Fires at `execute()` entry / bind time under any config.
         FaultSite::ScratchReset | FaultSite::GridBuild => cfg,
+        // Fires whenever checkpoint capture / restore is armed,
+        // regardless of the engine knobs.
+        FaultSite::Capture | FaultSite::Restore => cfg,
     }
 }
 
@@ -275,6 +278,106 @@ fn degrade_policy_retries_an_injected_worker_panic_serially() {
         baseline,
         "serial degrade retry diverged from the serial baseline"
     );
+}
+
+/// Every injected-panic site recovers through the checkpoint path: the
+/// armed run aborts with a typed `WorkerPanicked` carrying its last
+/// boundary snapshot (when one was reached), and resuming from it —
+/// or rerunning fresh when the panic struck before the first boundary
+/// — is bit-equal to an uninterrupted fresh engine, across the knob
+/// matrix. This includes a panic injected inside the capture itself.
+#[test]
+fn every_panic_site_recovers_through_checkpoint_resume() {
+    let _serial = lock();
+    let g = rmat_graph();
+    for (label, cfg) in config_matrix() {
+        for site in [
+            FaultSite::Push,
+            FaultSite::Pull,
+            FaultSite::Ballot,
+            FaultSite::ScratchReset,
+            FaultSite::Capture,
+        ] {
+            let cfg = aim_at(site, cfg.clone());
+            let baseline = fresh(Bfs::new(0), &g, cfg.clone());
+            let runtime = Runtime::new(cfg).expect("runtime");
+            let bound = runtime.bind(&g);
+            let aborted = {
+                let _armed = fault::install(FaultPlan::new().panic_on(site));
+                bound
+                    .run(Bfs::new(0))
+                    .checkpoint_on_abort()
+                    .execute()
+                    .expect_err("armed fault must abort the run")
+            };
+            assert!(
+                matches!(aborted.error, SimdxError::WorkerPanicked { .. }),
+                "{label}/{}: expected WorkerPanicked, got {:?}",
+                site.label(),
+                aborted.error
+            );
+            // A panic before the first boundary (scratch reset at
+            // execute() entry, the capture hook itself at iteration 0)
+            // leaves no snapshot; everything later must.
+            let after = match aborted.checkpoint {
+                Some(cp) => bound
+                    .resume(Bfs::new(0), cp)
+                    .execute()
+                    .unwrap_or_else(|e| panic!("{label}/{}: resume failed: {}", site.label(), e)),
+                None => bound.run(Bfs::new(0)).execute().expect("fresh rerun"),
+            };
+            assert_eq!(
+                fingerprint(after),
+                baseline,
+                "{label}/{}: checkpointed recovery diverged from fresh engine",
+                site.label()
+            );
+        }
+    }
+}
+
+/// A panic injected at the restore hook is contained like any worker
+/// panic, and the caller-side checkpoint (cloned before the attempt)
+/// still resumes bit-equal once the fault is disarmed.
+#[test]
+fn restore_faults_are_contained_and_the_checkpoint_survives() {
+    let _serial = lock();
+    let g = rmat_graph();
+    let cfg = EngineConfig::default().with_exec(ExecMode::Parallel { threads: 3 });
+    let baseline = fresh(Bfs::new(0), &g, cfg.clone());
+    let runtime = Runtime::new(cfg).expect("runtime");
+    let bound = runtime.bind(&g);
+    let aborted = bound
+        .run(Bfs::new(0))
+        .max_iterations(2)
+        .checkpoint_on_abort()
+        .execute()
+        .expect_err("capped run");
+    assert_eq!(
+        aborted.error,
+        SimdxError::IterationLimit { max_iterations: 2 }
+    );
+    let cp = aborted.checkpoint.expect("boundary snapshot");
+    let err = {
+        let _armed = fault::install(FaultPlan::new().panic_on(FaultSite::Restore));
+        bound
+            .resume(Bfs::new(0), cp.clone())
+            .execute()
+            .expect_err("armed restore fault")
+    };
+    assert!(
+        matches!(&err.error, SimdxError::WorkerPanicked { payload, .. }
+            if payload.contains("injected fault at restore")),
+        "wrong error: {:?}",
+        err.error
+    );
+    let after = fingerprint(
+        bound
+            .resume(Bfs::new(0), cp)
+            .execute()
+            .expect("clean resume after contained restore fault"),
+    );
+    assert_eq!(after, baseline, "resume after restore fault diverged");
 }
 
 #[test]

@@ -367,6 +367,80 @@ proptest! {
         }
     }
 
+    /// Cancelling a *checkpointed* run at an arbitrary iteration and
+    /// resuming from the handed-back snapshot is bit-equal to the
+    /// uninterrupted run — metadata, activation log and simulated
+    /// cycles — on arbitrary graphs, across knob cells covering every
+    /// value of the {exec} × {frontier repr} × {layout} × {push
+    /// strategy} axes in both exec modes.
+    #[test]
+    fn checkpointed_cancel_then_resume_is_bit_equal(
+        (n, edges) in arb_edges(48, 150),
+        cancel_at in 0u32..6,
+    ) {
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(
+            edges.iter().map(|&(s, d)| (s % n, d % n)).collect::<Vec<_>>(),
+        ));
+        if g.num_vertices() == 0 {
+            return Ok(());
+        }
+        let par = ExecMode::Parallel { threads: 3 };
+        let cells = [
+            (ExecMode::Serial, FrontierRepr::List, MetadataLayout::Flat, PushStrategy::Grid),
+            (ExecMode::Serial, FrontierRepr::Bitmap, MetadataLayout::Chunked, PushStrategy::Scan),
+            (par, FrontierRepr::List, MetadataLayout::Chunked, PushStrategy::Scan),
+            (par, FrontierRepr::Bitmap, MetadataLayout::Flat, PushStrategy::Scan),
+            (par, FrontierRepr::Bitmap, MetadataLayout::Chunked, PushStrategy::Grid),
+            (par, FrontierRepr::List, MetadataLayout::Flat, PushStrategy::Grid),
+        ];
+        for (exec, repr, layout, push) in cells {
+            let cfg = EngineConfig::unscaled()
+                .with_exec(exec)
+                .with_frontier(repr)
+                .with_layout(layout)
+                .with_push(push);
+            let baseline = bfs::run(&g, 0, cfg.clone()).expect("fresh baseline");
+            let runtime = Runtime::new(cfg).expect("runtime");
+            let bound = runtime.bind(&g);
+            let token = CancelToken::new();
+            let hook_token = token.clone();
+            let outcome = bound
+                .run(Bfs::new(0))
+                .cancel_token(token)
+                .checkpoint_on_abort()
+                .observe(move |rec| {
+                    if rec.iteration >= cancel_at {
+                        hook_token.cancel();
+                    }
+                })
+                .execute();
+            let resumed = match outcome {
+                // A cancel raised on the final iteration can lose the
+                // race with convergence.
+                Ok(r) => r,
+                Err(aborted) => {
+                    prop_assert!(
+                        matches!(aborted.error, SimdxError::Cancelled { .. }),
+                        "unexpected abort: {:?}",
+                        aborted.error
+                    );
+                    match aborted.checkpoint {
+                        Some(cp) => bound
+                            .resume(Bfs::new(0), cp)
+                            .execute()
+                            .expect("resume from cancel checkpoint"),
+                        // Aborted before the first boundary capture.
+                        None => bound.run(Bfs::new(0)).execute().expect("fresh rerun"),
+                    }
+                }
+            };
+            prop_assert_eq!(&resumed.meta, &baseline.meta);
+            prop_assert_eq!(resumed.report.iterations, baseline.report.iterations);
+            prop_assert_eq!(&resumed.report.log, &baseline.report.log);
+            prop_assert_eq!(&resumed.report.stats, &baseline.report.stats);
+        }
+    }
+
     /// The ballot filter's output is always sorted, duplicate-free, and
     /// equal to the set the online filter records (ignoring order).
     #[test]
