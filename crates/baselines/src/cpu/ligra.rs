@@ -39,11 +39,19 @@ impl Default for LigraConfig {
 /// Atomically lowers `slot` to `value` if smaller; returns `true` when
 /// this call performed the first lowering below `slot`'s previous value.
 fn atomic_min(slot: &AtomicU32, value: u32) -> bool {
+    // ORDERING: the distance cells form a join-semilattice (values only
+    // ever decrease) and no thread reads a cell to publish *other*
+    // data; a stale read here just retries the CAS, and the CAS itself
+    // provides the atomicity the min-update needs, so Relaxed on every
+    // access is correct. Results are harvested only after the scoped
+    // threads have joined (a full synchronization point).
     let mut cur = slot.load(Ordering::Relaxed);
     loop {
         if value >= cur {
             return false;
         }
+        // ORDERING: Relaxed on success and failure alike — see the
+        // join-semilattice argument above.
         match slot.compare_exchange_weak(cur, value, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return true,
             Err(seen) => cur = seen,
@@ -68,6 +76,8 @@ fn relax_run(
     let threads = real_threads();
 
     let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    // ORDERING: initialization before any thread is spawned; the
+    // spawn itself orders this store ahead of every worker read.
     dist[src as usize].store(0, Ordering::Relaxed);
     // Frontier entries carry the distance they were enqueued with, which
     // keeps iteration structure deterministic under real parallelism.
@@ -86,6 +96,9 @@ fn relax_run(
         let mut next: Vec<(VertexId, u32)> = if pull {
             // Dense backward edgeMap from a snapshot, parallel over
             // destination ranges (disjoint writes → deterministic).
+            // ORDERING: snapshot taken between iterations, after the
+            // previous iteration's scoped threads joined; no concurrent
+            // writers exist at this point.
             let snapshot: Vec<u32> = dist.iter().map(|d| d.load(Ordering::Relaxed)).collect();
             let chunk = n.div_ceil(threads).max(1);
             let snap = &snapshot;
@@ -123,6 +136,11 @@ fn relax_run(
                                 }
                             }
                             if best < snap[v] {
+                                // ORDERING: destination ranges are
+                                // disjoint per thread, so this cell has
+                                // exactly one writer this iteration;
+                                // readers see it only after the scope
+                                // joins.
                                 dist_ref[v].store(best, Ordering::Relaxed);
                                 local.push((v as VertexId, best));
                             }
@@ -223,6 +241,7 @@ fn relax_run(
         name,
         executor,
         iteration,
+        // ORDERING: harvested after every scoped worker has joined.
         dist.iter().map(|d| d.load(Ordering::Relaxed)).collect(),
     )
 }
@@ -354,6 +373,7 @@ pub fn kcore(graph: &Graph, k: u32, cfg: LigraConfig) -> Result<RunResult<u32>, 
     // counter value alone cannot encode aliveness.
     let mut dead = vec![false; n];
     let mut frontier: Vec<VertexId> = (0..n as VertexId)
+        // ORDERING: single-threaded seeding pass, before any spawn.
         .filter(|&v| deg[v as usize].load(Ordering::Relaxed) < k)
         .collect();
     for &v in &frontier {
@@ -382,6 +402,11 @@ pub fn kcore(graph: &Graph, k: u32, cfg: LigraConfig) -> Result<RunResult<u32>, 
                             // vertices' counters keep decrementing but,
                             // with at most in-degree total decrements,
                             // can never cross k again.
+                            // ORDERING: the fetch_sub's atomicity
+                            // alone decides ownership (exactly one
+                            // thread observes old == k); no other data
+                            // is published under the counter, so no
+                            // acquire/release pairing is needed.
                             let old = deg_ref[u as usize].fetch_sub(1, Ordering::Relaxed);
                             if old == k {
                                 local.push(u);
@@ -432,6 +457,7 @@ pub fn kcore(graph: &Graph, k: u32, cfg: LigraConfig) -> Result<RunResult<u32>, 
                 if dead[v] {
                     u32::MAX
                 } else {
+                    // ORDERING: harvested after all workers joined.
                     d.load(Ordering::Relaxed)
                 }
             })

@@ -108,8 +108,8 @@ pub use enabled::{hit, install, FaultGuard, FaultPlan};
 #[cfg(feature = "fault-inject")]
 mod enabled {
     use super::{FaultAction, FaultSite, NUM_SITES};
-    use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
+    use crate::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
     use std::time::Duration;
 
     /// One armed fault: fires `action` at `site`. `nth == 0` fires on
@@ -292,6 +292,11 @@ mod enabled {
                 None => return,
             }
         };
+        // ORDERING: per-site hit counters only need atomicity, not
+        // ordering: each worker's increment must be counted exactly
+        // once so the `nth` trigger fires deterministically, but no
+        // other data is published under the counter. The harness
+        // inspects counts only after the run has joined its workers.
         let count = plan.counts[site.index()].fetch_add(1, Ordering::Relaxed) + 1;
         for fault in plan.faults.iter().filter(|f| f.site == site) {
             let fires = fault.nth == 0 || fault.nth == count;

@@ -96,6 +96,14 @@ mod scratch;
 pub mod service;
 pub mod session;
 pub mod supervise;
+pub mod sync;
+
+// The deterministic interleaving harness (`tests/model_interleave.rs`
+// at the workspace root, `--features model`) drives the internal pools
+// through explicitly enumerated schedules; the types stay private in
+// every other build.
+#[cfg(feature = "model")]
+pub use pool::{PoolLease, PoolStash, MAX_IDLE_POOLS};
 
 pub use acc::{AccProgram, CombineKind, DirectionCtx, SourcedProgram};
 pub use checkpoint::{RunAborted, RunCheckpoint};
@@ -116,8 +124,8 @@ pub use metadata::MetadataStore;
 pub use metrics::{RunReport, RunResult};
 pub use par::WorkerPanic;
 pub use service::{
-    AdmissionPolicy, CloseMode, QueryClient, QueryPool, QueryRequest, QueryTicket, RetryPolicy,
-    ServeOutcome, ServeReport, ServiceConfig,
+    AdmissionPolicy, Breaker, CloseMode, QueryClient, QueryPool, QueryRequest, QueryTicket,
+    RetryPolicy, ServeOutcome, ServeReport, ServiceConfig,
 };
 pub use session::{BoundGraph, ResumableRunBuilder, RunBuilder, Runtime, SeedOutcome};
 pub use supervise::{AbortReason, CancelToken, RunProgress};

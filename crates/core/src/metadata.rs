@@ -69,6 +69,8 @@ pub struct ChunkedBuf<M> {
 // SAFETY: ChunkedBuf owns its allocation exclusively; it is a Vec-like
 // container, so Send/Sync follow the element type.
 unsafe impl<M: Send> Send for ChunkedBuf<M> {}
+// SAFETY: as above — shared references only ever read through the
+// pointer, so Sync likewise follows the element type.
 unsafe impl<M: Sync> Sync for ChunkedBuf<M> {}
 
 impl<M: Copy> ChunkedBuf<M> {

@@ -47,8 +47,9 @@
 //! poisoning to the query that caused it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+use crate::sync::{Arc, Condvar, Mutex};
 
 /// A contained panic from one pool worker: the typed form of what used
 /// to be a process abort. Converts into
@@ -230,6 +231,7 @@ impl WorkerPool {
         self.try_run(&|w| {
             // SAFETY: each worker index runs exactly once per region.
             let (_, slot) = unsafe { slots.shard(w) };
+            // SAFETY: same claim, second shard set.
             let (off, shard) = unsafe { shards.shard(w) };
             f(w, &mut slot[0], off, shard);
         })
@@ -276,7 +278,9 @@ impl WorkerPool {
         self.try_run(&|w| {
             // SAFETY: each worker index runs exactly once per region.
             let (_, slot) = unsafe { slots.shard(w) };
+            // SAFETY: same claim, second shard set.
             let (off, shard) = unsafe { shards.shard(w) };
+            // SAFETY: same claim, third shard set.
             let (off2, shard2) = unsafe { shards2.shard(w) };
             f(w, &mut slot[0], off, shard, off2, shard2);
         })
@@ -328,9 +332,14 @@ impl WorkerPool {
                 return Err(p.clone());
             }
             debug_assert!(state.remaining == 0, "overlapping pool regions");
-            // Lifetime erasure: the pointer is only dereferenced by
-            // workers between here and the completion wait below, and we
-            // do not return (even by panic) before `remaining == 0`.
+            // SAFETY: lifetime erasure only — the 'static is a lie the
+            // epoch protocol makes unobservable. The erased pointer is
+            // dereferenced exclusively by workers between this store
+            // and the completion wait below, and this function does not
+            // return (not even by panic: the submitter's own panic is
+            // caught and deferred) before `remaining == 0` and the slot
+            // is cleared, so no worker can still hold the reference
+            // when the borrow of `job` ends.
             state.job = Some(unsafe { std::mem::transmute::<Job<'_>, Job<'static>>(job) });
             state.epoch += 1;
             state.remaining = self.threads - 1;
@@ -429,6 +438,12 @@ pub struct SliceShards<'a, T> {
     ptr: *mut T,
     len: usize,
     bounds: &'a [u32],
+    /// Debug-build misuse detector: bit `w` set once shard `w` has been
+    /// handed out. A second claim of the same index would alias a
+    /// `&mut` — [`Self::shard`] asserts against it in debug builds
+    /// (release builds keep the zero-cost contract).
+    #[cfg(debug_assertions)]
+    claimed: crate::sync::atomic::AtomicU64,
 }
 
 // SAFETY: shards are disjoint; cross-thread handoff of &mut T ranges is
@@ -447,6 +462,8 @@ impl<'a, T> SliceShards<'a, T> {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
             bounds,
+            #[cfg(debug_assertions)]
+            claimed: crate::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -455,10 +472,47 @@ impl<'a, T> SliceShards<'a, T> {
     ///
     /// # Safety
     ///
-    /// Each worker index must be claimed by at most one thread per
-    /// region (the [`WorkerPool::run`] contract).
+    /// The returned `&mut` aliases nothing only if the caller upholds
+    /// both of:
+    ///
+    /// * `w` is a valid worker index: `w + 1 < bounds.len()` as passed
+    ///   to [`SliceShards::new`] (out of range panics on the bounds
+    ///   lookup — it never yields a wild slice — but is still a
+    ///   contract violation);
+    /// * each worker index is claimed **at most once** per
+    ///   `SliceShards` instance, by exactly one thread — the
+    ///   [`WorkerPool::run`] contract ("one invocation per worker index
+    ///   per region"). Claiming the same `w` twice would hand out two
+    ///   live `&mut` views of the same range.
+    ///
+    /// Debug builds enforce both with assertions (a claim ledger
+    /// catches double handouts for the first 64 worker indices, which
+    /// covers every pool width the engine constructs); release builds
+    /// rely on the caller.
+    // SAFETY: declared unsafe to push the two `# Safety` obligations
+    // above onto the caller; the body itself only materializes the
+    // `&mut` after the debug guards run.
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn shard(&self, w: usize) -> (usize, &mut [T]) {
+        debug_assert!(
+            w + 1 < self.bounds.len(),
+            "worker index {w} out of range for {} shards",
+            self.bounds.len() - 1
+        );
+        #[cfg(debug_assertions)]
+        if w < 64 {
+            // ORDERING: the ledger is a debug-only misuse detector; the
+            // fetch_or is already atomic read-modify-write, so two
+            // racing claims of the same index cannot both observe a
+            // clear bit regardless of memory ordering.
+            let prev = self
+                .claimed
+                .fetch_or(1 << w, crate::sync::atomic::Ordering::Relaxed);
+            debug_assert!(
+                prev & (1 << w) == 0,
+                "shard {w} handed out twice from one SliceShards"
+            );
+        }
         let lo = self.bounds[w] as usize;
         let hi = self.bounds[w + 1] as usize;
         debug_assert!(lo <= hi && hi <= self.len);
@@ -709,5 +763,39 @@ mod tests {
             }
         });
         assert_eq!(data, vec![100, 101, 102, 303, 304, 305, 306, 307, 308, 309]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn shard_double_handout_trips_the_debug_ledger() {
+        let mut data = vec![0u32; 4];
+        let bounds = [0u32, 2, 4];
+        let shards = SliceShards::new(&mut data, &bounds);
+        // SAFETY: indices 0 and 1 are each claimed once, per contract.
+        let _a = unsafe { shards.shard(0) };
+        // SAFETY: as above — a distinct index, claimed once.
+        let _b = unsafe { shards.shard(1) };
+        // The ledger assertion fires *before* the aliasing view would
+        // be materialized, so this misuse is caught, not UB.
+        let again = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: deliberate contract violation; the debug ledger
+            // panics before any slice is formed.
+            let _ = unsafe { shards.shard(0) };
+        }));
+        assert!(again.is_err(), "double handout must panic in debug");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn shard_out_of_range_worker_trips_the_debug_assert() {
+        let mut data = vec![0u32; 4];
+        let bounds = [0u32, 2, 4];
+        let shards = SliceShards::new(&mut data, &bounds);
+        let oob = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: deliberate contract violation; the bounds
+            // assertion panics before any slice is formed.
+            let _ = unsafe { shards.shard(2) };
+        }));
+        assert!(oob.is_err(), "out-of-range worker index must panic");
     }
 }

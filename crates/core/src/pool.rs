@@ -37,7 +37,8 @@
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::ops::Deref;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::par::WorkerPool;
 
@@ -45,10 +46,10 @@ use crate::par::WorkerPool;
 /// still succeed (they spawn), but check-ins beyond it drop the pool —
 /// a burst of concurrent queries does not permanently pin its
 /// high-water mark of OS threads.
-pub(crate) const MAX_IDLE_POOLS: usize = 8;
+pub const MAX_IDLE_POOLS: usize = 8;
 
 /// A stash of idle [`WorkerPool`]s of one width; see the module docs.
-pub(crate) struct PoolStash {
+pub struct PoolStash {
     width: usize,
     idle: Mutex<Vec<WorkerPool>>,
 }
@@ -101,7 +102,9 @@ impl PoolStash {
     }
 
     /// Idle (checked-in) pools currently retained.
-    #[cfg(test)]
+    // Exercised by this module's tests and (via the `model` re-export)
+    // the workspace interleaving harness; unused in production builds.
+    #[cfg_attr(not(feature = "model"), allow(dead_code))]
     pub fn idle_pools(&self) -> usize {
         self.lock().len()
     }
@@ -110,7 +113,7 @@ impl PoolStash {
 /// A checked-out [`WorkerPool`]; derefs to the pool and checks it back
 /// in on drop (unless poisoned — then the pool is dropped, joining its
 /// threads, and the next checkout spawns a replacement).
-pub(crate) struct PoolLease<'a> {
+pub struct PoolLease<'a> {
     stash: &'a PoolStash,
     pool: Option<WorkerPool>,
 }

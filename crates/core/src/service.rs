@@ -110,9 +110,10 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::acc::SourcedProgram;
 use crate::checkpoint::RunCheckpoint;
@@ -477,10 +478,18 @@ struct QueueState {
     aborted: bool,
 }
 
-/// The circuit breaker's mutable half. Closed (healthy) when
-/// `opened_at` is `None`; open (shedding) while `opened_at` is within
-/// the cooldown; half-open (one probe in flight) when `probing`.
-struct BreakerState {
+/// The worker-panic circuit breaker as a standalone, explicitly-timed
+/// state machine: closed (healthy) when `opened_at` is `None`; open
+/// (shedding) while `opened_at` is within the cooldown; half-open (one
+/// probe in flight) when `probing`.
+///
+/// [`QueryPool`] wraps one in a mutex and feeds it `Instant::now()`;
+/// every transition takes the clock as an argument, so the
+/// deterministic interleaving harness (`tests/model_interleave.rs`)
+/// drives the same machine through enumerated schedules and synthetic
+/// clocks — no wall-clock read hides inside a transition.
+#[derive(Debug)]
+pub struct Breaker {
     /// Consecutive worker-panic final outcomes observed while closed.
     consecutive: u32,
     /// When the breaker last opened; `None` = closed.
@@ -488,6 +497,72 @@ struct BreakerState {
     /// A half-open probe query has been admitted and its outcome is
     /// still pending; further submissions shed until it lands.
     probing: bool,
+    /// Opens after this many consecutive worker-panic outcomes.
+    threshold: u32,
+    /// How long an open breaker sheds before half-opening.
+    cooldown: Duration,
+}
+
+impl Breaker {
+    /// A closed breaker opening after `threshold` consecutive
+    /// worker-panic outcomes and shedding for `cooldown` before each
+    /// half-open probe.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        Self {
+            consecutive: 0,
+            opened_at: None,
+            probing: false,
+            threshold,
+            cooldown,
+        }
+    }
+
+    /// Admission gate: `Ok(())` admits the submission (possibly as the
+    /// half-open probe), `Err(retry_after)` sheds it.
+    pub fn admit(&mut self, now: Instant) -> Result<(), Duration> {
+        if let Some(opened) = self.opened_at {
+            let elapsed = now.saturating_duration_since(opened);
+            if elapsed < self.cooldown {
+                return Err(self.cooldown - elapsed);
+            }
+            // Cooled down: half-open. Admit exactly one probe; shed the
+            // rest until its outcome lands.
+            if self.probing {
+                return Err(self.cooldown);
+            }
+            self.probing = true;
+        }
+        Ok(())
+    }
+
+    /// Feeds one query's *final* outcome into the machine: `panicked`
+    /// means a worker-panic outcome (the only failure kind that speaks
+    /// to service health).
+    pub fn record(&mut self, panicked: bool, now: Instant) {
+        if panicked {
+            self.consecutive += 1;
+            if self.probing || self.consecutive >= self.threshold {
+                // Threshold tripped, or the half-open probe died:
+                // (re)open for a fresh cooldown.
+                self.opened_at = Some(now);
+                self.probing = false;
+                self.consecutive = 0;
+            }
+        } else {
+            self.consecutive = 0;
+            self.opened_at = None;
+            self.probing = false;
+        }
+    }
+
+    /// Whether a submission at `now` would be shed (open and still
+    /// cooling, or half-open with the probe outstanding).
+    pub fn is_shedding(&self, now: Instant) -> bool {
+        match self.opened_at {
+            None => false,
+            Some(opened) => now.saturating_duration_since(opened) < self.cooldown || self.probing,
+        }
+    }
 }
 
 /// The bounded submission queue shared by the producer and the serving
@@ -500,9 +575,7 @@ struct SharedQueue {
     depth: usize,
     admission: AdmissionPolicy,
     /// `Some` when [`ServiceConfig::breaker_threshold`] > 0.
-    breaker: Option<Mutex<BreakerState>>,
-    breaker_threshold: u32,
-    breaker_cooldown: Duration,
+    breaker: Option<Mutex<Breaker>>,
     /// Pool-wide shutdown token; cancelled by [`CloseMode::Abort`] and
     /// attached to every query's supervisor so in-flight runs abort at
     /// their next supervision check.
@@ -526,24 +599,11 @@ impl SharedQueue {
         let Some(breaker) = &self.breaker else {
             return Ok(());
         };
-        let mut st = breaker.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Some(opened) = st.opened_at {
-            let elapsed = opened.elapsed();
-            if elapsed < self.breaker_cooldown {
-                return Err(SimdxError::Unavailable {
-                    retry_after: self.breaker_cooldown - elapsed,
-                });
-            }
-            // Cooled down: half-open. Admit exactly one probe; shed the
-            // rest until its outcome lands.
-            if st.probing {
-                return Err(SimdxError::Unavailable {
-                    retry_after: self.breaker_cooldown,
-                });
-            }
-            st.probing = true;
-        }
-        Ok(())
+        breaker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .admit(Instant::now())
+            .map_err(|retry_after| SimdxError::Unavailable { retry_after })
     }
 
     /// Feeds one query's *final* outcome (retries already exhausted or
@@ -554,21 +614,10 @@ impl SharedQueue {
         let Some(breaker) = &self.breaker else {
             return;
         };
-        let mut st = breaker.lock().unwrap_or_else(PoisonError::into_inner);
-        if panicked {
-            st.consecutive += 1;
-            if st.probing || st.consecutive >= self.breaker_threshold {
-                // Threshold tripped, or the half-open probe died:
-                // (re)open for a fresh cooldown.
-                st.opened_at = Some(Instant::now());
-                st.probing = false;
-                st.consecutive = 0;
-            }
-        } else {
-            st.consecutive = 0;
-            st.opened_at = None;
-            st.probing = false;
-        }
+        breaker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(panicked, Instant::now());
     }
 }
 
@@ -701,14 +750,11 @@ impl QueryPool {
             depth: config.queue_depth,
             admission: config.admission,
             breaker: (config.breaker_threshold > 0).then(|| {
-                Mutex::new(BreakerState {
-                    consecutive: 0,
-                    opened_at: None,
-                    probing: false,
-                })
+                Mutex::new(Breaker::new(
+                    config.breaker_threshold,
+                    config.breaker_cooldown,
+                ))
             }),
-            breaker_threshold: config.breaker_threshold,
-            breaker_cooldown: config.breaker_cooldown,
             shutdown: CancelToken::new(),
         };
         let slots: Mutex<Vec<Option<ServeOutcome<P::Meta>>>> = Mutex::new(Vec::new());
@@ -813,6 +859,10 @@ fn serve_loop<P: SourcedProgram>(
             publish(slots, entry.ticket, outcome);
         }
         bound.checkin_scratch(scratch);
+        // ORDERING: `batches` is a diagnostic counter aggregated into
+        // the serve report after `thread::scope` has joined every
+        // serving thread (a full synchronization point); the increments
+        // guard no data, so Relaxed is sufficient.
         batches.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -1023,13 +1073,7 @@ mod tests {
             not_full: Condvar::new(),
             depth: 4,
             admission: AdmissionPolicy::Reject,
-            breaker: Some(Mutex::new(BreakerState {
-                consecutive: 0,
-                opened_at: None,
-                probing: false,
-            })),
-            breaker_threshold: 2,
-            breaker_cooldown: Duration::from_millis(20),
+            breaker: Some(Mutex::new(Breaker::new(2, Duration::from_millis(20)))),
             shutdown: CancelToken::new(),
         };
         // Healthy: admits freely; one panic is below threshold.

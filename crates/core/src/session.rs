@@ -111,8 +111,9 @@
 //! # Ok::<(), SimdxError>(())
 //! ```
 
-use std::sync::Arc;
 use std::time::Duration;
+
+use crate::sync::Arc;
 
 use crate::acc::{AccProgram, SourcedProgram};
 use crate::checkpoint::{RunAborted, RunCheckpoint};

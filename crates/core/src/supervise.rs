@@ -37,9 +37,10 @@
 //! deadline is measured from *submission*: time spent queued shrinks
 //! the in-engine allowance.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::Arc;
 
 use crate::error::SimdxError;
 
@@ -70,11 +71,21 @@ impl CancelToken {
     /// it at the next supervision check and returns
     /// [`SimdxError::Cancelled`].
     pub fn cancel(&self) {
+        // ORDERING: the flag is a standalone control signal — no data
+        // is published alongside it, so there is nothing for a stronger
+        // ordering to sequence. Observers only need eventual visibility
+        // (the next supervision check or the one after), and the store
+        // is sticky/monotone, so Relaxed cannot lose or reorder a
+        // cancellation. Validated under enumerated interleavings by
+        // `tests/model_interleave.rs` (cancel_token scenarios).
         self.flag.store(true, Ordering::Relaxed);
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
+        // ORDERING: pairs with the Relaxed store in `cancel`; the flag
+        // is monotone (false -> true once), so a stale read only delays
+        // the abort by one poll interval — it can never un-cancel.
         self.flag.load(Ordering::Relaxed)
     }
 }
@@ -174,6 +185,10 @@ impl Supervisor {
         if !self.polls() {
             return false;
         }
+        // ORDERING: `checks` is a diagnostic counter summed into the
+        // run report after the run has joined all workers; it guards no
+        // data, so Relaxed increments are sufficient (and keep the
+        // in-sweep poll off the coherence critical path).
         self.checks.fetch_add(1, Ordering::Relaxed);
         if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
             return true;
@@ -194,6 +209,7 @@ impl Supervisor {
         if !self.polls() && self.cycle_budget.is_none() {
             return None;
         }
+        // ORDERING: diagnostic counter; see `poll`.
         self.checks.fetch_add(1, Ordering::Relaxed);
         if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
             return Some(AbortReason::Cancelled);
@@ -225,6 +241,7 @@ impl Supervisor {
         if !self.polls() {
             return None;
         }
+        // ORDERING: diagnostic counter; see `poll`.
         self.checks.fetch_add(1, Ordering::Relaxed);
         if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
             return Some(AbortReason::Cancelled);
@@ -244,6 +261,9 @@ impl Supervisor {
 
     /// Supervision checks performed so far.
     pub fn checks(&self) -> u64 {
+        // ORDERING: read after the run's workers have been joined (or
+        // from the owning thread mid-run for a monotone lower bound);
+        // a diagnostic counter needs no synchronization.
         self.checks.load(Ordering::Relaxed)
     }
 

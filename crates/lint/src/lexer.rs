@@ -1,0 +1,460 @@
+//! A minimal hand-rolled Rust lexer: just enough token structure for
+//! the rule passes to reason about *code* without being fooled by
+//! comments and string literals.
+//!
+//! No crates.io access in this workspace (see `crates/compat/`), so no
+//! `syn` — the lexer handles exactly the constructs that would
+//! otherwise cause false positives/negatives on this repo's corpus:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`, `/** doc */`);
+//! * string literals with escapes, byte strings, and raw strings with
+//!   arbitrary `#` fencing (`r"…"`, `r#"…"#`, `br##"…"##`, `c"…"`) —
+//!   an `unsafe` inside any of them is text, not a keyword;
+//! * char literals vs lifetimes (`'a'` vs `'a`);
+//! * identifiers, numbers and single-char punctuation.
+//!
+//! Tokens carry their byte span and 1-based start/end lines, so rule
+//! passes can relate code tokens to nearby comments.
+
+/// What a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// `'a` (not a char literal).
+    Lifetime,
+    /// Numeric literal (loose: digits plus trailing alphanumerics).
+    Number,
+    /// String, byte-string, raw-string or char literal.
+    Str,
+    /// `// …` (`doc` for `///` and `//!`).
+    LineComment {
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+    /// `/* … */`, nesting handled (`doc` for `/** … */` and `/*! … */`).
+    BlockComment {
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+    /// Any other single character.
+    Punct(char),
+}
+
+/// One token: kind plus byte span and 1-based line numbers.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based line of the last character (differs from `line` only
+    /// for block comments and multi-line strings).
+    pub end_line: u32,
+}
+
+impl Tok {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is any kind of comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment { .. } | TokKind::BlockComment { .. }
+        )
+    }
+
+    /// Whether this token is a doc comment (`///`, `//!`, `/** */`).
+    pub fn is_doc_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment { doc: true } | TokKind::BlockComment { doc: true }
+        )
+    }
+}
+
+/// Tokenizes `src`. Never panics on malformed input: unterminated
+/// constructs simply extend to end of file.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    /// `(byte_offset, char)` pairs; `i` indexes into this.
+    chars: Vec<(usize, char)>,
+    i: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            chars: src.char_indices().collect(),
+            i: 0,
+            line: 1,
+            toks: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).map(|&(_, c)| c)
+    }
+
+    fn offset(&self, idx: usize) -> usize {
+        self.chars.get(idx).map_or(self.src.len(), |&(off, _)| off)
+    }
+
+    /// Advances one char, tracking newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, start_idx: usize, start_line: u32) {
+        self.toks.push(Tok {
+            kind,
+            start: self.offset(start_idx),
+            end: self.offset(self.i),
+            line: start_line,
+            end_line: self.line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let start = self.i;
+            let start_line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    let doc = matches!(self.peek(2), Some('/') | Some('!'))
+                        // `////…` dividers are plain comments, not doc.
+                        && self.peek(3) != Some('/');
+                    while let Some(c) = self.peek(0) {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    self.push(TokKind::LineComment { doc }, start, start_line);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    let doc =
+                        matches!(self.peek(2), Some('*') | Some('!')) && self.peek(3) != Some('/'); // `/**/` is empty, not doc
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (self.peek(0), self.peek(1)) {
+                            (Some('/'), Some('*')) => {
+                                depth += 1;
+                                self.bump();
+                                self.bump();
+                            }
+                            (Some('*'), Some('/')) => {
+                                depth -= 1;
+                                self.bump();
+                                self.bump();
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => break, // unterminated: EOF closes
+                        }
+                    }
+                    self.push(TokKind::BlockComment { doc }, start, start_line);
+                }
+                '"' => {
+                    self.lex_string();
+                    self.push(TokKind::Str, start, start_line);
+                }
+                '\'' => {
+                    self.lex_char_or_lifetime(start, start_line);
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    // Identifier — unless it is a raw/byte string prefix
+                    // (r, b, br, rb is invalid but treat like ident, c,
+                    // cr) glued to a quote or `#`-fence.
+                    let mut j = self.i;
+                    while let Some(&(_, c)) = self.chars.get(j) {
+                        if c.is_alphanumeric() || c == '_' {
+                            j += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let word_end = self.offset(j);
+                    let word = &self.src[self.offset(self.i)..word_end];
+                    let next = self.chars.get(j).map(|&(_, c)| c);
+                    let is_raw_prefix =
+                        matches!(word, "r" | "br" | "cr") && matches!(next, Some('"') | Some('#'));
+                    let is_plain_prefix = matches!(word, "b" | "c") && next == Some('"');
+                    if is_raw_prefix {
+                        // Consume prefix, fences, then raw body.
+                        while self.i < j {
+                            self.bump();
+                        }
+                        let mut fences = 0usize;
+                        while self.peek(0) == Some('#') {
+                            fences += 1;
+                            self.bump();
+                        }
+                        if self.peek(0) == Some('"') {
+                            self.bump();
+                            self.lex_raw_body(fences);
+                            self.push(TokKind::Str, start, start_line);
+                        } else {
+                            // `r#ident` raw identifier: emit as Ident.
+                            while let Some(c) = self.peek(0) {
+                                if c.is_alphanumeric() || c == '_' {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                            self.push(TokKind::Ident, start, start_line);
+                        }
+                    } else if is_plain_prefix {
+                        while self.i < j {
+                            self.bump();
+                        }
+                        self.bump(); // opening quote
+                        self.lex_string_body();
+                        self.push(TokKind::Str, start, start_line);
+                    } else {
+                        while self.i < j {
+                            self.bump();
+                        }
+                        self.push(TokKind::Ident, start, start_line);
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Number, start, start_line);
+                }
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), start, start_line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    /// From the opening quote (not yet consumed).
+    fn lex_string(&mut self) {
+        self.bump(); // opening quote
+        self.lex_string_body();
+    }
+
+    /// After the opening quote: consume escaped body + closing quote
+    /// (an unescaped `"` always closes; escapes are consumed in pairs
+    /// so `\"` never reaches the closing arm).
+    fn lex_string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // the escaped char, whatever it is
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// After `r#*"`: consume until `"` followed by `fences` hashes.
+    fn lex_raw_body(&mut self, fences: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut ok = true;
+                for k in 0..fences {
+                    if self.peek(k) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..fences {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// At a `'`: char literal (`'a'`, `'\n'`, `'\''`) or lifetime
+    /// (`'a`, `'static`, `'_`).
+    fn lex_char_or_lifetime(&mut self, start: usize, start_line: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: `'\n'`, `'\''`, `'\u{1F600}'`.
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Str, start, start_line);
+            }
+            Some(c) if self.peek(1) == Some('\'') => {
+                // `'x'` — a one-char literal (covers `'_'` too).
+                let _ = c;
+                self.bump();
+                self.bump();
+                self.push(TokKind::Str, start, start_line);
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                // Lifetime: consume the identifier.
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, start, start_line);
+            }
+            _ => {
+                self.push(TokKind::Punct('\''), start, start_line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn plain_code_tokenizes() {
+        let src = "pub unsafe fn f(x: u32) -> u32 { x + 1 }";
+        assert_eq!(
+            idents(src),
+            vec!["pub", "unsafe", "fn", "f", "x", "u32", "u32", "x"]
+        );
+    }
+
+    #[test]
+    fn line_comments_swallow_keywords() {
+        let src = "// unsafe Ordering::Relaxed\nlet x = 1;";
+        assert_eq!(idents(src), vec!["let", "x"]);
+        let toks = tokenize(src);
+        assert!(matches!(toks[0].kind, TokKind::LineComment { doc: false }));
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2, "code resumes on line 2");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unsafe */ still comment */ fn g() {}";
+        assert_eq!(idents(src), vec!["fn", "g"]);
+        let toks = tokenize(src);
+        assert!(matches!(toks[0].kind, TokKind::BlockComment { doc: false }));
+        assert!(toks[0].text(src).contains("inner unsafe"));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let src = "/// # Safety\n//! inner\n/** block */\n//// divider\nfn f() {}";
+        let toks = tokenize(src);
+        assert!(toks[0].is_doc_comment());
+        assert!(toks[1].is_doc_comment());
+        assert!(toks[2].is_doc_comment());
+        assert!(!toks[3].is_doc_comment(), "//// is a plain divider");
+    }
+
+    #[test]
+    fn strings_swallow_slashes_and_keywords() {
+        let src = r#"let url = "https://example.com/unsafe"; let b = 1;"#;
+        assert_eq!(idents(src), vec!["let", "url", "let", "b"]);
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        let src = r#"let s = "she said \"unsafe\""; let t = 2;"#;
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r###"let s = r#"contains "unsafe" and // comment"#; let u = 3;"###;
+        assert_eq!(idents(src), vec!["let", "s", "let", "u"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let src = r##"let a = b"unsafe"; let c = br#"Ordering::Relaxed"#; x"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"Ordering".to_string()));
+        assert!(ids.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let q = '\\''; let z = 'z'; let u = '_'; }";
+        let toks = tokenize(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let strs = toks.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(strs, 3, "'\\''' , 'z' and '_' are char literals");
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let src = "let r#type = 1;";
+        assert_eq!(idents(src), vec!["let", "r#type"]);
+    }
+
+    #[test]
+    fn multiline_tokens_track_end_line() {
+        let src = "/* a\nb\nc */ \"x\ny\" fn f() {}";
+        let toks = tokenize(src);
+        assert_eq!((toks[0].line, toks[0].end_line), (1, 3));
+        assert_eq!((toks[1].line, toks[1].end_line), (3, 4));
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_hang_or_panic() {
+        for src in ["/* never closed", "\"never closed", "r#\"never closed", "'"] {
+            let _ = tokenize(src);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! `simdx-lint`: repo-specific static analysis for the SIMD-X
+//! reproduction.
+//!
+//! The engine's correctness argument leans on conventions no generic
+//! linter checks: every `unsafe` carries a written invariant, every
+//! atomic ordering a written rationale, and the iteration loop reads
+//! neither the environment nor the wall clock. This crate enforces
+//! those conventions mechanically — a hand-rolled lexer (the container
+//! builds offline, so no `syn`) feeding rule passes, with a ratchet
+//! baseline for pre-existing `panic-free` debt.
+//!
+//! Run `cargo run -p simdx_lint -- --check` from the workspace root;
+//! CI does the same. See `crates/core/README.md` ("Invariants & static
+//! checks") for the contract being enforced.
+
+pub mod lexer;
+pub mod model;
+pub mod ratchet;
+pub mod rules;
