@@ -27,8 +27,12 @@
 //! A seventh group, `resilience`, A/Bs the same serving batch with
 //! checkpoint capture off vs armed on every query
 //! ([`ServiceConfig::checkpoint_aborts`]), pinning the cost of
-//! keeping every in-flight query resumable ≤ 5%
-//! (schema v8; every sample carries an `api` field: `fresh` = a new
+//! keeping every in-flight query resumable ≤ 5%. An eighth group,
+//! `durability`, A/Bs that batch again with no durability vs a
+//! `DirStore`-backed [`ServiceConfig::durability`] policy armed —
+//! the standing happy-path cost of the durable spill machinery
+//! (nothing fails, so nothing is written), pinned ≤ 5% as well
+//! (schema v9; every sample carries an `api` field: `fresh` = a new
 //! runtime per query, `bound` = queries over one bound session).
 //!
 //! Usage:
@@ -45,8 +49,8 @@
 use simdx_algos::{bfs::Bfs, kcore::KCore, pagerank::PageRank, sssp::Sssp};
 use simdx_bench::{run_one, session_reuse_workload};
 use simdx_core::{
-    CancelToken, DirectionPolicy, EngineConfig, ExecMode, FrontierRepr, MetadataLayout,
-    PushStrategy, QueryPool, QueryRequest, Runtime, ServiceConfig,
+    CancelToken, DirStore, DirectionPolicy, DurabilityPolicy, EngineConfig, ExecMode, FrontierRepr,
+    MetadataLayout, PushStrategy, QueryPool, QueryRequest, Runtime, ServiceConfig,
 };
 use simdx_graph::gen::{Erdos, Rmat, Road};
 use simdx_graph::{weights, Graph, VertexId};
@@ -452,7 +456,7 @@ fn main() {
             let svc = ServiceConfig::default().workers(workers);
             let mut best: Option<ServeRow> = None;
             for _ in 0..args.reps {
-                let report = QueryPool::serve(&bound, Bfs::new(0), svc, |client| {
+                let report = QueryPool::serve(&bound, Bfs::new(0), svc.clone(), |client| {
                     for &s in &serve_seeds {
                         client.submit(
                             QueryRequest::new(s)
@@ -533,7 +537,7 @@ fn main() {
             let mut armed_best = f64::INFINITY;
             for _ in 0..resil_reps {
                 let base = ServiceConfig::default().workers(workers);
-                plain_best = plain_best.min(serve_batch(base));
+                plain_best = plain_best.min(serve_batch(base.clone()));
                 armed_best = armed_best.min(serve_batch(base.checkpoint_aborts(true)));
             }
             let overhead = if plain_best > 0.0 {
@@ -560,10 +564,82 @@ fn main() {
         }
     }
 
+    // Durable-spill overhead A/B (the durability acceptance
+    // measurement): the same rmat14 serving batch with no durability vs
+    // a `DirStore`-backed `DurabilityPolicy` armed. Every query
+    // completes, so nothing is ever written — the delta is the standing
+    // happy-path cost of the spill machinery (arming boundary capture
+    // plus the per-outcome policy check); the reference pin is
+    // overhead_pct <= 5 on this workload.
+    struct DurRow {
+        workers: usize,
+        queries: usize,
+        off_ms: f64,
+        armed_ms: f64,
+    }
+    let dur_reps = args.reps.max(9);
+    let mut dur_rows: Vec<DurRow> = Vec::new();
+    {
+        let runtime = Runtime::new(EngineConfig::default()).expect("runtime");
+        let bound = runtime.bind(&rmat14);
+        let spill_dir =
+            std::env::temp_dir().join(format!("simdx-bench-durable-{}", std::process::id()));
+        for workers in [1usize, 2] {
+            let serve_batch = |svc: ServiceConfig| -> f64 {
+                let report = QueryPool::serve(&bound, Bfs::new(0), svc, |client| {
+                    for &s in &serve_seeds {
+                        client.submit(QueryRequest::new(s))?;
+                    }
+                    Ok(())
+                })
+                .expect("serve");
+                assert_eq!(
+                    report.completed(),
+                    serve_seeds.len(),
+                    "durability A/B must complete every query"
+                );
+                assert!(report.spilled.is_empty(), "nothing fails, nothing spills");
+                report.elapsed.as_secs_f64() * 1e3
+            };
+            let mut off_best = f64::INFINITY;
+            let mut armed_best = f64::INFINITY;
+            for _ in 0..dur_reps {
+                let base = ServiceConfig::default().workers(workers);
+                off_best = off_best.min(serve_batch(base.clone()));
+                let store = DirStore::open(&spill_dir).expect("open spill dir");
+                armed_best = armed_best.min(serve_batch(
+                    base.durability(DurabilityPolicy::spill_to(store)),
+                ));
+            }
+            let overhead = if off_best > 0.0 {
+                (armed_best - off_best) / off_best * 1e2
+            } else {
+                0.0
+            };
+            eprintln!(
+                "durability × {workers} worker(s)  off {off_best:>9.2} ms, armed \
+                 {armed_best:>9.2} ms ({overhead:+.2}%)",
+            );
+            if overhead > 5.0 {
+                eprintln!(
+                    "  WARN: durable-spill overhead {overhead:.2}% exceeds the 5% reference \
+                     pin (noisy host or a regression in the spill arming path)"
+                );
+            }
+            dur_rows.push(DurRow {
+                workers,
+                queries: serve_seeds.len(),
+                off_ms: off_best,
+                armed_ms: armed_best,
+            });
+        }
+        let _ = std::fs::remove_dir_all(&spill_dir);
+    }
+
     // Hand-rolled JSON (the workspace builds without a registry; see
     // crates/compat/README.md).
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"simdx-bench-engine/8\",\n");
+    out.push_str("{\n  \"schema\": \"simdx-bench-engine/9\",\n");
     let _ = writeln!(out, "  \"scale\": {},", args.scale);
     let _ = writeln!(out, "  \"reps\": {},", args.reps);
     let _ = writeln!(
@@ -882,6 +958,30 @@ fn main() {
         } else {
             "\n"
         });
+    }
+    out.push_str("  ],\n");
+
+    // The durability-off-vs-armed serving A/B: overhead_pct is the
+    // standing happy-path cost of the durable spill machinery (pin:
+    // <= 5; nothing fails in this batch, so nothing is written).
+    out.push_str("  \"durability\": [\n");
+    for (i, row) in dur_rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"algorithm\": \"bfs\", \"graph\": \"rmat14\", \"queries\": {}, \
+             \"workers\": {}, \"durability_off_ms\": {:.3}, \"durability_armed_ms\": {:.3}, \
+             \"overhead_pct\": {:.3}}}",
+            row.queries,
+            row.workers,
+            row.off_ms,
+            row.armed_ms,
+            if row.off_ms > 0.0 {
+                (row.armed_ms - row.off_ms) / row.off_ms * 1e2
+            } else {
+                0.0
+            }
+        );
+        out.push_str(if i + 1 < dur_rows.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     std::fs::write(&args.out, &out).expect("write snapshot");

@@ -35,6 +35,11 @@
 //! A checkpoint is RNG-free by construction (the engine is
 //! deterministic), holds no borrowed state, and is `Send`, so a
 //! serving layer can hand it across threads or back to the submitter.
+//! It also outlives the process: [`crate::persist`] frames a
+//! checkpoint into a versioned, CRC-guarded wire format and spills it
+//! through a crash-safe [`crate::persist::CheckpointStore`], and
+//! [`crate::service::QueryPool::recover`] resumes it bit-equal in a
+//! restarted process.
 
 use crate::error::SimdxError;
 use crate::jit::ActivationLog;

@@ -796,8 +796,16 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                         executor.run_kernel(&kernel, unit, tasks, launch);
                     }
                     (Some(pool), Direction::Push) => {
-                        let fences: &PushFences =
-                            bound_fences.expect("parallel run carries bind-time fences");
+                        // Bind time installs the fences for every
+                        // parallel-capable config; a missing set means
+                        // the config and the bound state diverged.
+                        let Some(fences) = bound_fences else {
+                            return Err(SimdxError::InvalidConfig {
+                                reason: "parallel push run is missing its bind-time fences"
+                                    .to_string(),
+                            });
+                        };
+                        let fences: &PushFences = fences;
                         match (config.push, repr) {
                             (PushStrategy::Scan, FrontierRepr::List) => Self::push_unit_parallel(
                                 program,
@@ -842,13 +850,19 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                 )?
                             }
                             (PushStrategy::Grid, FrontierRepr::List) => {
+                                let Some(grid) = bound_grid else {
+                                    return Err(SimdxError::InvalidConfig {
+                                        reason: "grid push run is missing its bind-time grid CSR"
+                                            .to_string(),
+                                    });
+                                };
                                 Self::push_unit_parallel_grid(
                                     program,
                                     pool,
                                     workers,
                                     list,
                                     scan_csr,
-                                    bound_grid.expect("grid runs carry a bind-time grid CSR"),
+                                    grid,
                                     prev.as_slice(),
                                     curr.as_mut_slice(),
                                     &fences.verts,
@@ -865,13 +879,19 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                                 )?
                             }
                             (PushStrategy::Grid, FrontierRepr::Bitmap) => {
+                                let Some(grid) = bound_grid else {
+                                    return Err(SimdxError::InvalidConfig {
+                                        reason: "grid push run is missing its bind-time grid CSR"
+                                            .to_string(),
+                                    });
+                                };
                                 Self::push_unit_parallel_grid_bits(
                                     program,
                                     pool,
                                     workers,
                                     list,
                                     scan_csr,
-                                    bound_grid.expect("grid runs carry a bind-time grid CSR"),
+                                    grid,
                                     prev.as_slice(),
                                     curr.as_mut_slice(),
                                     fences,
@@ -1123,8 +1143,8 @@ impl<'g, P: AccProgram> Engine<'g, P> {
                 overflowed: bins.overflowed(),
                 cycles: executor.stats().total_cycles - cycles_before,
             });
-            if let Some(obs) = observer.as_mut() {
-                obs(log.records.last().expect("record just pushed"));
+            if let (Some(obs), Some(rec)) = (observer.as_mut(), log.records.last()) {
+                obs(rec);
             }
 
             // The old frontier buffer becomes next iteration's output
@@ -1180,8 +1200,14 @@ impl<'g, P: AccProgram> Engine<'g, P> {
             MetadataLayout::Chunked => {
                 let mut base = lo;
                 while base + CHUNK_LANES <= hi {
-                    let c: &[P::Meta; CHUNK_LANES] =
-                        curr[base..base + CHUNK_LANES].try_into().expect("chunk");
+                    // The loop bound guarantees a full window; if the
+                    // conversion ever misses, the scalar tail below
+                    // covers `[base, hi)` with identical candidates.
+                    let Ok(c) =
+                        <&[P::Meta; CHUNK_LANES]>::try_from(&curr[base..base + CHUNK_LANES])
+                    else {
+                        break;
+                    };
                     for (lane, m) in c.iter().enumerate() {
                         let v = (base + lane) as VertexId;
                         if program.pull_candidate(v, m) {

@@ -116,6 +116,23 @@ pub enum SimdxError {
         /// the producer's backoff hint.
         retry_after: std::time::Duration,
     },
+    /// A durable checkpoint failed integrity validation
+    /// ([`crate::persist`]): truncated file, CRC mismatch, bad magic,
+    /// schema-version skew or a malformed section. The blob is
+    /// diagnosed, never trusted — recovery skips it and reports it
+    /// ([`crate::service::RecoveryReport::skipped`]).
+    CheckpointCorrupt {
+        /// What failed to validate (offset/section detail included).
+        reason: String,
+    },
+    /// A checkpoint-store I/O operation failed
+    /// ([`crate::persist::CheckpointStore`]): the underlying
+    /// filesystem error, stringified (the error type stays `Clone` +
+    /// `Eq`, which `std::io::Error` is not).
+    CheckpointIo {
+        /// The failed operation and its OS error.
+        reason: String,
+    },
 }
 
 impl From<WorkerPanic> for SimdxError {
@@ -180,6 +197,12 @@ impl std::fmt::Display for SimdxError {
                 f,
                 "service unavailable: circuit breaker open, retry after {retry_after:?}"
             ),
+            Self::CheckpointCorrupt { reason } => {
+                write!(f, "corrupt checkpoint: {reason}")
+            }
+            Self::CheckpointIo { reason } => {
+                write!(f, "checkpoint store i/o failed: {reason}")
+            }
         }
     }
 }
@@ -317,6 +340,18 @@ mod tests {
                     retry_after: std::time::Duration::from_millis(250),
                 },
                 "service unavailable: circuit breaker open, retry after 250ms",
+            ),
+            (
+                SimdxError::CheckpointCorrupt {
+                    reason: "section 2 CRC mismatch".to_string(),
+                },
+                "corrupt checkpoint: section 2 CRC mismatch",
+            ),
+            (
+                SimdxError::CheckpointIo {
+                    reason: "rename cp-0.sxcp: permission denied".to_string(),
+                },
+                "checkpoint store i/o failed: rename cp-0.sxcp: permission denied",
             ),
         ];
         for (err, needle) in cases {

@@ -17,9 +17,13 @@
 //! Plans can also come from the environment: `SIMDX_FAULTS` uses a
 //! comma-separated `site:action` grammar, e.g. `push:panic`,
 //! `ballot:panic@3` (fire on the 3rd hit), `pull:delay=5` (5 ms on
-//! every hit), `grid-build:delay=2@1`. The env plan is only installed
-//! when a test asks for it ([`FaultPlan::from_env`]) — never
-//! implicitly, so ordinary runs are unaffected by a stray variable.
+//! every hit), `grid-build:delay=2@1`. The `persist` site additionally
+//! accepts the storage disturbances `persist:torn_write`,
+//! `persist:corrupt` and `persist:io_err@N`, consumed by the
+//! durable-checkpoint write path through [`persist_disturbance`]. The
+//! env plan is only installed when a test asks for it
+//! ([`FaultPlan::from_env`]) — never implicitly, so ordinary runs are
+//! unaffected by a stray variable.
 
 #![allow(dead_code)] // the no-op build only uses `hit`
 
@@ -43,10 +47,14 @@ pub enum FaultSite {
     Capture,
     /// The checkpoint restore at resumed-run initialization.
     Restore,
+    /// The durable-checkpoint write path
+    /// ([`crate::persist::DirStore::put`]); the only site that also
+    /// accepts the storage disturbances ([`PersistDisturbance`]).
+    Persist,
 }
 
 /// Number of distinct [`FaultSite`]s (per-site hit counters).
-const NUM_SITES: usize = 7;
+const NUM_SITES: usize = 8;
 
 impl FaultSite {
     fn index(self) -> usize {
@@ -58,6 +66,7 @@ impl FaultSite {
             Self::ScratchReset => 4,
             Self::Capture => 5,
             Self::Restore => 6,
+            Self::Persist => 7,
         }
     }
 
@@ -71,6 +80,7 @@ impl FaultSite {
             Self::ScratchReset => "scratch-reset",
             Self::Capture => "capture",
             Self::Restore => "restore",
+            Self::Persist => "persist",
         }
     }
 
@@ -83,9 +93,28 @@ impl FaultSite {
             "scratch-reset" => Some(Self::ScratchReset),
             "capture" => Some(Self::Capture),
             "restore" => Some(Self::Restore),
+            "persist" => Some(Self::Persist),
             _ => None,
         }
     }
+}
+
+/// A storage fault the durable-checkpoint write path injects on itself
+/// ([`FaultSite::Persist`] only): each models one way real disks lose
+/// data, and each must surface as a typed [`crate::error::SimdxError`]
+/// with the store still usable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PersistDisturbance {
+    /// Drop the tail of the blob before it reaches the file — a crash
+    /// mid-write that the atomic temp+rename protocol turns into a
+    /// detectably-truncated checkpoint.
+    TornWrite,
+    /// Flip one bit of the blob — silent media corruption the CRCs
+    /// must catch at decode time.
+    Corrupt,
+    /// Fail the operation outright with a synthetic I/O error
+    /// ([`crate::error::SimdxError::CheckpointIo`]).
+    IoErr,
 }
 
 /// What an armed fault does when it fires.
@@ -95,6 +124,9 @@ pub enum FaultAction {
     Panic,
     /// Sleep for the given duration (models a straggler worker).
     Delay(Duration),
+    /// Hand a storage disturbance to the persist layer
+    /// ([`FaultSite::Persist`] only; other sites ignore it).
+    Disturb(PersistDisturbance),
 }
 
 /// No-op hook for the default build: optimizes to nothing.
@@ -102,12 +134,20 @@ pub enum FaultAction {
 #[inline(always)]
 pub fn hit(_site: FaultSite) {}
 
+/// No-op persist hook for the default build: the write path is never
+/// disturbed.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn persist_disturbance() -> Option<PersistDisturbance> {
+    None
+}
+
 #[cfg(feature = "fault-inject")]
-pub use enabled::{hit, install, FaultGuard, FaultPlan};
+pub use enabled::{hit, install, persist_disturbance, FaultGuard, FaultPlan};
 
 #[cfg(feature = "fault-inject")]
 mod enabled {
-    use super::{FaultAction, FaultSite, NUM_SITES};
+    use super::{FaultAction, FaultSite, PersistDisturbance, NUM_SITES};
     use crate::sync::atomic::{AtomicU64, Ordering};
     use crate::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
     use std::time::Duration;
@@ -173,6 +213,32 @@ mod enabled {
             self
         }
 
+        /// Arms a storage disturbance on the `nth` durable-checkpoint
+        /// write (1-based).
+        pub fn disturb_at(mut self, disturbance: PersistDisturbance, nth: u64) -> Self {
+            assert!(
+                nth >= 1,
+                "nth is 1-based; use disturb_every for every write"
+            );
+            self.faults.push(Fault {
+                site: FaultSite::Persist,
+                action: FaultAction::Disturb(disturbance),
+                nth,
+            });
+            self
+        }
+
+        /// Arms a storage disturbance on every durable-checkpoint
+        /// write.
+        pub fn disturb_every(mut self, disturbance: PersistDisturbance) -> Self {
+            self.faults.push(Fault {
+                site: FaultSite::Persist,
+                action: FaultAction::Disturb(disturbance),
+                nth: 0,
+            });
+            self
+        }
+
         /// Parses the `SIMDX_FAULTS` environment variable:
         /// comma-separated `site:panic[@N]` or `site:delay=MS[@N]`
         /// entries. Returns `Ok(None)` when the variable is unset or
@@ -215,6 +281,12 @@ mod enabled {
                     }
                     None => (action, None),
                 };
+                let disturbance = match action {
+                    "torn_write" => Some(PersistDisturbance::TornWrite),
+                    "corrupt" => Some(PersistDisturbance::Corrupt),
+                    "io_err" => Some(PersistDisturbance::IoErr),
+                    _ => None,
+                };
                 if action == "panic" {
                     plan = plan.panic_at(site, nth.unwrap_or(1));
                 } else if let Some(ms) = action.strip_prefix("delay=") {
@@ -226,10 +298,22 @@ mod enabled {
                         Some(n) => plan.delay_at(site, d, n),
                         None => plan.delay_every(site, d),
                     };
+                } else if let Some(disturbance) = disturbance {
+                    if site != FaultSite::Persist {
+                        return Err(format!(
+                            "SIMDX_FAULTS entry `{entry}`: `{action}` only applies to \
+                             the `persist` site"
+                        ));
+                    }
+                    plan = match nth {
+                        Some(n) => plan.disturb_at(disturbance, n),
+                        None => plan.disturb_every(disturbance),
+                    };
                 } else {
                     return Err(format!(
                         "SIMDX_FAULTS entry `{entry}`: unknown action `{action}` \
-                         (expected panic[@N] or delay=MS[@N])"
+                         (expected panic[@N], delay=MS[@N], torn_write[@N], \
+                         corrupt[@N] or io_err[@N])"
                     ));
                 }
             }
@@ -306,8 +390,47 @@ mod enabled {
             match fault.action {
                 FaultAction::Panic => panic!("injected fault at {}", site.label()),
                 FaultAction::Delay(d) => std::thread::sleep(d),
+                // Storage disturbances only fire through
+                // `persist_disturbance` — the engine sites have no
+                // write path to disturb.
+                FaultAction::Disturb(_) => {}
             }
         }
+    }
+
+    /// Persist-layer fault hook: advances the [`FaultSite::Persist`]
+    /// counter and returns the armed storage disturbance for this
+    /// write, if any. Armed panics and delays at the persist site fire
+    /// here too (the write path calls this *instead of* [`hit`], so
+    /// the hit counter advances exactly once per write).
+    pub fn persist_disturbance() -> Option<PersistDisturbance> {
+        let plan = {
+            let slot = active()
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match &*slot {
+                Some(p) => Arc::clone(p),
+                None => return None,
+            }
+        };
+        // ORDERING: same contract as `hit` — the per-write counter
+        // only needs atomicity so the `nth` trigger fires exactly
+        // once; nothing else is published under it.
+        let site = FaultSite::Persist;
+        let count = plan.counts[site.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        let mut disturbance = None;
+        for fault in plan.faults.iter().filter(|f| f.site == site) {
+            let fires = fault.nth == 0 || fault.nth == count;
+            if !fires {
+                continue;
+            }
+            match fault.action {
+                FaultAction::Panic => panic!("injected fault at {}", site.label()),
+                FaultAction::Delay(d) => std::thread::sleep(d),
+                FaultAction::Disturb(d) => disturbance = Some(d),
+            }
+        }
+        disturbance
     }
 
     #[cfg(test)]
@@ -341,6 +464,52 @@ mod enabled {
                 "0 is not 1-based"
             );
             assert!(FaultPlan::parse("pull:delay=xx").is_err(), "bad millis");
+            assert!(
+                FaultPlan::parse("push:torn_write").is_err(),
+                "disturbances are persist-only"
+            );
+        }
+
+        #[test]
+        fn parse_accepts_persist_disturbances() {
+            let plan = FaultPlan::parse("persist:torn_write, persist:corrupt@2, persist:io_err@3")
+                .expect("grammar");
+            assert_eq!(plan.faults.len(), 3);
+            assert_eq!(
+                plan.faults[0].action,
+                FaultAction::Disturb(PersistDisturbance::TornWrite)
+            );
+            assert_eq!(plan.faults[0].nth, 0, "bare disturbance fires every write");
+            assert_eq!(
+                plan.faults[1].action,
+                FaultAction::Disturb(PersistDisturbance::Corrupt)
+            );
+            assert_eq!(plan.faults[1].nth, 2);
+            assert_eq!(
+                plan.faults[2].action,
+                FaultAction::Disturb(PersistDisturbance::IoErr)
+            );
+            assert_eq!(plan.faults[2].nth, 3);
+        }
+
+        #[test]
+        fn persist_disturbance_fires_on_the_armed_nth_write() {
+            let _guard = install(FaultPlan::new().disturb_at(PersistDisturbance::Corrupt, 2));
+            assert_eq!(persist_disturbance(), None, "first write is clean");
+            assert_eq!(
+                persist_disturbance(),
+                Some(PersistDisturbance::Corrupt),
+                "second write is disturbed"
+            );
+            assert_eq!(persist_disturbance(), None, "third write is clean again");
+            // `hit` ignores disturbance actions: an engine-loop hit at
+            // the persist site never injects storage faults.
+            hit(FaultSite::Persist);
+        }
+
+        #[test]
+        fn uninstalled_persist_writes_are_clean() {
+            assert_eq!(persist_disturbance(), None);
         }
 
         #[test]

@@ -91,6 +91,7 @@ pub mod jit;
 pub mod metadata;
 pub mod metrics;
 pub mod par;
+pub mod persist;
 mod pool;
 mod scratch;
 pub mod service;
@@ -123,9 +124,11 @@ pub use jit::{ActivationLog, IterationRecord};
 pub use metadata::MetadataStore;
 pub use metrics::{RunReport, RunResult};
 pub use par::WorkerPanic;
+pub use persist::{CheckpointStore, DirStore, DurableCheckpoint, PersistMeta};
 pub use service::{
-    AdmissionPolicy, Breaker, CloseMode, QueryClient, QueryPool, QueryRequest, QueryTicket,
-    RetryPolicy, ServeOutcome, ServeReport, ServiceConfig,
+    AdmissionPolicy, Breaker, CloseMode, DurabilityPolicy, QueryClient, QueryPool, QueryRequest,
+    QueryTicket, RecoveredQuery, RecoveryReport, RetryPolicy, ServeOutcome, ServeReport,
+    ServiceConfig,
 };
 pub use session::{BoundGraph, ResumableRunBuilder, RunBuilder, Runtime, SeedOutcome};
 pub use supervise::{AbortReason, CancelToken, RunProgress};
@@ -146,9 +149,10 @@ pub mod prelude {
     pub use crate::jit::IterationRecord;
     pub use crate::metadata::MetadataStore;
     pub use crate::metrics::{RunReport, RunResult};
+    pub use crate::persist::{CheckpointStore, DirStore, DurableCheckpoint, PersistMeta};
     pub use crate::service::{
-        AdmissionPolicy, CloseMode, QueryPool, QueryRequest, RetryPolicy, ServeReport,
-        ServiceConfig,
+        AdmissionPolicy, CloseMode, DurabilityPolicy, QueryPool, QueryRequest, RecoveryReport,
+        RetryPolicy, ServeReport, ServiceConfig,
     };
     pub use crate::session::{BoundGraph, ResumableRunBuilder, RunBuilder, Runtime, SeedOutcome};
     pub use crate::supervise::{AbortReason, CancelToken, RunProgress};

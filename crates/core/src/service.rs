@@ -48,6 +48,14 @@
 //! including mid-stream cancellations and fault-injected worker
 //! panics).
 //!
+//! With [`ServiceConfig::durability`] armed, the pool also survives
+//! its own process: final-failure checkpoints (retries exhausted, or
+//! an abort-mode shutdown) are spilled through a
+//! [`crate::persist::CheckpointStore`] and a fresh process picks them
+//! back up with [`QueryPool::recover`] — completing each one bit-equal
+//! to the uninterrupted run (`tests/durable_recovery.rs` SIGKILLs a
+//! serving process mid-batch and proves it).
+//!
 //! # Example
 //!
 //! ```
@@ -119,9 +127,11 @@ use crate::acc::SourcedProgram;
 use crate::checkpoint::RunCheckpoint;
 use crate::error::SimdxError;
 use crate::metrics::RunResult;
+use crate::persist::{self, CheckpointStore, DurableCheckpoint, PersistMeta};
 use crate::scratch::IterScratch;
 use crate::session::BoundGraph;
 use crate::supervise::{CancelToken, RunProgress, Supervisor};
+use crate::sync::Arc;
 use simdx_graph::VertexId;
 
 /// What [`QueryClient::submit`] does when the submission queue is at
@@ -187,6 +197,52 @@ impl RetryPolicy {
     }
 }
 
+/// Where the pool durably spills final-failure checkpoints
+/// ([`ServiceConfig::durability`]).
+///
+/// When armed, every final outcome that fails *with a captured
+/// checkpoint* — retries exhausted, or an abort-mode shutdown
+/// cancelling in-flight queries — is encoded
+/// ([`crate::persist::encode`]) and written through the wrapped
+/// [`CheckpointStore`] under the query's ticket, so a later process
+/// can pick the work back up with [`QueryPool::recover`]. Arming
+/// durability implies checkpoint capture
+/// (like [`ServiceConfig::checkpoint_aborts`]); spilling itself only
+/// touches the store on the failure path, so the success path stays at
+/// capture cost.
+///
+/// Spill failures (a full disk, an injected `persist` fault) never
+/// fail the serve call: the outcome still lands in the report with its
+/// in-memory checkpoint attached, and the failed spill is surfaced in
+/// [`ServeReport::spill_failures`].
+#[derive(Clone)]
+pub struct DurabilityPolicy {
+    store: Arc<dyn CheckpointStore>,
+}
+
+impl DurabilityPolicy {
+    /// Spill through `store` (shared; the pool never takes ownership
+    /// of the underlying directory or medium).
+    pub fn spill_to(store: impl CheckpointStore + 'static) -> Self {
+        Self {
+            store: Arc::new(store),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &dyn CheckpointStore {
+        &*self.store
+    }
+}
+
+impl std::fmt::Debug for DurabilityPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurabilityPolicy")
+            .field("store", &"<dyn CheckpointStore>")
+            .finish()
+    }
+}
+
 /// How [`QueryClient::close`] shuts the pool down.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum CloseMode {
@@ -205,7 +261,7 @@ pub enum CloseMode {
 }
 
 /// Knobs for one [`QueryPool::serve`] call.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Serving threads. Each runs independent queries over the shared
     /// core with its own worker-pool and scratch checkouts, so total
@@ -235,6 +291,12 @@ pub struct ServiceConfig {
     /// [`crate::session::BoundGraph::resume`]. Off by default: capture
     /// costs one metadata copy per iteration.
     pub checkpoint_aborts: bool,
+    /// Durable spill-on-failure: when `Some`, final-failure
+    /// checkpoints are persisted through the policy's
+    /// [`CheckpointStore`] so [`QueryPool::recover`] can resume them
+    /// in a later process. Implies checkpoint capture. `None` (the
+    /// default) keeps serving purely in-memory.
+    pub durability: Option<DurabilityPolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -250,6 +312,7 @@ impl Default for ServiceConfig {
             breaker_threshold: 0,
             breaker_cooldown: Duration::from_millis(100),
             checkpoint_aborts: false,
+            durability: None,
         }
     }
 }
@@ -302,6 +365,14 @@ impl ServiceConfig {
         self
     }
 
+    /// Builder: durably spill final-failure checkpoints through
+    /// `policy`'s store for cross-process recovery
+    /// ([`QueryPool::recover`]). Implies checkpoint capture.
+    pub fn durability(mut self, policy: DurabilityPolicy) -> Self {
+        self.durability = Some(policy);
+        self
+    }
+
     fn validate(&self) -> Result<(), SimdxError> {
         let fail = |reason: String| Err(SimdxError::InvalidConfig { reason });
         if self.workers == 0 {
@@ -323,10 +394,12 @@ impl ServiceConfig {
     }
 
     /// Whether serving arms the engine's per-iteration checkpoint
-    /// capture: explicitly requested, or implied by a multi-attempt
-    /// retry policy (a retry without a checkpoint is just a restart).
+    /// capture: explicitly requested, implied by a multi-attempt retry
+    /// policy (a retry without a checkpoint is just a restart), or
+    /// implied by durability (a spill without a checkpoint has nothing
+    /// to persist).
     fn arms_checkpoints(&self) -> bool {
-        self.checkpoint_aborts || self.retry.max_attempts > 1
+        self.checkpoint_aborts || self.retry.max_attempts > 1 || self.durability.is_some()
     }
 }
 
@@ -431,6 +504,14 @@ pub struct ServeReport<M: Copy> {
     /// Wall-clock time of the whole closed loop (first submission
     /// possible to last query drained).
     pub elapsed: Duration,
+    /// Tickets whose final-failure checkpoints were durably spilled
+    /// ([`ServiceConfig::durability`]), ascending — recover them with
+    /// [`QueryPool::recover`]. Empty when durability is unarmed.
+    pub spilled: Vec<u64>,
+    /// Spills that themselves failed (ticket, typed store error). The
+    /// query's outcome still carries its in-memory checkpoint; only
+    /// the durable copy is missing.
+    pub spill_failures: Vec<(u64, SimdxError)>,
 }
 
 impl<M: Copy> ServeReport<M> {
@@ -735,6 +816,7 @@ impl QueryPool {
     ) -> Result<ServeReport<P::Meta>, SimdxError>
     where
         P: SourcedProgram,
+        P::Meta: PersistMeta,
         F: FnOnce(&QueryClient<'_>) -> Result<(), SimdxError>,
     {
         config.validate()?;
@@ -758,21 +840,42 @@ impl QueryPool {
             shutdown: CancelToken::new(),
         };
         let slots: Mutex<Vec<Option<ServeOutcome<P::Meta>>>> = Mutex::new(Vec::new());
+        let spills: Mutex<SpillLog> = Mutex::new(SpillLog::default());
         let batches = AtomicU64::new(0);
         let started = Instant::now();
         let produced = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..config.workers)
-                .map(|w| {
-                    let (shared, slots, batches, program) = (&shared, &slots, &batches, &program);
-                    std::thread::Builder::new()
-                        .name(format!("simdx-serve-{w}"))
-                        .spawn_scoped(scope, move || {
-                            serve_loop(bound, program, &config, shared, slots, batches);
-                        })
-                        .expect("spawn serving thread")
-                })
-                .collect();
-            let produced = producer(&QueryClient { shared: &shared });
+            let mut handles = Vec::with_capacity(config.workers);
+            let mut spawn_failed = None;
+            for w in 0..config.workers {
+                let (shared, slots, spills, batches, program, config) =
+                    (&shared, &slots, &spills, &batches, &program, &config);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("simdx-serve-{w}"))
+                    .spawn_scoped(scope, move || {
+                        serve_loop(bound, program, config, shared, slots, spills, batches);
+                    });
+                match spawned {
+                    Ok(handle) => handles.push(handle),
+                    Err(e) => {
+                        // OS thread exhaustion is an operator problem,
+                        // not a panic: close the queue (nothing was
+                        // admitted yet — the producer never ran), let
+                        // any already-spawned workers drain out, and
+                        // surface a typed error.
+                        spawn_failed = Some(SimdxError::InvalidConfig {
+                            reason: format!(
+                                "cannot spawn serving thread {w} of {}: {e}",
+                                config.workers
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+            let produced = match spawn_failed {
+                None => producer(&QueryClient { shared: &shared }),
+                Some(err) => Err(err),
+            };
             shared.close();
             for handle in handles {
                 // Engine panics are contained inside execute_query, so
@@ -785,30 +888,151 @@ impl QueryPool {
             produced
         });
         produced?;
-        let outcomes = slots
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner)
-            .into_iter()
-            .map(|slot| slot.expect("every admitted ticket is served"))
-            .collect();
+        let slots = slots.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let mut outcomes = Vec::with_capacity(slots.len());
+        for (ticket, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(outcome) => outcomes.push(outcome),
+                // Unreachable by construction (every drained entry is
+                // published, abort-mode orphans included); surface a
+                // typed error rather than panicking if the invariant
+                // ever breaks.
+                None => {
+                    return Err(SimdxError::InvalidQuery {
+                        reason: format!(
+                            "internal serving invariant broken: \
+                             ticket {ticket} was admitted but never produced an outcome"
+                        ),
+                    })
+                }
+            }
+        }
+        let mut spills = spills.into_inner().unwrap_or_else(PoisonError::into_inner);
+        spills.spilled.sort_unstable();
+        spills.failures.sort_unstable_by_key(|(ticket, _)| *ticket);
         Ok(ServeReport {
             outcomes,
             batches: batches.into_inner(),
             elapsed: started.elapsed(),
+            spilled: spills.spilled,
+            spill_failures: spills.failures,
         })
+    }
+
+    /// Scans `store` for checkpoints spilled by an earlier process
+    /// ([`ServiceConfig::durability`]) and resumes each one over
+    /// `bound` via [`crate::session::BoundGraph::resume`] — completing
+    /// it **bit-equal** to the uninterrupted run (same metadata,
+    /// activation log and simulated cycles; the resume contract).
+    ///
+    /// Per ticket, ascending: the blob is read and decoded; a
+    /// truncated, bit-flipped or version-skewed blob is *skipped* —
+    /// diagnosed into [`RecoveryReport::skipped`] with its typed
+    /// [`SimdxError::CheckpointCorrupt`] / [`SimdxError::CheckpointIo`]
+    /// and left on disk for forensics — never a panic. A blob that
+    /// decodes is resumed; on success its file is removed from the
+    /// store, on a fresh abort it is kept (still resumable later) and
+    /// the typed error lands in the ticket's [`RecoveredQuery`].
+    ///
+    /// Recovery runs on the calling thread (it is a startup path, not
+    /// a serving path); admit the recovered results however suits the
+    /// caller before opening a fresh [`QueryPool::serve`] loop.
+    pub fn recover<P>(
+        bound: &BoundGraph<'_, '_>,
+        program: P,
+        store: &dyn CheckpointStore,
+    ) -> Result<RecoveryReport<P::Meta>, SimdxError>
+    where
+        P: SourcedProgram,
+        P::Meta: PersistMeta,
+    {
+        let mut recovered = Vec::new();
+        let mut skipped = Vec::new();
+        for ticket in store.tickets()? {
+            let frame = match persist::load::<P::Meta>(store, ticket) {
+                Ok(frame) => frame,
+                Err(error) => {
+                    skipped.push((ticket, error));
+                    continue;
+                }
+            };
+            let seed = frame.seed;
+            let resumed_from = frame.checkpoint.iteration();
+            let result = bound
+                .resume(program.clone().with_source(seed), frame.checkpoint)
+                .execute();
+            let result = match result {
+                Ok(run) => {
+                    store.remove(ticket)?;
+                    Ok(run)
+                }
+                Err(aborted) => Err(aborted.into_parts().0),
+            };
+            recovered.push(RecoveredQuery {
+                ticket,
+                seed,
+                resumed_from,
+                result,
+            });
+        }
+        Ok(RecoveryReport { recovered, skipped })
     }
 }
 
+/// One durable checkpoint [`QueryPool::recover`] picked back up.
+#[derive(Clone, Debug)]
+pub struct RecoveredQuery<M: Copy> {
+    /// The ticket the originating process spilled the checkpoint
+    /// under.
+    pub ticket: u64,
+    /// The query's seed vertex, restored from the blob.
+    pub seed: VertexId,
+    /// The boundary iteration the resume continued from.
+    pub resumed_from: u32,
+    /// The completed run — bit-equal to an uninterrupted one — or the
+    /// typed abort the *resume* hit (in which case the blob stays in
+    /// the store).
+    pub result: Result<RunResult<M>, SimdxError>,
+}
+
+/// Everything one [`QueryPool::recover`] scan produced.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport<M: Copy> {
+    /// One entry per decodable spilled ticket, ascending.
+    pub recovered: Vec<RecoveredQuery<M>>,
+    /// Blobs that failed to read or validate (ticket, typed error) —
+    /// skipped and left in the store, never trusted.
+    pub skipped: Vec<(u64, SimdxError)>,
+}
+
+impl<M: Copy> RecoveryReport<M> {
+    /// Recovered queries that ran to completion.
+    pub fn completed(&self) -> usize {
+        self.recovered.iter().filter(|r| r.result.is_ok()).count()
+    }
+}
+
+/// Spill bookkeeping shared by the serving threads.
+#[derive(Default)]
+struct SpillLog {
+    spilled: Vec<u64>,
+    failures: Vec<(u64, SimdxError)>,
+}
+
 /// One serving thread: drain up to `batch_max` requests per turn, run
-/// them over a single scratch checkout, publish each outcome.
+/// them over a single scratch checkout, publish each outcome (spilling
+/// final-failure checkpoints when durability is armed).
 fn serve_loop<P: SourcedProgram>(
     bound: &BoundGraph<'_, '_>,
     program: &P,
     config: &ServiceConfig,
     shared: &SharedQueue,
     slots: &Mutex<Vec<Option<ServeOutcome<P::Meta>>>>,
+    spills: &Mutex<SpillLog>,
     batches: &AtomicU64,
-) {
+) where
+    P::Meta: PersistMeta,
+{
     let arm = config.arms_checkpoints();
     loop {
         let batch: Vec<Entry> = {
@@ -843,7 +1067,7 @@ fn serve_loop<P: SourcedProgram>(
         shared.not_full.notify_all();
         let mut scratch = bound.checkout_scratch::<P::Meta>();
         for entry in batch {
-            let outcome = serve_one(
+            let mut outcome = serve_one(
                 bound,
                 program,
                 &entry,
@@ -856,6 +1080,28 @@ fn serve_loop<P: SourcedProgram>(
                 outcome.result,
                 Err(SimdxError::WorkerPanicked { .. })
             ));
+            // Durable spill: a final failure that carries a boundary
+            // checkpoint is persisted under its ticket so a later
+            // process can resume it. The checkpoint travels through
+            // the frame and back — no clone, and the submitter still
+            // gets the in-memory copy whether or not the spill stuck.
+            if let (Some(policy), Err(_)) = (&config.durability, &outcome.result) {
+                if let Some(checkpoint) = outcome.checkpoint.take() {
+                    let frame = DurableCheckpoint {
+                        ticket: entry.ticket as u64,
+                        seed: outcome.seed,
+                        checkpoint,
+                    };
+                    let spill_result = persist::spill(policy.store(), &frame);
+                    let mut log = spills.lock().unwrap_or_else(PoisonError::into_inner);
+                    match spill_result {
+                        Ok(()) => log.spilled.push(frame.ticket),
+                        Err(error) => log.failures.push((frame.ticket, error)),
+                    }
+                    drop(log);
+                    outcome.checkpoint = Some(frame.checkpoint);
+                }
+            }
             publish(slots, entry.ticket, outcome);
         }
         bound.checkin_scratch(scratch);
@@ -1130,6 +1376,8 @@ mod tests {
                 .collect(),
             batches: 1,
             elapsed: Duration::from_millis(10),
+            spilled: Vec::new(),
+            spill_failures: Vec::new(),
         };
         assert_eq!(report.latency_percentile(50.0), Duration::from_millis(2));
         assert_eq!(report.latency_percentile(99.0), Duration::from_millis(4));
@@ -1140,6 +1388,8 @@ mod tests {
             outcomes: Vec::new(),
             batches: 0,
             elapsed: Duration::ZERO,
+            spilled: Vec::new(),
+            spill_failures: Vec::new(),
         };
         assert_eq!(empty.latency_percentile(99.0), Duration::ZERO);
         assert_eq!(empty.queries_per_sec(), 0.0);

@@ -392,6 +392,12 @@ impl<'rt, 'g> BoundGraph<'rt, 'g> {
     /// *additional* simulated cycles on top of the checkpoint's spent
     /// count, and a [`ResumableRunBuilder::deadline`] is measured from
     /// the resumed `execute()` entry.
+    ///
+    /// The checkpoint need not come from this process: one decoded
+    /// from a durable [`crate::persist::CheckpointStore`] blob resumes
+    /// identically (the cross-process recovery contract, pinned by
+    /// `tests/durable_recovery.rs`); see
+    /// [`crate::service::QueryPool::recover`] for the batch form.
     pub fn resume<P: AccProgram>(
         &self,
         program: P,

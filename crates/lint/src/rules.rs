@@ -20,6 +20,11 @@
 //! * **[clock-confined]** — `Instant::now` / `SystemTime::now` are
 //!   confined to supervision, the service tier and benches, for the
 //!   same reason.
+//! * **[io-confined]** — `std::fs` / `std::io` access is confined to
+//!   the durable-checkpoint store (`persist.rs`), the bench/CLI
+//!   binaries, the lint tool and tests: the engine loop and the rest
+//!   of the serving tier must stay filesystem-free so runs are
+//!   deterministic and sandboxable.
 //! * **[atomic-facade]** — `simdx_core` imports atomics through
 //!   `crate::sync`, never `std::sync::atomic` directly, so the `model`
 //!   feature can interpose its instrumented shims.
@@ -101,6 +106,17 @@ impl Policy {
             || Self::is_test_file(path)
     }
 
+    /// [io-confined] allowlist: the durable-checkpoint store (the one
+    /// place the core crate touches the filesystem, by design), the
+    /// bench/CLI binaries and the lint tool. Test files drive stores
+    /// and scratch directories too.
+    pub fn io_allowed(path: &str) -> bool {
+        path == "crates/core/src/persist.rs"
+            || path.starts_with("crates/bench/")
+            || path.starts_with("crates/lint/")
+            || Self::is_test_file(path)
+    }
+
     /// [atomic-facade] scope: `simdx_core` sources except the facade
     /// itself.
     pub fn facade_scoped(path: &str) -> bool {
@@ -121,6 +137,9 @@ impl Policy {
             "crates/core/src/pool.rs",
             "crates/core/src/fusion.rs",
             "crates/core/src/jit.rs",
+            "crates/core/src/checkpoint.rs",
+            "crates/core/src/service.rs",
+            "crates/core/src/persist.rs",
         ];
         HOT.contains(&path) || path.starts_with("crates/core/src/filters/")
     }
@@ -406,6 +425,7 @@ pub fn check_file(fc: &FileCheck<'_>) -> Vec<Finding> {
     rule_safety(fc, &mut out);
     rule_ordering(fc, &mut out);
     rule_env_clock(fc, &mut out);
+    rule_io_confined(fc, &mut out);
     rule_atomic_facade(fc, &mut out);
     rule_panic_free(fc, &mut out);
     out
@@ -538,6 +558,38 @@ fn rule_env_clock(fc: &FileCheck<'_>, out: &mut Vec<Finding>) {
                         .to_string(),
                 ));
             }
+        }
+    }
+}
+
+/// [io-confined].
+fn rule_io_confined(fc: &FileCheck<'_>, out: &mut Vec<Finding>) {
+    if Policy::io_allowed(&fc.path) {
+        return;
+    }
+    for i in 0..fc.toks.len() {
+        if fc.in_test[i] {
+            continue;
+        }
+        // `std::fs` and `std::io` paths (covers both `use std::fs…`
+        // imports and inline `std::fs::read(…)` calls — any file doing
+        // filesystem work spells one of the two). `std::io::Error` in
+        // type position is as confined as the calls: an i/o error can
+        // only arise where i/o is allowed.
+        if fc.is_ident(i, "std")
+            && fc.is_path_sep(i + 1)
+            && (fc.is_ident(i + 3, "fs") || fc.is_ident(i + 3, "io"))
+        {
+            let module = fc.text(i + 3).to_string();
+            out.push(finding(
+                fc,
+                i,
+                "io-confined",
+                format!(
+                    "std::{module} access outside persist/bench/lint/tests breaks the \
+                     determinism contract (route persistence through a CheckpointStore)"
+                ),
+            ));
         }
     }
 }
@@ -712,6 +764,33 @@ let b = r#"unsafe { }"#;
         );
         assert!(check("crates/core/src/supervise.rs", clock).is_empty());
         assert!(check("crates/bench/src/bin/snapshot.rs", clock).is_empty());
+    }
+
+    #[test]
+    fn io_confinement() {
+        for bad in [
+            "use std::fs;",
+            "use std::io::Write;",
+            "fn f() { let b = std::fs::read(\"x\"); }",
+            "fn f(e: std::io::Error) {}",
+        ] {
+            let f = check("crates/core/src/service.rs", bad);
+            assert_eq!(f.len(), 1, "expected one finding for {bad:?}");
+            assert_eq!(f[0].rule, "io-confined");
+        }
+        // The allowlist: the store itself, benches, the lint tool,
+        // tests.
+        let io = "use std::fs;\nuse std::io::Write;";
+        assert!(check("crates/core/src/persist.rs", io).is_empty());
+        assert!(check("crates/bench/src/bin/snapshot.rs", io).is_empty());
+        assert!(check("crates/lint/src/main.rs", io).is_empty());
+        assert!(check("tests/durable_recovery.rs", io).is_empty());
+        // Test modules inside scanned files may touch the filesystem
+        // (scratch dirs), and `std::io` in a comment is not access.
+        let test_mod = "#[cfg(test)]\nmod tests { fn f() { std::fs::read(\"x\"); } }";
+        assert!(check("crates/core/src/engine.rs", test_mod).is_empty());
+        let comment = "// std::io::Error is not Clone.\nfn f() {}";
+        assert!(check("crates/core/src/error.rs", comment).is_empty());
     }
 
     #[test]

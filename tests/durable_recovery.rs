@@ -1,0 +1,554 @@
+//! Durable-checkpoint crash recovery (`crates/core/src/persist.rs`).
+//!
+//! Two halves:
+//!
+//! 1. **Kill-and-restart subprocess matrix** — a child process (this
+//!    same test binary, re-invoked on its `#[ignore]`d child entry
+//!    point) serves a batch with durability armed; tiny per-query
+//!    cycle budgets make every admitted query final-fail at a boundary
+//!    and spill. Once the child signals its spills are on disk, the
+//!    parent SIGKILLs it — no drop glue, no graceful close — reopens
+//!    the spill directory, and `QueryPool::recover` completes every
+//!    ticket **bit-equal** to the uninterrupted baseline (metadata,
+//!    activation log, simulated cycles), across
+//!    {Serial, Parallel} × {List, Bitmap}.
+//!
+//! 2. **Persist fault matrix** — on-disk tampering (truncation, bit
+//!    flips, version skew) in every build, plus the injected `persist`
+//!    disturbances (`persist:torn_write`, `persist:corrupt`,
+//!    `persist:io_err@N`) under `--features fault-inject`: every fault
+//!    surfaces as a typed `CheckpointCorrupt` / `CheckpointIo`, never a
+//!    panic, recovery skips exactly the damaged blobs while completing
+//!    the rest, and the store stays usable afterwards.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use simdx::algos::Bfs;
+use simdx::core::jit::ActivationLog;
+use simdx::core::prelude::*;
+use simdx::graph::gen::Rmat;
+use simdx::graph::{Graph, VertexId};
+use simdx_gpu::executor::ExecutorStats;
+
+/// Serializes every test body that spills through a `DirStore`: under
+/// `--features fault-inject` the armed fault plan is process-global,
+/// so an unrelated spill racing an armed `persist` disturbance would
+/// absorb the wrong test's fault.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The graph both processes rebuild — deterministic by construction,
+/// which is what makes cross-process bit-equality checkable at all.
+fn graph() -> Graph {
+    Graph::directed_from_edges(Rmat::gtgraph(11, 8).generate(5))
+}
+
+/// The serving batch: seeds spread across the rmat component
+/// structure.
+const SEEDS: &[VertexId] = &[0, 3, 7, 11, 19, 25];
+
+/// The recovery matrix cells, keyed by the string the parent passes to
+/// the child via `SIMDX_DR_CELL`.
+const CELLS: &[&str] = &[
+    "serial:list",
+    "serial:bitmap",
+    "parallel:list",
+    "parallel:bitmap",
+];
+
+fn cell_config(cell: &str) -> EngineConfig {
+    let (exec, repr) = match cell {
+        "serial:list" => (ExecMode::Serial, FrontierRepr::List),
+        "serial:bitmap" => (ExecMode::Serial, FrontierRepr::Bitmap),
+        "parallel:list" => (ExecMode::Parallel { threads: 2 }, FrontierRepr::List),
+        "parallel:bitmap" => (ExecMode::Parallel { threads: 2 }, FrontierRepr::Bitmap),
+        other => panic!("unknown matrix cell {other:?}"),
+    };
+    EngineConfig::unscaled().with_exec(exec).with_frontier(repr)
+}
+
+/// Everything that must match bit for bit after recovery.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    meta: Vec<u32>,
+    iterations: u32,
+    stats: ExecutorStats,
+    log: ActivationLog,
+}
+
+fn fingerprint(r: &RunResult<u32>) -> Fingerprint {
+    Fingerprint {
+        meta: r.meta.clone(),
+        iterations: r.report.iterations,
+        stats: r.report.stats.clone(),
+        log: r.report.log.clone(),
+    }
+}
+
+/// A cycle budget that deterministically aborts `seed`'s query after
+/// at least one boundary but before convergence — i.e. a query that
+/// will final-fail *with a checkpoint* and spill. `None` when the solo
+/// run converges too fast to cut (single-boundary runs).
+///
+/// Both processes compute this from their own solo probe; the engine's
+/// bit-equality contract makes the two answers identical.
+fn spill_budget(bound: &BoundGraph<'_, '_>, seed: VertexId) -> Option<u64> {
+    let solo = bound.run(Bfs::new(seed)).execute().expect("solo probe");
+    let first = solo.report.log.records.first()?.cycles;
+    let total = solo.report.stats.total_cycles;
+    (total > first).then_some(first)
+}
+
+/// The seeds (with budgets) the serving batch will spill, in
+/// submission order — ticket `i` serves `plan[i]`.
+fn spill_plan(bound: &BoundGraph<'_, '_>) -> Vec<(VertexId, u64)> {
+    SEEDS
+        .iter()
+        .filter_map(|&seed| spill_budget(bound, seed).map(|b| (seed, b)))
+        .collect()
+}
+
+/// Serves the spill plan with durability armed into `dir` and returns
+/// the report. Every planned query final-fails (budget exhausted) and
+/// spills its boundary checkpoint.
+fn serve_spilling(
+    bound: &BoundGraph<'_, '_>,
+    plan: &[(VertexId, u64)],
+    dir: &std::path::Path,
+) -> ServeReport<u32> {
+    let store = DirStore::open(dir).expect("open spill dir");
+    QueryPool::serve(
+        bound,
+        Bfs::new(0),
+        ServiceConfig::default()
+            .workers(2)
+            .durability(DurabilityPolicy::spill_to(store)),
+        |client| {
+            for &(seed, budget) in plan {
+                client.submit(QueryRequest::new(seed).cycle_budget(budget))?;
+            }
+            Ok(())
+        },
+    )
+    .expect("serve")
+}
+
+/// A unique scratch directory (no tempfile crate in the offline
+/// workspace).
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("simdx-durable-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// ---------------------------------------------------------------------
+// Half 1: kill-and-restart subprocess matrix
+
+/// CHILD ENTRY POINT — not a test of its own (hence `#[ignore]`): the
+/// parent re-invokes this binary with `--ignored --exact` on this name
+/// and the `SIMDX_DR_*` environment set. It serves the spill plan with
+/// durability armed, verifies every planned ticket spilled, writes the
+/// readiness marker, then hangs until the parent SIGKILLs it.
+#[test]
+#[ignore = "child half of the kill-and-restart test; spawned by the parent"]
+fn child_serve_spill_and_hang() {
+    let (Ok(dir), Ok(cell), Ok(ready)) = (
+        std::env::var("SIMDX_DR_DIR"),
+        std::env::var("SIMDX_DR_CELL"),
+        std::env::var("SIMDX_DR_READY"),
+    ) else {
+        // Invoked by a bare `cargo test -- --ignored` sweep, not by
+        // the parent: nothing to do.
+        return;
+    };
+    let g = graph();
+    let runtime = Runtime::new(cell_config(&cell)).expect("runtime");
+    let bound = runtime.bind(&g);
+    let plan = spill_plan(&bound);
+    assert!(!plan.is_empty(), "spill plan is empty for cell {cell}");
+    let report = serve_spilling(&bound, &plan, std::path::Path::new(&dir));
+    assert_eq!(
+        report.spilled.len(),
+        plan.len(),
+        "cell {cell}: every planned final failure must spill (failures: {:?})",
+        report.spill_failures
+    );
+    assert!(report.spill_failures.is_empty());
+    // Spills are fsync'd: signal the parent and wait for the bullet.
+    std::fs::write(&ready, format!("{}", report.spilled.len())).expect("write ready marker");
+    loop {
+        std::thread::sleep(Duration::from_secs(60));
+    }
+}
+
+/// After SIGKILL mid-serve, a fresh process recovers every spilled
+/// ticket bit-equal to the uninterrupted baseline, across
+/// {Serial, Parallel} × {List, Bitmap}.
+#[test]
+fn sigkilled_serving_process_recovers_bit_equal_across_matrix() {
+    let _serial = lock();
+    let exe = std::env::current_exe().expect("current test binary");
+    for cell in CELLS {
+        let dir = scratch_dir(&format!("kill-{}", cell.replace(':', "-")));
+        let ready = dir.with_extension("ready");
+        let _ = std::fs::remove_file(&ready);
+
+        let mut child = std::process::Command::new(&exe)
+            .args(["--ignored", "--exact", "child_serve_spill_and_hang"])
+            .env("SIMDX_DR_DIR", &dir)
+            .env("SIMDX_DR_CELL", cell)
+            .env("SIMDX_DR_READY", &ready)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn child serving process");
+
+        // Wait for the child's spills to be durably on disk.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while !ready.exists() {
+            if let Some(status) = child.try_wait().expect("poll child") {
+                panic!("cell {cell}: child exited before signalling readiness: {status}");
+            }
+            assert!(
+                Instant::now() < deadline,
+                "cell {cell}: child never signalled readiness"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+
+        // SIGKILL: no drop glue, no graceful close — the crash the
+        // durable store exists for.
+        child.kill().expect("SIGKILL child");
+        child.wait().expect("reap child");
+
+        // A fresh "process": new runtime, new bind, store reopened
+        // from the directory alone.
+        let g = graph();
+        let runtime = Runtime::new(cell_config(cell)).expect("runtime");
+        let bound = runtime.bind(&g);
+        let plan = spill_plan(&bound);
+        let store = DirStore::open(&dir).expect("reopen store");
+        assert_eq!(
+            store.tickets().expect("scan").len(),
+            plan.len(),
+            "cell {cell}: one durable blob per planned spill"
+        );
+
+        let report = QueryPool::recover(&bound, Bfs::new(0), &store).expect("recover");
+        assert!(
+            report.skipped.is_empty(),
+            "cell {cell}: nothing to skip: {:?}",
+            report.skipped
+        );
+        assert_eq!(report.recovered.len(), plan.len());
+        assert_eq!(report.completed(), plan.len());
+        for recovered in &report.recovered {
+            let (seed, _) = plan[recovered.ticket as usize];
+            assert_eq!(recovered.seed, seed, "cell {cell}: ticket→seed identity");
+            assert!(
+                recovered.resumed_from >= 1,
+                "cell {cell}: resumed from a real boundary"
+            );
+            let run = recovered.result.as_ref().expect("recovered run completes");
+            let baseline = bound
+                .run(Bfs::new(seed))
+                .execute()
+                .expect("uninterrupted baseline");
+            assert_eq!(
+                fingerprint(run),
+                fingerprint(&baseline),
+                "cell {cell} seed {seed}: recovery must be bit-equal"
+            );
+        }
+        // Recovered blobs are consumed; the store is clean.
+        assert_eq!(store.tickets().expect("rescan"), Vec::<u64>::new());
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&ready);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Half 2a: on-disk fault matrix (every build)
+
+/// In-process spill → recover round trip, including an abort-mode
+/// close racing the spill path: the budgeted queries spill and recover
+/// bit-equal; abort-orphaned queued entries spill nothing.
+#[test]
+fn spill_then_recover_in_process_is_bit_equal() {
+    let _serial = lock();
+    let dir = scratch_dir("inproc");
+    let g = graph();
+    let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+    let bound = runtime.bind(&g);
+    let plan = spill_plan(&bound);
+    assert!(plan.len() >= 2, "need at least two spilling seeds");
+
+    let report = serve_spilling(&bound, &plan, &dir);
+    assert_eq!(report.spilled.len(), plan.len());
+    assert!(report.spill_failures.is_empty());
+    // The in-memory checkpoints still ride the outcomes.
+    for &ticket in &report.spilled {
+        assert!(report.outcomes[ticket as usize].checkpoint.is_some());
+    }
+
+    let store = DirStore::open(&dir).expect("reopen");
+    let recovery = QueryPool::recover(&bound, Bfs::new(0), &store).expect("recover");
+    assert!(recovery.skipped.is_empty());
+    assert_eq!(recovery.completed(), plan.len());
+    for recovered in &recovery.recovered {
+        let baseline = bound
+            .run(Bfs::new(recovered.seed))
+            .execute()
+            .expect("baseline");
+        let run = recovered.result.as_ref().expect("completes");
+        assert_eq!(fingerprint(run), fingerprint(&baseline));
+    }
+    assert_eq!(store.tickets().expect("clean"), Vec::<u64>::new());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Abort-mode close with durability armed: already-failed budgeted
+/// queries have spilled; queued-but-unserved orphans spill nothing
+/// (they have no checkpoint); everything spilled recovers bit-equal.
+#[test]
+fn abort_mode_close_spills_only_real_checkpoints() {
+    let _serial = lock();
+    let dir = scratch_dir("abort");
+    let g = graph();
+    let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+    let bound = runtime.bind(&g);
+    let plan = spill_plan(&bound);
+    let (first_seed, first_budget) = plan[0];
+
+    let store = DirStore::open(&dir).expect("open");
+    let report = QueryPool::serve(
+        &bound,
+        Bfs::new(0),
+        ServiceConfig::default()
+            .workers(1)
+            .durability(DurabilityPolicy::spill_to(store)),
+        |client| {
+            // One guaranteed spill; wait until its blob is durably on
+            // disk so the abort/spill interleaving is deterministic.
+            client.submit(QueryRequest::new(first_seed).cycle_budget(first_budget))?;
+            let blob0 = dir.join(format!("cp-{:020}.sxcp", 0));
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while !blob0.exists() {
+                assert!(Instant::now() < deadline, "ticket 0 never spilled");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            // Then a pile of queued work the abort orphans.
+            for &(seed, _) in &plan[1..] {
+                client.submit(QueryRequest::new(seed))?;
+            }
+            client.close(CloseMode::Abort);
+            Ok(())
+        },
+    )
+    .expect("serve");
+    assert!(report.spill_failures.is_empty());
+    // Every spill corresponds to an outcome that really carried a
+    // checkpoint; orphans (attempts == 0) never spill.
+    let store = DirStore::open(&dir).expect("reopen");
+    let on_disk = store.tickets().expect("scan");
+    assert_eq!(report.spilled, on_disk);
+    assert!(report.spilled.contains(&0), "the budgeted ticket spilled");
+    for outcome in &report.outcomes {
+        if outcome.attempts == 0 {
+            assert!(outcome.checkpoint.is_none());
+        }
+    }
+    let recovery = QueryPool::recover(&bound, Bfs::new(0), &store).expect("recover");
+    assert!(recovery.skipped.is_empty());
+    assert_eq!(recovery.completed(), on_disk.len());
+    for recovered in &recovery.recovered {
+        let baseline = bound
+            .run(Bfs::new(recovered.seed))
+            .execute()
+            .expect("baseline");
+        assert_eq!(
+            fingerprint(recovered.result.as_ref().expect("completes")),
+            fingerprint(&baseline)
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// On-disk damage — truncation, a flipped bit, version skew, junk —
+/// is diagnosed per blob: recovery skips exactly the damaged tickets
+/// with typed errors, completes the intact ones, and the store stays
+/// usable.
+#[test]
+fn damaged_blobs_are_skipped_with_typed_errors_and_the_rest_recover() {
+    let _serial = lock();
+    let dir = scratch_dir("damage");
+    let g = graph();
+    let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+    let bound = runtime.bind(&g);
+    let plan = spill_plan(&bound);
+    assert!(
+        plan.len() >= 4,
+        "need four spilling seeds, got {}",
+        plan.len()
+    );
+
+    let report = serve_spilling(&bound, &plan, &dir);
+    assert_eq!(report.spilled.len(), plan.len());
+
+    // Damage three blobs directly on disk: truncate #0, flip a bit in
+    // #1, skew #2's schema version. #3… stay intact.
+    let store = DirStore::open(&dir).expect("reopen");
+    let blob_path = |t: u64| dir.join(format!("cp-{t:020}.sxcp"));
+    let blob0 = std::fs::read(blob_path(0)).expect("read blob 0");
+    std::fs::write(blob_path(0), &blob0[..blob0.len() / 3]).expect("truncate blob 0");
+    let mut blob1 = std::fs::read(blob_path(1)).expect("read blob 1");
+    let mid = blob1.len() / 2;
+    blob1[mid] ^= 0x10;
+    std::fs::write(blob_path(1), &blob1).expect("corrupt blob 1");
+    let mut blob2 = std::fs::read(blob_path(2)).expect("read blob 2");
+    blob2[4] = 0xEE; // version u16 LE low byte
+    std::fs::write(blob_path(2), &blob2).expect("skew blob 2");
+
+    let recovery = QueryPool::recover(&bound, Bfs::new(0), &store).expect("recover");
+    assert_eq!(recovery.recovered.len(), plan.len() - 3);
+    assert_eq!(recovery.completed(), plan.len() - 3);
+    let skipped: Vec<u64> = recovery.skipped.iter().map(|(t, _)| *t).collect();
+    assert_eq!(skipped, vec![0, 1, 2]);
+    for (ticket, error) in &recovery.skipped {
+        match error {
+            SimdxError::CheckpointCorrupt { reason } => {
+                if *ticket == 2 {
+                    assert!(
+                        reason.contains("schema version"),
+                        "ticket 2 diagnosed as skew: {reason}"
+                    );
+                }
+            }
+            other => panic!("ticket {ticket}: expected CheckpointCorrupt, got {other:?}"),
+        }
+    }
+    // Skipped blobs are left in place for forensics…
+    assert_eq!(store.tickets().expect("scan"), vec![0, 1, 2]);
+    // …and the store stays fully usable: remove them, spill again.
+    for t in [0u64, 1, 2] {
+        store.remove(t).expect("remove damaged blob");
+    }
+    let again = serve_spilling(&bound, &plan[..1], &dir);
+    assert_eq!(again.spilled.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Half 2b: injected persist disturbances (--features fault-inject)
+
+#[cfg(feature = "fault-inject")]
+mod injected {
+    use super::*;
+    use simdx::core::fault::{self, FaultPlan, PersistDisturbance};
+
+    /// `persist:io_err@1` (armed through the real `SIMDX_FAULTS`
+    /// grammar): the first spill fails with a typed `CheckpointIo`
+    /// surfaced in `spill_failures`, later spills succeed — the store
+    /// is not poisoned by an i/o fault.
+    #[test]
+    fn injected_io_error_lands_in_spill_failures_and_store_recovers() {
+        let _serial = lock();
+        let dir = scratch_dir("ioerr");
+        let g = graph();
+        let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+        let bound = runtime.bind(&g);
+        let plan = spill_plan(&bound);
+        assert!(plan.len() >= 2);
+
+        let armed = fault::install(FaultPlan::parse("persist:io_err@1").expect("grammar"));
+        // workers(1): deterministic spill order, so the io_err lands
+        // on ticket 0.
+        let store = DirStore::open(&dir).expect("open");
+        let report = QueryPool::serve(
+            &bound,
+            Bfs::new(0),
+            ServiceConfig::default()
+                .workers(1)
+                .durability(DurabilityPolicy::spill_to(store)),
+            |client| {
+                for &(seed, budget) in &plan {
+                    client.submit(QueryRequest::new(seed).cycle_budget(budget))?;
+                }
+                Ok(())
+            },
+        )
+        .expect("serve");
+        drop(armed);
+
+        assert_eq!(report.spill_failures.len(), 1);
+        let (ticket, error) = &report.spill_failures[0];
+        assert_eq!(*ticket, 0);
+        assert!(
+            matches!(error, SimdxError::CheckpointIo { .. }),
+            "typed i/o error, got {error:?}"
+        );
+        // The failed ticket still hands its checkpoint back in memory.
+        assert!(report.outcomes[0].checkpoint.is_some());
+        // Every later spill stuck.
+        let expected: Vec<u64> = (1..plan.len() as u64).collect();
+        assert_eq!(report.spilled, expected);
+        let store = DirStore::open(&dir).expect("reopen");
+        assert_eq!(store.tickets().expect("scan"), expected);
+        let recovery = QueryPool::recover(&bound, Bfs::new(0), &store).expect("recover");
+        assert!(recovery.skipped.is_empty());
+        assert_eq!(recovery.completed(), plan.len() - 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Torn writes and in-flight corruption produce blobs that decode
+    /// rejects with typed errors at recovery time — never a panic,
+    /// never a silently-wrong restore — and a clean re-spill heals the
+    /// ticket.
+    #[test]
+    fn injected_torn_and_corrupt_writes_are_diagnosed_at_recovery() {
+        let _serial = lock();
+        for (tag, disturbance) in [
+            ("torn", PersistDisturbance::TornWrite),
+            ("corrupt", PersistDisturbance::Corrupt),
+        ] {
+            let dir = scratch_dir(&format!("dist-{tag}"));
+            let g = graph();
+            let runtime = Runtime::new(EngineConfig::unscaled()).expect("runtime");
+            let bound = runtime.bind(&g);
+            let plan = spill_plan(&bound);
+
+            let armed = fault::install(FaultPlan::new().disturb_every(disturbance));
+            let report = serve_spilling(&bound, &plan[..1], &dir);
+            drop(armed);
+            // The disturbed write "succeeded" from the writer's side —
+            // the damage is what recovery must diagnose.
+            assert_eq!(report.spilled, vec![0]);
+
+            let store = DirStore::open(&dir).expect("reopen");
+            let recovery = QueryPool::recover(&bound, Bfs::new(0), &store).expect("recover");
+            assert!(recovery.recovered.is_empty());
+            assert_eq!(recovery.skipped.len(), 1);
+            assert!(
+                matches!(recovery.skipped[0].1, SimdxError::CheckpointCorrupt { .. }),
+                "{tag}: typed corruption, got {:?}",
+                recovery.skipped[0].1
+            );
+            // Store still usable: a clean re-spill of the same ticket
+            // overwrites the damaged blob and recovers.
+            let healed = serve_spilling(&bound, &plan[..1], &dir);
+            assert_eq!(healed.spilled, vec![0]);
+            let recovery = QueryPool::recover(&bound, Bfs::new(0), &store).expect("recover");
+            assert_eq!(recovery.completed(), 1);
+            assert!(recovery.skipped.is_empty());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

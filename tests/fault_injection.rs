@@ -104,6 +104,9 @@ fn aim_at(site: FaultSite, cfg: EngineConfig) -> EngineConfig {
         // Fires whenever checkpoint capture / restore is armed,
         // regardless of the engine knobs.
         FaultSite::Capture | FaultSite::Restore => cfg,
+        // Fires on spill, not inside a run; exercised end-to-end by
+        // tests/durable_recovery.rs.
+        FaultSite::Persist => cfg,
     }
 }
 

@@ -5,6 +5,7 @@
 use proptest::prelude::*;
 use simdx::algos::{bfs, kcore, reference, sssp, wcc, Bfs};
 use simdx::core::metadata::{CHUNK_ALIGN, CHUNK_LANES};
+use simdx::core::persist::{self, DurableCheckpoint};
 use simdx::core::prelude::*;
 use simdx::core::{FilterPolicy, FrontierBitmap, GridCsr, MetadataStore};
 use simdx::graph::{io, weights, Csr, EdgeList, Graph};
@@ -463,6 +464,119 @@ proptest! {
         prop_assert_eq!(jit.report.iterations, ballot.report.iterations);
         for (a, b) in jit.report.log.records.iter().zip(&ballot.report.log.records) {
             prop_assert_eq!(a.frontier_len, b.frontier_len, "iteration {}", a.iteration);
+        }
+    }
+
+    /// The durable wire format over *real* mid-run checkpoints (BFS
+    /// cancelled at an arbitrary boundary, both metadata layouts):
+    /// decode∘encode restores the checkpoint so exactly that (a)
+    /// re-encoding reproduces the blob byte-for-byte and (b) resuming
+    /// the decoded checkpoint is bit-equal to resuming the original —
+    /// and to the uninterrupted run. Truncating the blob at **every**
+    /// byte offset and flipping single bits at sampled offsets must
+    /// yield typed `CheckpointCorrupt` errors: never a panic, never a
+    /// silently-wrong restore.
+    #[test]
+    fn durable_checkpoint_roundtrips_and_rejects_corruption(
+        (n, edges) in arb_edges(40, 120),
+        cut in 0u32..4,
+    ) {
+        let g = Graph::directed_from_edges(EdgeList::from_pairs(
+            edges.iter().map(|&(s, d)| (s % n, d % n)).collect::<Vec<_>>(),
+        ));
+        if g.num_vertices() == 0 {
+            return Ok(());
+        }
+        let cells = [
+            (ExecMode::Serial, FrontierRepr::List, MetadataLayout::Flat),
+            (
+                ExecMode::Parallel { threads: 2 },
+                FrontierRepr::Bitmap,
+                MetadataLayout::Chunked,
+            ),
+        ];
+        for (exec, repr, layout) in cells {
+            let cfg = EngineConfig::unscaled()
+                .with_exec(exec)
+                .with_frontier(repr)
+                .with_layout(layout);
+            let baseline = bfs::run(&g, 0, cfg.clone()).expect("fresh baseline");
+            let runtime = Runtime::new(cfg).expect("runtime");
+            let bound = runtime.bind(&g);
+            let token = CancelToken::new();
+            let hook_token = token.clone();
+            let outcome = bound
+                .run(Bfs::new(0))
+                .cancel_token(token)
+                .checkpoint_on_abort()
+                .observe(move |rec| {
+                    if rec.iteration >= cut {
+                        hook_token.cancel();
+                    }
+                })
+                .execute();
+            // Converged before the cut, or aborted before the first
+            // boundary: no checkpoint to serialize this round.
+            let Err(aborted) = outcome else { continue };
+            let Some(cp) = aborted.checkpoint else { continue };
+
+            let frame = DurableCheckpoint {
+                ticket: 42 + cut as u64,
+                seed: 0,
+                checkpoint: cp,
+            };
+            let blob = persist::encode(&frame);
+            let back = persist::decode::<u32>(&blob).expect("decode own encoding");
+            prop_assert_eq!(back.ticket, frame.ticket);
+            prop_assert_eq!(back.seed, frame.seed);
+            // (a) Byte-identical re-encoding.
+            prop_assert_eq!(&persist::encode(&back), &blob);
+            // (b) Resuming the decoded checkpoint completes bit-equal
+            // to resuming the original — and to never aborting at all.
+            let from_original = bound
+                .resume(Bfs::new(0), frame.checkpoint)
+                .execute()
+                .expect("resume original");
+            let from_decoded = bound
+                .resume(Bfs::new(0), back.checkpoint)
+                .execute()
+                .expect("resume decoded");
+            prop_assert_eq!(&from_decoded.meta, &from_original.meta);
+            prop_assert_eq!(&from_decoded.report.log, &from_original.report.log);
+            prop_assert_eq!(&from_decoded.report.stats, &from_original.report.stats);
+            prop_assert_eq!(&from_decoded.meta, &baseline.meta);
+            prop_assert_eq!(&from_decoded.report.log, &baseline.report.log);
+            prop_assert_eq!(&from_decoded.report.stats, &baseline.report.stats);
+
+            // Truncation at every byte offset: typed error, no panic.
+            for len in 0..blob.len() {
+                match persist::decode::<u32>(&blob[..len]) {
+                    Err(SimdxError::CheckpointCorrupt { .. }) => {}
+                    other => prop_assert!(
+                        false,
+                        "truncation to {} bytes: expected CheckpointCorrupt, got {:?}",
+                        len,
+                        other.map(|f| f.ticket)
+                    ),
+                }
+            }
+            // Single-bit corruption at sampled offsets (every offset
+            // is swept by the unit test in `persist`; here the blob
+            // varies with the generated graph).
+            let stride = (blob.len() / 24).max(1);
+            for byte in (0..blob.len()).step_by(stride) {
+                let mut flipped = blob.clone();
+                flipped[byte] ^= 1 << (byte % 8);
+                match persist::decode::<u32>(&flipped) {
+                    Err(SimdxError::CheckpointCorrupt { .. }) => {}
+                    other => prop_assert!(
+                        false,
+                        "bit flip at byte {}: expected CheckpointCorrupt, got {:?}",
+                        byte,
+                        other.map(|f| f.ticket)
+                    ),
+                }
+            }
         }
     }
 }
